@@ -1,0 +1,14 @@
+"""A5 — the heuristic partitioner menu of Section 7: greedy first-fit vs
+interval DP vs multilevel coarsen/refine (refs [10]/[14]).  Shape: greedy is
+never best; DP and multilevel trade blows; all run in milliseconds."""
+
+from repro.analysis.experiments import ablation_a5_multilevel
+
+
+def test_a5_multilevel(benchmark, show):
+    rows = benchmark.pedantic(ablation_a5_multilevel, rounds=1, iterations=1)
+    show(rows, "A5: partitioner comparison (bandwidth and wall-clock)")
+    for r in rows:
+        best = min(r["greedy_bw"], r["dp_bw"], r["ml_bw"])
+        assert min(r["dp_bw"], r["ml_bw"]) == best, "greedy should never be uniquely best"
+        assert r["ml_ms"] < 1000

@@ -1,0 +1,50 @@
+"""Ablations A1-A4: cut choice, cross-buffer sizing, LRU-vs-OPT, degree
+limits — the non-obvious design choices DESIGN.md calls out, each isolated."""
+
+from repro.analysis.experiments import (
+    ablation_a1_cut_choice,
+    ablation_a2_cross_buffer_size,
+    ablation_a3_lru_vs_opt,
+    ablation_a4_degree_limits,
+)
+
+
+def test_a1_cut_choice(benchmark, show):
+    rows = benchmark.pedantic(
+        ablation_a1_cut_choice, kwargs={"n_outputs": 800}, rounds=1, iterations=1
+    )
+    show(rows, "A1: Theorem 5 cut at gain-min vs gain-max edge")
+    by = {r["cut_rule"]: r for r in rows}
+    assert by["gain-min (paper)"]["misses"] < by["gain-max (ablated)"]["misses"]
+
+
+def test_a2_cross_buffer_size(benchmark, show):
+    rows = benchmark.pedantic(
+        ablation_a2_cross_buffer_size, kwargs={"n_outputs": 800}, rounds=1, iterations=1
+    )
+    show(rows, "A2: cross-edge buffer capacity sweep (why Theta(M))")
+    assert rows[0]["misses"] > 3 * rows[3]["misses"]
+
+
+def test_a3_lru_vs_opt(benchmark, show):
+    rows = benchmark.pedantic(
+        ablation_a3_lru_vs_opt, kwargs={"n_outputs": 500}, rounds=1, iterations=1
+    )
+    show(rows, "A3: LRU vs Belady OPT on the partitioned schedule's trace")
+    lru = next(r for r in rows if r["policy"] == "LRU")
+    opt = next(r for r in rows if "OPT" in r["policy"])
+    assert opt["misses"] <= lru["misses"] <= 3 * opt["misses"]
+
+
+def test_a4_degree_limits(benchmark, show):
+    rows = benchmark.pedantic(ablation_a4_degree_limits, rounds=1, iterations=1)
+    show(rows, "A4: degree-limited vs unlimited partitions (beamformer)")
+    assert any(r["degree_limited"] for r in rows)
+
+
+def test_a6_layout_order(benchmark, show):
+    from repro.analysis.sweeps import ablation_a6_layout_order
+
+    rows = benchmark.pedantic(ablation_a6_layout_order, rounds=1, iterations=1)
+    show(rows, "A6: layout sensitivity (LRU invariant; direct-mapped is not)")
+    assert len({r["lru_misses"] for r in rows}) == 1

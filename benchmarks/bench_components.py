@@ -1,0 +1,83 @@
+"""Micro-benchmarks of the substrates: cache-simulator throughput, executor
+firing rate, and partitioner scaling.  These guard the simulation's own
+performance (the whole harness rests on them being fast)."""
+
+import numpy as np
+
+from repro.cache.base import CacheGeometry
+from repro.cache.lru import LRUCache
+from repro.cache.opt import simulate_opt
+from repro.core.dagpart import exact_min_bandwidth_partition, interval_dp_partition
+from repro.core.pipeline import optimal_pipeline_partition, theorem5_partition
+from repro.core.partition_sched import pipeline_dynamic_schedule
+from repro.graphs.topologies import diamond, random_pipeline
+from repro.runtime.executor import Executor
+from repro.runtime.schedule import Schedule
+
+
+def test_lru_touch_throughput(benchmark):
+    geo = CacheGeometry(size=512, block=8)
+    rng = np.random.default_rng(0)
+    trace = rng.integers(0, 256, size=20_000).tolist()
+
+    def run():
+        c = LRUCache(geo)
+        for b in trace:
+            c.access_block(b)
+        return c.stats.misses
+
+    misses = benchmark(run)
+    assert misses > 0
+
+
+def test_opt_replay_throughput(benchmark):
+    geo = CacheGeometry(size=256, block=8)
+    rng = np.random.default_rng(1)
+    trace = rng.integers(0, 128, size=20_000).tolist()
+    stats = benchmark(simulate_opt, trace, geo)
+    assert stats.misses > 0
+
+
+def test_executor_firing_rate(benchmark):
+    g = random_pipeline(12, 32, seed=3)
+    geo = CacheGeometry(size=256, block=8)
+    sched = Schedule([n for _ in range(300) for n in g.pipeline_order()])
+
+    def run():
+        return Executor.measure(g, geo, sched).misses
+
+    assert benchmark(run) > 0
+
+
+def test_pipeline_dp_scaling_n256(benchmark):
+    g = random_pipeline(256, 24, seed=5, rate_choices=[(1, 1), (2, 1), (1, 2)])
+    p = benchmark(optimal_pipeline_partition, g, 64, 3.0)
+    assert p.is_well_ordered()
+
+
+def test_theorem5_scaling_n1024(benchmark):
+    g = random_pipeline(1024, 24, seed=6)
+    p = benchmark(theorem5_partition, g, 64)
+    assert p.max_component_state() <= 8 * 64
+
+
+def test_interval_dp_on_wide_dag(benchmark):
+    from repro.graphs.topologies import layered_random_dag
+
+    g = layered_random_dag(10, 8, 24, seed=7)
+    p = benchmark(interval_dp_partition, g, 96, 2.0)
+    assert p.is_well_ordered()
+
+
+def test_exact_search_12_modules(benchmark):
+    g = diamond(branch_len=5, ways=2, state=12)  # 12 modules
+    p = benchmark(exact_min_bandwidth_partition, g, 24, 3.0)
+    assert p.is_well_ordered()
+
+
+def test_dynamic_scheduler_generation(benchmark):
+    g = random_pipeline(20, 32, seed=8)
+    geo = CacheGeometry(size=96, block=8)
+    part = optimal_pipeline_partition(g, geo.size, c=1.0)
+    sched = benchmark(pipeline_dynamic_schedule, g, part, geo, 2000)
+    assert len(sched) > 2000

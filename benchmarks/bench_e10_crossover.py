@@ -1,0 +1,16 @@
+"""E10 — the crossover: below state ~ M all schedules tie (everything is
+cache-resident); above it the partitioned schedule's advantage grows."""
+
+from repro.analysis.experiments import experiment_e10_crossover
+
+
+def test_e10_crossover(benchmark, show):
+    rows = benchmark.pedantic(
+        experiment_e10_crossover, kwargs={"n_outputs": 600}, rounds=1, iterations=1
+    )
+    show(rows, "E10: total state / M crossover")
+    for r in rows:
+        if r["state_over_M"] < 1:
+            assert r["advantage"] <= 1.5
+        if r["state_over_M"] >= 3:
+            assert r["advantage"] > 10

@@ -1,0 +1,16 @@
+"""E11 — Section 7's multiprocessor direction, built out: the parallel
+dynamic component scheduler.  Shape: speedup scales with P until the
+component graph's width is exhausted; total misses stay within a small
+factor of P=1 (cache efficiency survives parallelization)."""
+
+from repro.analysis.experiments import experiment_e11_parallel_scaling
+
+
+def test_e11_parallel_scaling(benchmark, show):
+    rows = benchmark.pedantic(experiment_e11_parallel_scaling, rounds=1, iterations=1)
+    show(rows, "E11: parallel dynamic scheduling, P sweep")
+    assert rows[1]["speedup"] > 1.5, "P=2 should give real speedup"
+    for r in rows:
+        assert r["miss_inflation_vs_P1"] < 1.5, "parallelism should not inflate misses"
+    # saturation: P=8 no better than P=4 on this width-4 dag
+    assert rows[3]["speedup"] <= rows[2]["speedup"] * 1.2

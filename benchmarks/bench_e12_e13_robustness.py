@@ -1,0 +1,25 @@
+"""E12/E13 — robustness beyond the paper's model: cache organizations the
+theorems don't cover (direct-mapped, two-level) and seed-averaged
+competitive-ratio statistics."""
+
+from repro.analysis.sweeps import (
+    experiment_e12_cache_models,
+    experiment_e13_seed_distribution,
+)
+
+
+def test_e12_cache_models(benchmark, show):
+    rows = benchmark.pedantic(experiment_e12_cache_models, rounds=1, iterations=1)
+    show(rows, "E12: partitioned vs single-appearance across cache models")
+    for r in rows:
+        assert r["win"] > 1.0, f"partitioning should win under {r['cache_model']}"
+
+
+def test_e13_seed_distribution(benchmark, show):
+    rows = benchmark.pedantic(
+        experiment_e13_seed_distribution, kwargs={"n_seeds": 8}, rounds=1, iterations=1
+    )
+    show(rows, "E13: competitive-ratio distribution over random pipelines")
+    stats = {r["statistic"]: r for r in rows}
+    assert stats["max"]["ratio_to_lb"] < 50, "ratio band should be tight"
+    assert stats["min"]["win_vs_single_app"] > 1.0

@@ -1,0 +1,15 @@
+"""E14 — the cache-vs-latency Pareto frontier: what the Θ(M) batching of the
+partitioned schedulers costs in responsiveness (the latency objective the
+paper's introduction sets aside)."""
+
+from repro.analysis.latency import experiment_e14_latency_tradeoff
+
+
+def test_e14_latency_tradeoff(benchmark, show):
+    rows = benchmark.pedantic(
+        experiment_e14_latency_tradeoff, kwargs={"n_outputs": 600}, rounds=1, iterations=1
+    )
+    show(rows, "E14: misses/input vs mean latency across cross-buffer capacities")
+    part = [r for r in rows if r["cross_capacity"] > 0]
+    assert part[-1]["misses_per_input"] < part[0]["misses_per_input"]
+    assert part[-1]["mean_latency"] > part[0]["mean_latency"]

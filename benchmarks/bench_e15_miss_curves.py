@@ -1,0 +1,16 @@
+"""E15 — full miss curves via Mattson stack distances: the paper's argument
+as one figure.  The partitioned schedule's curve collapses to its
+compulsory floor once one component (plus working buffers) fits, ~1.5M; the
+naive schedule's stays an order of magnitude higher until the entire graph
+is resident."""
+
+from repro.analysis.misscurve import experiment_e15_miss_curves
+
+
+def test_e15_miss_curves(benchmark, show):
+    rows = benchmark.pedantic(
+        experiment_e15_miss_curves, kwargs={"n_outputs": 300}, rounds=1, iterations=1
+    )
+    show(rows, "E15: misses(C) curves, partitioned vs naive")
+    mid = [r for r in rows if 1.5 <= r["cache_over_M"] <= 3.0]
+    assert all(r["naive_over_partitioned"] > 10 for r in mid)

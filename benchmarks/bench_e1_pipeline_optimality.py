@@ -1,0 +1,15 @@
+"""E1 — Theorem 5 / Corollary 6: the dynamic partitioned pipeline schedule
+is O(1)-competitive with the Theorem 3 lower bound under O(1) cache
+augmentation.  Regenerates the measured-vs-lower-bound table."""
+
+from repro.analysis.experiments import experiment_e1_pipeline_optimality
+
+
+def test_e1_pipeline_optimality(benchmark, show):
+    rows = benchmark.pedantic(
+        experiment_e1_pipeline_optimality, kwargs={"n_outputs": 1000}, rounds=1, iterations=1
+    )
+    show(rows, "E1: partitioned pipeline vs Theorem 3 lower bound")
+    for r in rows:
+        assert r["measured_misses"] >= r["lb_misses"], "lower bound violated"
+        assert r["ratio_to_lb"] < 150, "competitive ratio should be a bounded constant"

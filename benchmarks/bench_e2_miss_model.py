@@ -1,0 +1,11 @@
+"""E2 — Lemma 4: the analytic miss model (state loads + cross traffic +
+streams, all /B) tracks the simulator within a small constant."""
+
+from repro.analysis.experiments import experiment_e2_miss_model
+
+
+def test_e2_miss_model(benchmark, show):
+    rows = benchmark.pedantic(experiment_e2_miss_model, rounds=1, iterations=1)
+    show(rows, "E2: measured vs Lemma-4 predicted misses")
+    for r in rows:
+        assert 0.4 <= r["ratio"] <= 2.5, f"model off at {r}"

@@ -1,0 +1,15 @@
+"""E3 — Theorem 3: NO schedule (partitioned or baseline) undercuts the
+segment lower bound; the partitioned schedule sits closest to it."""
+
+from repro.analysis.experiments import experiment_e3_lower_bound
+
+
+def test_e3_lower_bound(benchmark, show):
+    rows = benchmark.pedantic(
+        experiment_e3_lower_bound, kwargs={"n_outputs": 1000}, rounds=1, iterations=1
+    )
+    show(rows, "E3: every scheduler vs the Theorem 3 lower bound")
+    for r in rows:
+        assert r["measured_over_lb"] >= 1.0, f"{r['schedule']} beat the lower bound!"
+    closest = min(rows, key=lambda r: r["measured_over_lb"])
+    assert "dynamic" in closest["schedule"]

@@ -1,0 +1,17 @@
+"""E4 — Section 4: the DP-optimal c-bounded partition is never worse than
+the Theorem 5 greedy construction (at the same state bound), and both run in
+polynomial time."""
+
+from repro.analysis.experiments import experiment_e4_partition_quality
+
+
+def test_e4_partition_quality(benchmark, show):
+    rows = benchmark.pedantic(experiment_e4_partition_quality, rounds=1, iterations=1)
+    show(rows, "E4: Theorem-5 greedy vs optimal DP pipeline partitions")
+    for r in rows:
+        if r["dp8_bw"]:
+            assert r["greedy_bw"] >= r["dp8_bw"]
+    # quadratic DP: 2x modules => at most ~8x time (allow noise); definitely
+    # not exponential
+    times = [r["dp_ms"] for r in rows]
+    assert times[-1] < 1000

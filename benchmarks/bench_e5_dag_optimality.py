@@ -1,0 +1,14 @@
+"""E5 — Theorem 7 / Lemma 8 / Corollary 9: on homogeneous dags small enough
+for the exact minBW_3 search, the heuristic partition is alpha-competitive
+and the partition schedule's misses respect the dag lower bound."""
+
+from repro.analysis.experiments import experiment_e5_dag_optimality
+
+
+def test_e5_dag_optimality(benchmark, show):
+    rows = benchmark.pedantic(experiment_e5_dag_optimality, rounds=1, iterations=1)
+    show(rows, "E5: homogeneous dags vs exact minBW_3")
+    for r in rows:
+        assert r["heur_bw"] >= r["minBW3"]
+        assert r["alpha"] <= 2.0, "heuristic should be near-optimal on these dags"
+        assert r["measured"] >= r["lb"]

@@ -1,0 +1,11 @@
+"""E6 — Section 3 'Scheduling inhomogeneous graphs': the T-granularity
+scheduler is feasible on rate-changing dags and beats single-appearance."""
+
+from repro.analysis.experiments import experiment_e6_inhomogeneous
+
+
+def test_e6_inhomogeneous(benchmark, show):
+    rows = benchmark.pedantic(experiment_e6_inhomogeneous, rounds=1, iterations=1)
+    show(rows, "E6: inhomogeneous dags, partitioned vs single-appearance")
+    for r in rows:
+        assert r["improvement"] >= 1.0

@@ -1,0 +1,15 @@
+"""E7 — the headline application table: StreamIt-motivated workloads,
+partitioned schedule vs single-appearance / Sermulins-scaled / interleaved.
+Shape: partitioning wins by a growing factor once total state >> M (the
+paper's Section 6 cites >4x on a real app; the DAM simulation shows tens)."""
+
+from repro.analysis.experiments import experiment_e7_vs_baselines
+
+
+def test_e7_vs_baselines(benchmark, show):
+    rows = benchmark.pedantic(experiment_e7_vs_baselines, rounds=1, iterations=1)
+    show(rows, "E7: applications — misses/input by scheduler")
+    for r in rows:
+        if r["state_over_M"] > 1.5:
+            assert r["win_vs_single_app"] > 4, f"{r['app']} should win by >4x"
+        assert r["partitioned"] <= r["interleaved"] + 1e-9

@@ -1,0 +1,13 @@
+"""E8 — Corollary 6/9 augmentation: a partition built for cache M, executed
+on c'M caches — misses fall steeply until the components fit, then plateau."""
+
+from repro.analysis.experiments import experiment_e8_augmentation
+
+
+def test_e8_augmentation(benchmark, show):
+    rows = benchmark.pedantic(
+        experiment_e8_augmentation, kwargs={"n_outputs": 1000}, rounds=1, iterations=1
+    )
+    show(rows, "E8: cache-augmentation sweep")
+    assert rows[0]["misses"] > 2 * rows[2]["misses"], "no steep fall observed"
+    assert rows[-2]["misses"] <= 1.4 * rows[-1]["misses"] + 1, "no plateau observed"

@@ -1,0 +1,14 @@
+"""E9 — every bound in the paper carries a 1/B factor: sweeping the block
+size must scale the partitioned schedule's misses close to 1/B."""
+
+from repro.analysis.experiments import experiment_e9_block_size
+
+
+def test_e9_block_size(benchmark, show):
+    rows = benchmark.pedantic(
+        experiment_e9_block_size, kwargs={"n_outputs": 1000}, rounds=1, iterations=1
+    )
+    show(rows, "E9: block-size sweep (1/B scaling)")
+    for a, b in zip(rows, rows[1:]):
+        assert b["misses"] < a["misses"]
+    assert rows[-1]["speedup_vs_B1"] > 8

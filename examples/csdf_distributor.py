@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""Cyclo-static dataflow: schedule a distributor/collector graph.
+
+CSDF modules change their rates cyclically — here a distributor alternates
+tokens between two worker lanes ((1,0) on one channel, (0,1) on the other)
+and a collector merges them back.  The paper's machinery is stated for SDF,
+so the library phase-expands the CSDF graph (each phase becomes an SDF
+module carrying the full state, chained by baton edges) and everything
+downstream — validation, gains, partitioning, scheduling, simulation —
+works unchanged.
+
+Run:  python examples/csdf_distributor.py
+"""
+
+from repro import (
+    CacheGeometry,
+    CsdfGraph,
+    Executor,
+    component_layout_order,
+    expand_csdf,
+    inhomogeneous_partition_schedule,
+    interval_dp_partition,
+    required_geometry,
+    single_appearance_schedule,
+    validate_schedule,
+)
+from repro.graphs.repetition import repetition_vector
+
+
+def build() -> CsdfGraph:
+    g = CsdfGraph("csdf-distrib")
+    g.add_module("src", phases=1, state=16)
+    g.add_module("dist", phases=2, state=8)
+    # two heavy worker lanes with different state footprints
+    g.add_module("fir_a", phases=1, state=96)
+    g.add_module("fir_b", phases=1, state=96)
+    g.add_module("join", phases=2, state=8)
+    g.add_module("snk", phases=1, state=16)
+    g.add_channel("src", "dist", out_seq=[1], in_seq=[1, 1])
+    g.add_channel("dist", "fir_a", out_seq=[1, 0], in_seq=[1])
+    g.add_channel("dist", "fir_b", out_seq=[0, 1], in_seq=[1])
+    g.add_channel("fir_a", "join", out_seq=[1], in_seq=[1, 0])
+    g.add_channel("fir_b", "join", out_seq=[1], in_seq=[0, 1])
+    g.add_channel("join", "snk", out_seq=[1, 1], in_seq=[2])
+    return g
+
+
+def main() -> None:
+    csdf = build()
+    sdf, phase_map = expand_csdf(csdf)
+    print(f"CSDF graph: {csdf.n_modules} modules -> expanded SDF: {sdf.n_modules} "
+          f"modules ({sdf.n_channels} channels)")
+    print("phase map:", {k: v for k, v in phase_map.items() if len(v) > 1})
+    reps = repetition_vector(sdf)
+    print("repetition vector (per cycle):",
+          {n: r for n, r in reps.items() if not n.startswith('c')})
+
+    M = 96
+    geom = CacheGeometry(size=M, block=8)
+    part = interval_dp_partition(sdf, M, c=2.0)
+    print(f"\npartition: {part.k} components, bandwidth {float(part.bandwidth()):.2f}")
+    for i in range(part.k):
+        print(f"  C{i}: {list(part.components[i])}")
+
+    sched = inhomogeneous_partition_schedule(sdf, part, geom, n_batches=4)
+    validate_schedule(sdf, sched, require_drained=True)
+    aug = required_geometry(part, geom)
+    res = Executor.measure(sdf, aug, sched, layout_order=component_layout_order(part))
+    iters = max(1, res.source_fires // reps[sdf.sources()[0]])
+    base = Executor.measure(sdf, aug, single_appearance_schedule(sdf, n_iterations=iters))
+    print(f"\npartitioned      : {res.summary()}")
+    print(f"single-appearance: {base.summary()}")
+    print(f"\nimprovement: {base.misses_per_source_fire / res.misses_per_source_fire:.1f}x")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""Multirate filter bank: inhomogeneous scheduling at T granularity.
+
+The filter bank decimates each branch 8:1 and expands it back — module
+firing rates differ by 8x across the graph, so the homogeneous T=M batching
+of Section 3 does not apply.  This example shows the machinery the paper
+prescribes instead:
+
+* exact rational gains (Definition 1) and the repetition vector;
+* the batch plan: the smallest T with T*gain(e) integral, divisible by the
+  end rates, and >= M on the cross edges;
+* per-component low-level schedules with minBuf internal buffers;
+* validation that the generated schedule is feasible and drains completely.
+
+Run:  python examples/filterbank_multirate.py
+"""
+
+from fractions import Fraction
+
+from repro import (
+    CacheGeometry,
+    Executor,
+    component_layout_order,
+    compute_gains,
+    inhomogeneous_partition_schedule,
+    interval_dp_partition,
+    repetition_vector,
+    required_geometry,
+    single_appearance_schedule,
+    validate_schedule,
+)
+from repro.core.tuning import choose_batch
+from repro.graphs.apps import filter_bank
+
+
+def main() -> None:
+    graph = filter_bank(branches=8, taps=32)
+    geom = CacheGeometry(size=256, block=8)
+    print(f"{graph.name}: {graph.n_modules} modules, state {graph.total_state()} words")
+
+    gains = compute_gains(graph)
+    reps = repetition_vector(graph)
+    print("\nper-module gains (tokens of work per input sample):")
+    for name in ("src", "analysis0", "down0", "proc0", "up0", "synth0", "combine"):
+        print(f"  {name:10s} gain={gains.gain(name)!s:>6}  r={reps[name]}")
+
+    part = interval_dp_partition(graph, geom.size, c=2.0)
+    cross = [c.cid for c in part.cross_channels()]
+    plan = choose_batch(graph, geom.size, cross_cids=cross)
+    print(f"\npartition: {part.k} components, bandwidth {float(part.bandwidth()):.3f}")
+    print(f"batch plan: k={plan.k} iterations/batch, T={plan.source_fires} source fires")
+    print("cross-edge batch traffic (== buffer capacity):")
+    for ch in part.cross_channels():
+        print(
+            f"  {ch.src:>9s} -> {ch.dst:<9s} {plan.channel_tokens[ch.cid]:6d} tokens"
+            f"  (gain {gains.edge_gain(ch.cid)!s})"
+        )
+
+    sched = inhomogeneous_partition_schedule(graph, part, geom, n_batches=4, plan=plan)
+    validate_schedule(graph, sched, require_drained=True)
+    print(f"\nschedule: {len(sched)} firings, validated feasible and fully drained")
+
+    aug = required_geometry(part, geom)
+    res = Executor.measure(graph, aug, sched, layout_order=component_layout_order(part))
+    iters = max(1, res.source_fires // reps["src"])
+    base = Executor.measure(graph, aug, single_appearance_schedule(graph, n_iterations=iters))
+    print(f"\npartitioned      : {res.summary()}")
+    print(f"single-appearance: {base.summary()}")
+    print(
+        f"\nimprovement: {base.misses_per_source_fire / res.misses_per_source_fire:.1f}x "
+        f"fewer misses per input"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Parallel dynamic scheduling: the Section 7 multiprocessor direction.
+
+The paper's closing remark: on multiprocessors one must balance load and
+cache misses *simultaneously* — the optimal uniprocessor schedule already
+minimizes misses, so the question is how much parallel speedup the dynamic
+component rule extracts without inflating them.
+
+This example partitions a wide split/join dag, runs the parallel dynamic
+simulation for P = 1..8 workers (each with a private cache over the shared
+address space), and prints the speedup / load-balance / miss-inflation
+table.  Shape to observe: speedup rises until the component dag's width is
+exhausted, load balance degrades past that point, and total misses stay
+within a few percent of the P=1 schedule throughout.
+
+Run:  python examples/parallel_scaling.py
+"""
+
+from repro import (
+    CacheGeometry,
+    interval_dp_partition,
+    parallel_dynamic_simulation,
+    refine_partition,
+)
+from repro.analysis.report import rows_to_table
+from repro.graphs.topologies import diamond
+
+
+def main() -> None:
+    # four parallel branches of five 24-word modules: width-4 component dag
+    graph = diamond(branch_len=5, ways=4, state=24)
+    geom = CacheGeometry(size=96, block=8)
+    part = refine_partition(
+        interval_dp_partition(graph, geom.size, c=2.0), geom.size, c=2.0
+    )
+    print(f"{graph.name}: {graph.n_modules} modules, state {graph.total_state()} words")
+    print(f"partition: {part.k} components, bandwidth {float(part.bandwidth()):.1f}\n")
+
+    rows = []
+    base = None
+    for p in (1, 2, 3, 4, 6, 8):
+        res = parallel_dynamic_simulation(
+            graph, part, geom, n_workers=p, target_outputs=2048
+        )
+        if base is None:
+            base = res.total_misses
+        rows.append(
+            {
+                "P": p,
+                "makespan": res.makespan,
+                "speedup": round(res.speedup, 2),
+                "load_balance": round(res.load_balance, 2),
+                "total_misses": res.total_misses,
+                "miss_inflation": round(res.total_misses / base, 2),
+            }
+        )
+    print(rows_to_table(rows, title="parallel dynamic scheduling (private caches)"))
+    print(
+        "\nSpeedup saturates at the component dag's width; miss inflation\n"
+        "stays near 1.0 — cache efficiency survives parallelization, the\n"
+        "load-balancing tension the paper's Section 7 describes."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,44 @@
+"""Analysis layer: closed-form miss models (Lemma 4 / Lemma 8 algebra),
+experiment drivers E1–E10 + ablations, and table formatting."""
+
+from repro.analysis.model import PredictedCost, predict_partition_cost
+from repro.analysis.report import format_series, format_table
+from repro.analysis.sweeps import (
+    experiment_e12_cache_models,
+    experiment_e13_seed_distribution,
+)
+from repro.analysis.competitive import (
+    bootstrap_ci,
+    competitive_summary,
+    paired_win_probability,
+)
+from repro.analysis.misscurve import (
+    experiment_e15_miss_curves,
+    miss_curve,
+    misses_at,
+    stack_distances,
+)
+from repro.analysis.latency import (
+    LatencyStats,
+    experiment_e14_latency_tradeoff,
+    pipeline_latency,
+)
+
+__all__ = [
+    "PredictedCost",
+    "predict_partition_cost",
+    "format_table",
+    "format_series",
+    "experiment_e12_cache_models",
+    "experiment_e13_seed_distribution",
+    "LatencyStats",
+    "pipeline_latency",
+    "experiment_e14_latency_tradeoff",
+    "bootstrap_ci",
+    "competitive_summary",
+    "paired_win_probability",
+    "stack_distances",
+    "miss_curve",
+    "misses_at",
+    "experiment_e15_miss_curves",
+]

@@ -1,0 +1,106 @@
+"""Competitive-ratio statistics with bootstrap confidence intervals.
+
+The experiments report point estimates of measured/lower-bound ratios and
+scheduler-vs-scheduler wins; this module adds the statistical machinery to
+state them with uncertainty:
+
+* :func:`bootstrap_ci` — vectorized nonparametric bootstrap (numpy; no
+  Python-level loop over resamples) for any statistic of a ratio sample;
+* :func:`competitive_summary` — mean/median/CI summary of a ratio list,
+  shaped for :func:`repro.analysis.report.rows_to_table`;
+* :func:`paired_win_probability` — for paired (baseline, candidate) cost
+  samples, the bootstrap probability that the candidate is at least
+  ``factor`` times better.
+
+Used by the E13-style studies; exposed publicly so downstream evaluations of
+new schedulers can report comparable statistics.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["bootstrap_ci", "competitive_summary", "paired_win_probability"]
+
+
+def bootstrap_ci(
+    sample: Sequence[float],
+    statistic: Callable[[np.ndarray], np.ndarray] = None,
+    n_resamples: int = 2000,
+    confidence: float = 0.95,
+    seed: int = 0,
+) -> Tuple[float, float, float]:
+    """(point estimate, ci_low, ci_high) for ``statistic`` of ``sample``.
+
+    ``statistic`` maps a (n_resamples, n) matrix to a length-n_resamples
+    vector; the default is the row mean.  Fully vectorized: one
+    ``rng.integers`` draw and one reduction, no Python loop.
+    """
+    arr = np.asarray(sample, dtype=float)
+    if arr.size == 0:
+        raise ValueError("bootstrap_ci needs a non-empty sample")
+    if statistic is None:
+        statistic = lambda m: m.mean(axis=1)
+    rng = np.random.default_rng(seed)
+    idx = rng.integers(0, arr.size, size=(n_resamples, arr.size))
+    stats = statistic(arr[idx])
+    alpha = (1.0 - confidence) / 2.0
+    lo, hi = np.quantile(stats, [alpha, 1.0 - alpha])
+    point = float(statistic(arr[None, :])[0])
+    return point, float(lo), float(hi)
+
+
+def competitive_summary(
+    ratios: Sequence[float], label: str = "ratio", confidence: float = 0.95
+) -> List[Dict[str, Any]]:
+    """Table rows summarizing a ratio sample with bootstrap CIs."""
+    arr = np.asarray(ratios, dtype=float)
+    mean, mlo, mhi = bootstrap_ci(arr, lambda m: m.mean(axis=1), confidence=confidence)
+    med, dlo, dhi = bootstrap_ci(
+        arr, lambda m: np.median(m, axis=1), confidence=confidence
+    )
+    return [
+        {
+            "quantity": f"{label} mean",
+            "estimate": round(mean, 3),
+            "ci_low": round(mlo, 3),
+            "ci_high": round(mhi, 3),
+        },
+        {
+            "quantity": f"{label} median",
+            "estimate": round(med, 3),
+            "ci_low": round(dlo, 3),
+            "ci_high": round(dhi, 3),
+        },
+        {
+            "quantity": f"{label} max",
+            "estimate": round(float(arr.max()), 3),
+            "ci_low": "",
+            "ci_high": "",
+        },
+    ]
+
+
+def paired_win_probability(
+    baseline_costs: Sequence[float],
+    candidate_costs: Sequence[float],
+    factor: float = 1.0,
+    n_resamples: int = 2000,
+    seed: int = 0,
+) -> float:
+    """Bootstrap P(mean(baseline) >= factor * mean(candidate)) over paired
+    samples — "how confident are we the candidate wins by >= factor x".
+
+    Pairs are resampled together (the same workloads drive both costs), so
+    workload-difficulty variation cancels.
+    """
+    base = np.asarray(baseline_costs, dtype=float)
+    cand = np.asarray(candidate_costs, dtype=float)
+    if base.shape != cand.shape or base.size == 0:
+        raise ValueError("need equal-length non-empty paired samples")
+    rng = np.random.default_rng(seed)
+    idx = rng.integers(0, base.size, size=(n_resamples, base.size))
+    wins = base[idx].mean(axis=1) >= factor * cand[idx].mean(axis=1)
+    return float(wins.mean())

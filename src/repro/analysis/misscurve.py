@@ -1,0 +1,174 @@
+"""Miss curves via Mattson stack distances.
+
+LRU is a *stack algorithm*: the content of a size-C cache is always a
+subset of a size-C' > C cache on the same trace (inclusion).  Mattson's
+classic consequence: one pass over a trace yields the miss count for
+**every** cache size simultaneously — an access hits in a size-C cache iff
+its *stack distance* (number of distinct blocks touched since the previous
+access to the same block) is at most C.
+
+This turns the simulator's per-geometry runs into a whole design curve:
+``miss_curve(trace)`` gives misses(C) for all C, and experiment E15 plots
+the partitioned schedule's curve against the naive schedule's — the
+partitioned curve drops to the compulsory floor at C ≈ O(M) (its working
+set is one component), while the naive curve stays high until the *entire*
+graph fits, which is the paper's whole argument in one figure.
+
+Implementation: last-access positions in a dict plus a Fenwick (binary
+indexed) tree over trace positions marking which positions are "most recent
+for their block"; the stack distance of an access is the count of marked
+positions after the block's previous access — O(n log n) total, pure
+Python, linear memory.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["stack_distances", "miss_curve", "misses_at", "experiment_e15_miss_curves"]
+
+
+class _Fenwick:
+    """Prefix-sum tree over trace positions (1-based internally)."""
+
+    def __init__(self, n: int) -> None:
+        self.n = n
+        self.tree = [0] * (n + 1)
+
+    def add(self, i: int, delta: int) -> None:
+        i += 1
+        while i <= self.n:
+            self.tree[i] += delta
+            i += i & (-i)
+
+    def prefix(self, i: int) -> int:
+        """Sum of [0, i]."""
+        i += 1
+        s = 0
+        while i > 0:
+            s += self.tree[i]
+            i -= i & (-i)
+        return s
+
+    def range_sum(self, lo: int, hi: int) -> int:
+        """Sum of [lo, hi]."""
+        if hi < lo:
+            return 0
+        return self.prefix(hi) - (self.prefix(lo - 1) if lo > 0 else 0)
+
+
+def stack_distances(trace: Sequence[int]) -> List[Optional[int]]:
+    """Per-access LRU stack distances; ``None`` marks cold (first) accesses.
+
+    distance d means: d distinct blocks (including this one) were touched
+    since the previous access to this block, so the access hits in any
+    fully-associative LRU cache holding >= d blocks.
+    """
+    n = len(trace)
+    fen = _Fenwick(n)
+    last: Dict[int, int] = {}
+    out: List[Optional[int]] = [None] * n
+    for i, blk in enumerate(trace):
+        prev = last.get(blk)
+        if prev is None:
+            out[i] = None
+        else:
+            # distinct blocks touched in (prev, i) = marked positions there,
+            # plus this block itself
+            out[i] = fen.range_sum(prev + 1, i - 1) + 1
+            fen.add(prev, -1)
+        fen.add(i, 1)
+        last[blk] = i
+    return out
+
+
+def miss_curve(trace: Sequence[int], max_blocks: Optional[int] = None) -> np.ndarray:
+    """``curve[c]`` = total LRU misses with a cache of ``c`` blocks.
+
+    ``curve[0]`` is every access; the curve is non-increasing and flattens
+    at the compulsory-miss floor (number of distinct blocks).  ``max_blocks``
+    truncates the returned array (default: enough to reach the floor).
+    """
+    dists = stack_distances(trace)
+    n_cold = sum(1 for d in dists if d is None)
+    finite = [d for d in dists if d is not None]
+    max_d = max(finite, default=0)
+    size = (max_blocks if max_blocks is not None else max_d) + 1
+
+    # histogram of hit distances; an access with distance d misses at c < d
+    hist = np.zeros(size + 1, dtype=np.int64)
+    for d in finite:
+        hist[min(d, size)] += 1
+    # hits(c) = # accesses with distance <= c;  misses(c) = n - hits(c)
+    hits_cum = np.cumsum(hist)[:size]
+    total = len(trace)
+    return total - hits_cum  # index c: misses with c blocks (c=0 .. size-1)
+
+
+def misses_at(trace: Sequence[int], blocks: int) -> int:
+    """Misses of a ``blocks``-frame LRU on the trace (via the curve)."""
+    curve = miss_curve(trace, max_blocks=blocks)
+    idx = min(blocks, len(curve) - 1)
+    return int(curve[idx])
+
+
+def experiment_e15_miss_curves(seed: int = 53, n_outputs: int = 400):
+    """E15 — whole miss curves for partitioned vs naive schedules.
+
+    Record each schedule's block trace once, then read misses at EVERY cache
+    size from the stack distances.  The paper's argument as a single figure:
+    the partitioned schedule's curve collapses to its compulsory floor once
+    the cache holds one component (~O(M)); the naive schedule's curve stays
+    high until the entire graph fits.  Rows sample the curves at
+    geometrically spaced sizes.
+    """
+    from repro.cache.base import CacheGeometry
+    from repro.cache.lru import LRUCache
+    from repro.core.baselines import interleaved_schedule
+    from repro.core.partition_sched import (
+        component_layout_order,
+        pipeline_dynamic_schedule,
+    )
+    from repro.core.pipeline import optimal_pipeline_partition
+    from repro.graphs.topologies import pipeline as make_pipeline
+    from repro.mem.trace import TraceRecorder, TracingCache
+    from repro.runtime.executor import Executor
+
+    g = make_pipeline([32] * 12)  # 384 words of state
+    M = 128
+    B = 8
+    geom = CacheGeometry(size=M, block=B)
+    part = optimal_pipeline_partition(g, M, c=1.0)
+    big = CacheGeometry(size=4096, block=B)  # trace-recording geometry only
+
+    def record(schedule, order=None):
+        rec = TraceRecorder()
+        Executor.measure(g, big, schedule, layout_order=order, cache=TracingCache(LRUCache(big), rec))
+        return rec.blocks
+
+    part_trace = record(
+        pipeline_dynamic_schedule(g, part, geom, target_outputs=n_outputs),
+        order=component_layout_order(part),
+    )
+    naive_trace = record(interleaved_schedule(g, n_iterations=n_outputs))
+
+    part_curve = miss_curve(part_trace)
+    naive_curve = miss_curve(naive_trace)
+
+    rows = []
+    for blocks in (4, 8, 16, 24, 32, 48, 64, 96, 128):
+        words = blocks * B
+        p = int(part_curve[min(blocks, len(part_curve) - 1)])
+        nv = int(naive_curve[min(blocks, len(naive_curve) - 1)])
+        rows.append(
+            {
+                "cache_words": words,
+                "cache_over_M": round(words / M, 2),
+                "partitioned_misses": p,
+                "naive_misses": nv,
+                "naive_over_partitioned": round(nv / p, 2) if p else float("inf"),
+            }
+        )
+    return rows

@@ -1,0 +1,224 @@
+"""Robustness sweeps beyond the paper's model (E12/E13).
+
+The theorems are stated for an ideal fully associative cache.  Two natural
+robustness questions a practitioner asks before adopting the scheduler:
+
+* **E12 — cache organization.**  Does the partitioned schedule's advantage
+  survive a direct-mapped cache (conflict misses) or a two-level hierarchy?
+  The schedule and layout are unchanged; only the simulator varies.  The
+  paper's analysis suggests yes: the partition layout packs each component
+  contiguously, so conflict misses stay rare, and a second level only
+  filters further.
+
+* **E13 — statistical robustness.**  The competitive-ratio experiments use
+  fixed seeds; E13 re-runs the E1 pipeline measurement across many random
+  pipelines and reports the distribution (mean/max) of measured/LB ratios.
+  Shape: a tight band whose max does not explode — the O(1) constant is a
+  real constant, not a lucky seed.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+import numpy as np
+
+from repro.cache.base import CacheGeometry, CacheModel
+from repro.cache.direct import DirectMappedCache
+from repro.cache.hierarchy import TwoLevelCache
+from repro.cache.lru import LRUCache
+from repro.core.baselines import single_appearance_schedule
+from repro.core.lower_bound import pipeline_lower_bound
+from repro.core.partition_sched import component_layout_order, pipeline_dynamic_schedule
+from repro.core.pipeline import optimal_pipeline_partition
+from repro.core.dagpart import interval_dp_partition
+from repro.core.partition_sched import inhomogeneous_partition_schedule
+from repro.core.tuning import choose_batch, required_geometry
+from repro.graphs.apps import fm_radio
+from repro.graphs.repetition import repetition_vector
+from repro.graphs.topologies import random_pipeline
+from repro.runtime.executor import Executor
+
+__all__ = ["experiment_e12_cache_models", "experiment_e13_seed_distribution", "ablation_a6_layout_order"]
+
+
+def experiment_e12_cache_models(M: int = 256, B: int = 8) -> List[Dict[str, Any]]:
+    """Partitioned vs single-appearance on fm_radio across cache models.
+
+    Cache models: ideal LRU (the paper's), direct-mapped of the same size
+    (worst-case associativity), and a two-level hierarchy (L1 = M, L2 = the
+    partition's O(M); misses counted at L2 = memory transfers).  Shape: the
+    partitioned schedule wins under every organization; direct-mapped adds
+    conflict misses to both columns but does not change the verdict.
+    """
+    g = fm_radio(taps=48, bands=6)
+    geom = CacheGeometry(size=M, block=B)
+    part = interval_dp_partition(g, M, c=2.0)
+    plan = choose_batch(g, M, cross_cids=[c.cid for c in part.cross_channels()])
+    n_batches = max(2, -(-1024 // max(plan.source_fires, 1)))
+    sched = inhomogeneous_partition_schedule(g, part, geom, n_batches=n_batches, plan=plan)
+    run_geom = required_geometry(part, geom)
+    order = component_layout_order(part)
+    reps = repetition_vector(g)
+
+    def caches():
+        yield "LRU (paper model)", lambda: LRUCache(run_geom)
+        yield "direct-mapped", lambda: DirectMappedCache(run_geom)
+        # L1 is the un-augmented M; L2 is the O(M) the partition needs.
+        # Misses are counted at L2 (memory transfers): the partitioned
+        # working set fits L2, the naive schedule's does not.
+        yield "two-level (L1=M, L2=O(M))", lambda: TwoLevelCache(
+            CacheGeometry(size=geom.size, block=B),
+            CacheGeometry(size=run_geom.size, block=B),
+        )
+
+    rows: List[Dict[str, Any]] = []
+    for label, mk in caches():
+        res = Executor.measure(g, run_geom, sched, layout_order=order, cache=mk())
+        iters = max(1, res.source_fires // reps[g.sources()[0]])
+        base = Executor.measure(
+            g,
+            run_geom,
+            single_appearance_schedule(g, n_iterations=iters),
+            cache=mk(),
+        )
+        rows.append(
+            {
+                "cache_model": label,
+                "partitioned_mpi": round(res.misses_per_source_fire, 3),
+                "single_app_mpi": round(base.misses_per_source_fire, 3),
+                "win": round(
+                    base.misses_per_source_fire / res.misses_per_source_fire, 1
+                )
+                if res.misses_per_source_fire
+                else float("inf"),
+            }
+        )
+    return rows
+
+
+def experiment_e13_seed_distribution(
+    n_seeds: int = 16, n: int = 24, M: int = 96, n_outputs: int = 400
+) -> List[Dict[str, Any]]:
+    """Distribution of measured/LB competitive ratios over random pipelines.
+
+    One summary row per statistic; per-seed ratios are recomputed
+    deterministically from the seed range, so the row set is stable.
+    """
+    geom = CacheGeometry(size=M, block=8)
+    ratios: List[float] = []
+    wins: List[float] = []
+    for seed in range(n_seeds):
+        # states in [20, 60]: total state (~24 * 40 words) always far
+        # exceeds the O(M) execution cache, so no seed degenerates into the
+        # everything-resident regime where all schedules tie.
+        g = random_pipeline(
+            n, 60, seed=seed, min_state=20,
+            rate_choices=[(1, 1), (1, 1), (2, 1), (1, 2)],
+        )
+        part = optimal_pipeline_partition(g, M, c=3.0)
+        sched = pipeline_dynamic_schedule(g, part, geom, target_outputs=n_outputs)
+        run_geom = required_geometry(part, geom)
+        res = Executor.measure(
+            g, run_geom, sched, layout_order=component_layout_order(part)
+        )
+        lb = pipeline_lower_bound(g, M)
+        lbm = float(lb.misses(res.source_fires, geom))
+        if lbm > 0:
+            ratios.append(res.misses / lbm)
+        base = Executor.measure(
+            g, run_geom, single_appearance_schedule(g, n_iterations=n_outputs)
+        )
+        if res.misses_per_source_fire > 0:
+            wins.append(base.misses_per_source_fire / res.misses_per_source_fire)
+
+    arr = np.array(ratios)
+    warr = np.array(wins)
+    return [
+        {"statistic": "seeds", "ratio_to_lb": len(arr), "win_vs_single_app": len(warr)},
+        {
+            "statistic": "mean",
+            "ratio_to_lb": round(float(arr.mean()), 2),
+            "win_vs_single_app": round(float(warr.mean()), 2),
+        },
+        {
+            "statistic": "median",
+            "ratio_to_lb": round(float(np.median(arr)), 2),
+            "win_vs_single_app": round(float(np.median(warr)), 2),
+        },
+        {
+            "statistic": "max",
+            "ratio_to_lb": round(float(arr.max()), 2),
+            "win_vs_single_app": round(float(warr.max()), 2),
+        },
+        {
+            "statistic": "min",
+            "ratio_to_lb": round(float(arr.min()), 2),
+            "win_vs_single_app": round(float(warr.min()), 2),
+        },
+    ]
+
+
+def ablation_a6_layout_order(M: int = 256, B: int = 8) -> List[Dict[str, Any]]:
+    """A6 — does memory layout matter?
+
+    Two findings, one expected and one cautionary:
+
+    * Under the paper's fully associative model, layout is provably
+      irrelevant (only the *set* of blocks touched matters) — the LRU
+      column must be identical across layouts, and is.  This justifies the
+      library's freedom to choose layouts for other reasons.
+    * Under a direct-mapped cache, conflict misses are large and
+      layout-sensitive, but NOT monotonically in favour of grouping: the
+      round-robin "strided" layout can beat the grouped one because
+      conflicts depend on addresses modulo the frame count, not on
+      contiguity.  The actionable lesson is that low-associativity targets
+      need conflict-aware placement (colouring/skewing), which is outside
+      the paper's model — the partitioned schedule still wins at every
+      layout (compare E12), but its margin varies.
+    """
+    from repro.cache.direct import DirectMappedCache
+    from repro.core.dagpart import interval_dp_partition
+    from repro.core.partition_sched import (
+        component_layout_order,
+        inhomogeneous_partition_schedule,
+    )
+    from repro.core.tuning import choose_batch, required_geometry
+    from repro.graphs.apps import des_rounds
+
+    g = des_rounds(rounds=8, sbox_state=48)
+    geom = CacheGeometry(size=M, block=B)
+    part = interval_dp_partition(g, M, c=2.0)
+    plan = choose_batch(g, M, cross_cids=[c.cid for c in part.cross_channels()])
+    n_batches = max(2, -(-768 // max(plan.source_fires, 1)))
+    sched = inhomogeneous_partition_schedule(g, part, geom, n_batches=n_batches, plan=plan)
+    run_geom = required_geometry(part, geom)
+
+    grouped = component_layout_order(part)
+    topo = g.topological_order()
+    # adversarial: round-robin across components so each component's state
+    # is maximally scattered through the address space
+    comps = [list(c) for c in part.components]
+    strided: List[str] = []
+    idx = 0
+    while any(comps):
+        comp = comps[idx % len(comps)]
+        if comp:
+            strided.append(comp.pop(0))
+        idx += 1
+
+    rows: List[Dict[str, Any]] = []
+    for label, order in (("component-grouped", grouped), ("topological", topo), ("strided", strided)):
+        lru = Executor.measure(g, run_geom, sched, layout_order=order)
+        dm = Executor.measure(
+            g, run_geom, sched, layout_order=order, cache=DirectMappedCache(run_geom)
+        )
+        rows.append(
+            {
+                "layout": label,
+                "lru_misses": lru.misses,
+                "direct_mapped_misses": dm.misses,
+                "dm_conflict_penalty": round(dm.misses / lru.misses, 2) if lru.misses else 0,
+            }
+        )
+    return rows

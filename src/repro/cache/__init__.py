@@ -1,0 +1,34 @@
+"""External-memory (I/O model / DAM) cache simulators.
+
+The paper analyzes schedules in the two-level I/O model of Aggarwal &
+Vitter: a fast cache of ``M`` words organized in blocks of ``B`` words over
+an arbitrarily large memory; the cost of an execution is the number of block
+transfers (cache misses).  This package implements that model executably:
+
+* :class:`~repro.cache.lru.LRUCache` — fully associative LRU, the standard
+  realization of the ideal-cache model (LRU is O(1)-competitive with OPT
+  under constant-factor memory augmentation, so the paper's bounds carry);
+* :class:`~repro.cache.opt.OPTCache` — Belady's offline-optimal replacement
+  replayed over a recorded trace, used by the A3 ablation;
+* :class:`~repro.cache.direct.DirectMappedCache` and
+  :class:`~repro.cache.hierarchy.TwoLevelCache` — hardware-flavoured
+  extensions for robustness experiments.
+"""
+
+from repro.cache.base import CacheModel, CacheGeometry
+from repro.cache.stats import CacheStats
+from repro.cache.lru import LRUCache
+from repro.cache.direct import DirectMappedCache
+from repro.cache.opt import OPTCache, simulate_opt
+from repro.cache.hierarchy import TwoLevelCache
+
+__all__ = [
+    "CacheModel",
+    "CacheGeometry",
+    "CacheStats",
+    "LRUCache",
+    "DirectMappedCache",
+    "OPTCache",
+    "simulate_opt",
+    "TwoLevelCache",
+]

@@ -1,0 +1,95 @@
+"""Cache geometry and the simulator interface.
+
+All simulators share :class:`CacheGeometry` (M words, B-word blocks) and the
+:class:`CacheModel` interface: ``access(address)`` for a single word and
+``access_range(start, length)`` for a contiguous region (a module's state or
+a slice of a channel buffer).  Ranges are the common case — a firing touches
+``s(v)`` contiguous state words plus short contiguous buffer windows — so
+``access_range`` iterates *blocks*, not words, making simulation cost
+proportional to block transfers rather than memory traffic.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+from repro.cache.stats import CacheStats
+from repro.errors import CacheConfigError
+
+__all__ = ["CacheGeometry", "CacheModel"]
+
+
+@dataclass(frozen=True)
+class CacheGeometry:
+    """Cache of ``size`` words with ``block`` words per block.
+
+    ``size`` need not be a multiple of ``block`` conceptually, but we require
+    it (and positivity) to keep block counting exact: the cache holds exactly
+    ``size // block`` blocks.
+    """
+
+    size: int
+    block: int
+
+    def __post_init__(self) -> None:
+        if self.size <= 0:
+            raise CacheConfigError(f"cache size must be positive, got {self.size}")
+        if self.block <= 0:
+            raise CacheConfigError(f"block size must be positive, got {self.block}")
+        if self.size % self.block != 0:
+            raise CacheConfigError(
+                f"cache size {self.size} must be a multiple of block size {self.block}"
+            )
+        if self.size // self.block < 1:
+            raise CacheConfigError("cache must hold at least one block")
+
+    @property
+    def n_blocks(self) -> int:
+        return self.size // self.block
+
+    def block_of(self, address: int) -> int:
+        return address // self.block
+
+    def blocks_spanned(self, start: int, length: int) -> range:
+        """Block ids covered by the word range [start, start+length)."""
+        if length <= 0:
+            return range(0)
+        return range(start // self.block, (start + length - 1) // self.block + 1)
+
+
+class CacheModel(ABC):
+    """Interface shared by all cache simulators."""
+
+    def __init__(self, geometry: CacheGeometry) -> None:
+        self.geometry = geometry
+        self.stats = CacheStats()
+
+    @abstractmethod
+    def access_block(self, block: int) -> bool:
+        """Touch one block; return True on a miss."""
+
+    def access(self, address: int) -> bool:
+        """Touch the word at ``address``; return True on a miss."""
+        return self.access_block(self.geometry.block_of(address))
+
+    def access_range(self, start: int, length: int) -> int:
+        """Touch every block of a contiguous word range; return #misses."""
+        misses = 0
+        for blk in self.geometry.blocks_spanned(start, length):
+            if self.access_block(blk):
+                misses += 1
+        return misses
+
+    @abstractmethod
+    def flush(self) -> None:
+        """Empty the cache (does not reset statistics)."""
+
+    @abstractmethod
+    def resident_blocks(self) -> int:
+        """Number of blocks currently cached (for invariant tests)."""
+
+    def reset(self) -> None:
+        """Flush and zero the statistics."""
+        self.flush()
+        self.stats = CacheStats()

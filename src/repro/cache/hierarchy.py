@@ -1,0 +1,71 @@
+"""Two-level inclusive cache hierarchy (extension).
+
+The paper analyzes a single cache level; multi-level memory models (Savage's
+HMM extension is cited as [24]) behave the same asymptotically when each
+level is analyzed independently.  This simulator stacks two LRU levels so
+the robustness experiments can confirm that a partition sized for L1 also
+reduces L2 traffic, and one sized for L2 still wins at L1 granularity.
+
+Cost accounting: ``stats`` of the hierarchy counts *L2 misses* (transfers
+from memory), matching the DAM cost of the larger cache; the embedded level
+objects expose their own stats for per-level inspection.
+"""
+
+from __future__ import annotations
+
+from repro.cache.base import CacheGeometry, CacheModel
+from repro.cache.lru import LRUCache
+from repro.errors import CacheConfigError
+
+__all__ = ["TwoLevelCache"]
+
+
+class TwoLevelCache(CacheModel):
+    """L1 (small) in front of L2 (large), both fully associative LRU.
+
+    An access hits L1, else touches L2 (and is installed in both).  The
+    top-level ``stats`` mirror L2: ``misses`` are memory transfers.
+    """
+
+    def __init__(self, l1: CacheGeometry, l2: CacheGeometry) -> None:
+        if l2.size < l1.size:
+            raise CacheConfigError(
+                f"L2 ({l2.size}) must be at least as large as L1 ({l1.size})"
+            )
+        super().__init__(l2)
+        self.l1 = LRUCache(l1)
+        self.l2 = LRUCache(l2)
+
+    def access_block(self, block: int) -> bool:
+        # L1 and L2 use their own block sizes; translate through addresses.
+        # `block` is in units of the *hierarchy* geometry, i.e. L2 blocks.
+        miss_l1 = self.l1.access_block(block * self.geometry.block // self.l1.geometry.block)
+        if not miss_l1:
+            self.stats.record(False)
+            return False
+        miss_l2 = self.l2.access_block(block)
+        self.stats.record(miss_l2)
+        return miss_l2
+
+    def access_range(self, start: int, length: int) -> int:
+        """Touch a word range at L1 granularity, filtering through to L2."""
+        if length <= 0:
+            return 0
+        misses = 0
+        for l1_blk in self.l1.geometry.blocks_spanned(start, length):
+            if self.l1.access_block(l1_blk):
+                l2_blk = l1_blk * self.l1.geometry.block // self.l2.geometry.block
+                miss = self.l2.access_block(l2_blk)
+                self.stats.record(miss)
+                if miss:
+                    misses += 1
+            else:
+                self.stats.record(False)
+        return misses
+
+    def flush(self) -> None:
+        self.l1.flush()
+        self.l2.flush()
+
+    def resident_blocks(self) -> int:
+        return self.l2.resident_blocks()

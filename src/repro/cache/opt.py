@@ -1,0 +1,77 @@
+"""Belady's offline-optimal replacement (OPT / MIN) on a recorded trace.
+
+Used by ablation A3 to measure the constant between LRU and the omniscient
+policy the paper's lower bounds implicitly allow.  OPT needs the future, so
+it runs over a complete block trace recorded by
+:class:`repro.mem.trace.TraceRecorder` rather than online.
+
+The implementation is the standard two-pass algorithm: precompute, for each
+trace position, the next position at which the same block is used
+(``next_use``), then simulate with a max-heap of (next_use, block) entries,
+evicting the block whose next use is farthest.  Lazy deletion keeps the heap
+O(log n) per access; stale heap entries are skipped when popped.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, List, Sequence
+
+from repro.cache.base import CacheGeometry, CacheModel
+from repro.cache.stats import CacheStats
+from repro.errors import CacheConfigError
+
+__all__ = ["OPTCache", "simulate_opt"]
+
+_INF = float("inf")
+
+
+def simulate_opt(block_trace: Sequence[int], geometry: CacheGeometry) -> CacheStats:
+    """Number of misses OPT incurs on ``block_trace`` with this geometry."""
+    n = len(block_trace)
+    next_use: List[float] = [0.0] * n
+    last_seen: Dict[int, int] = {}
+    for i in range(n - 1, -1, -1):
+        blk = block_trace[i]
+        next_use[i] = last_seen.get(blk, _INF)
+        last_seen[blk] = i
+
+    stats = CacheStats()
+    capacity = geometry.n_blocks
+    resident: Dict[int, float] = {}  # block -> next use position
+    heap: List[tuple] = []  # (-next_use, block); lazy entries
+
+    for i, blk in enumerate(block_trace):
+        if blk in resident:
+            stats.record(False)
+        else:
+            if len(resident) >= capacity:
+                while True:
+                    neg_nu, victim = heapq.heappop(heap)
+                    # Skip entries that are stale (block gone or next-use
+                    # changed since the entry was pushed).
+                    if victim in resident and resident[victim] == -neg_nu:
+                        del resident[victim]
+                        stats.record_eviction()
+                        break
+            stats.record(True)
+        resident[blk] = next_use[i]
+        heapq.heappush(heap, (-next_use[i], blk))
+    return stats
+
+
+class OPTCache:
+    """Convenience wrapper with the shape of :class:`CacheModel` but batch
+    semantics: feed the whole trace, read ``stats``.
+
+    (OPT cannot be an online :class:`CacheModel`: its decisions depend on the
+    future of the trace.)
+    """
+
+    def __init__(self, geometry: CacheGeometry) -> None:
+        self.geometry = geometry
+        self.stats = CacheStats()
+
+    def run(self, block_trace: Sequence[int]) -> CacheStats:
+        self.stats = simulate_opt(block_trace, self.geometry)
+        return self.stats

@@ -1,0 +1,69 @@
+"""Hit/miss accounting shared by all cache simulators."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+__all__ = ["CacheStats"]
+
+
+@dataclass
+class CacheStats:
+    """Counters for one simulation run.
+
+    ``phase_misses`` lets the executor attribute misses to labelled phases
+    (e.g. "state", "input", "output", or per-component labels) so the
+    experiments can decompose cost the way the proofs do (state loads vs
+    cross-edge traffic, Lemma 4 / Lemma 8).
+    """
+
+    accesses: int = 0
+    misses: int = 0
+    evictions: int = 0
+    phase_misses: Dict[str, int] = field(default_factory=dict)
+    _phase: str = ""
+
+    @property
+    def hits(self) -> int:
+        return self.accesses - self.misses
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+    def set_phase(self, label: str) -> None:
+        self._phase = label
+
+    def record(self, miss: bool) -> None:
+        self.accesses += 1
+        if miss:
+            self.misses += 1
+            if self._phase:
+                self.phase_misses[self._phase] = self.phase_misses.get(self._phase, 0) + 1
+
+    def record_eviction(self) -> None:
+        self.evictions += 1
+
+    def merged_with(self, other: "CacheStats") -> "CacheStats":
+        out = CacheStats(
+            accesses=self.accesses + other.accesses,
+            misses=self.misses + other.misses,
+            evictions=self.evictions + other.evictions,
+        )
+        for src in (self.phase_misses, other.phase_misses):
+            for k, v in src.items():
+                out.phase_misses[k] = out.phase_misses.get(k, 0) + v
+        return out
+
+    def summary(self) -> str:
+        parts = [
+            f"accesses={self.accesses}",
+            f"misses={self.misses}",
+            f"miss_rate={self.miss_rate:.4f}",
+            f"evictions={self.evictions}",
+        ]
+        if self.phase_misses:
+            phases = ", ".join(f"{k}={v}" for k, v in sorted(self.phase_misses.items()))
+            parts.append(f"phases[{phases}]")
+        return " ".join(parts)

@@ -1,0 +1,268 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``apps``                 list the bundled application graphs
+``describe``             print a graph (bundled app name or JSON file)
+``partition``            partition a graph and report components/bandwidth
+``schedule``             partition + schedule + simulate, print the cost
+``experiment``           run one experiment driver (e1..e10, a1..a4) and
+                         print its table
+``export-dot``           write a Graphviz DOT of a (partitioned) graph
+``misscurve``            misses-vs-cache-size curve of partitioned and naive
+                         schedules (Mattson stack distances)
+
+Examples
+--------
+::
+
+    python -m repro apps
+    python -m repro describe fm_radio
+    python -m repro partition fm_radio --cache 256 --c 2.0
+    python -m repro schedule fm_radio --cache 256 --block 8 --inputs 2048
+    python -m repro experiment e7
+    python -m repro export-dot fm_radio --cache 256 -o fm.dot
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.cache.base import CacheGeometry
+from repro.graphs.apps import ALL_APPS
+from repro.graphs.io import load_graph, save_graph, to_dot
+from repro.graphs.sdf import StreamGraph
+
+__all__ = ["main", "build_parser"]
+
+
+def _resolve_graph(spec: str) -> StreamGraph:
+    """A graph spec is either a bundled app name or a JSON file path."""
+    if spec in ALL_APPS:
+        return ALL_APPS[spec]()
+    if spec.endswith(".json"):
+        return load_graph(spec)
+    raise SystemExit(
+        f"unknown graph {spec!r}: expected one of {sorted(ALL_APPS)} or a .json path"
+    )
+
+
+def _partition_for(graph: StreamGraph, cache: int, c: float):
+    from repro.core.dagpart import interval_dp_partition, refine_partition
+    from repro.core.pipeline import optimal_pipeline_partition
+
+    if graph.is_pipeline():
+        return optimal_pipeline_partition(graph, cache, c=c)
+    return refine_partition(interval_dp_partition(graph, cache, c=c), cache, c=c)
+
+
+def cmd_apps(_args: argparse.Namespace) -> int:
+    for name, ctor in sorted(ALL_APPS.items()):
+        g = ctor()
+        print(f"{name:14s} {g.n_modules:3d} modules  {g.n_channels:3d} channels  "
+              f"{g.total_state():5d} words state")
+    return 0
+
+
+def cmd_describe(args: argparse.Namespace) -> int:
+    g = _resolve_graph(args.graph)
+    print(g.describe())
+    from repro.graphs.repetition import repetition_vector
+
+    reps = repetition_vector(g)
+    interesting = {n: r for n, r in reps.items() if r != 1}
+    if interesting:
+        print(f"\nnon-unit repetition counts: {interesting}")
+    return 0
+
+
+def cmd_partition(args: argparse.Namespace) -> int:
+    g = _resolve_graph(args.graph)
+    part = _partition_for(g, args.cache, args.c)
+    print(part.describe())
+    print(f"\nwell-ordered: {part.is_well_ordered()}")
+    print(f"degree-limited at B={args.block}: "
+          f"{part.is_degree_limited(args.cache, args.block)}")
+    return 0
+
+
+def cmd_schedule(args: argparse.Namespace) -> int:
+    from repro.core.partition_sched import (
+        component_layout_order,
+        inhomogeneous_partition_schedule,
+        pipeline_dynamic_schedule,
+    )
+    from repro.core.tuning import choose_batch, required_geometry
+    from repro.runtime.executor import Executor
+
+    g = _resolve_graph(args.graph)
+    geom = CacheGeometry(size=args.cache, block=args.block)
+    part = _partition_for(g, args.cache, args.c)
+    if g.is_pipeline():
+        sched = pipeline_dynamic_schedule(g, part, geom, target_outputs=args.inputs)
+    else:
+        plan = choose_batch(g, args.cache, cross_cids=[c.cid for c in part.cross_channels()])
+        n_batches = max(1, -(-args.inputs // max(plan.source_fires, 1)))
+        sched = inhomogeneous_partition_schedule(g, part, geom, n_batches=n_batches, plan=plan)
+    run_geom = required_geometry(part, geom)
+    res = Executor.measure(g, run_geom, sched, layout_order=component_layout_order(part))
+    print(f"partition : {part.k} components, bandwidth {float(part.bandwidth()):.3f}")
+    print(f"cache     : {run_geom.size} words "
+          f"({run_geom.size / geom.size:.2f}x of M={geom.size}), B={geom.block}")
+    print(f"schedule  : {len(sched)} firings ({sched.label})")
+    print(f"result    : {res.summary()}")
+    return 0
+
+
+def cmd_experiment(args: argparse.Namespace) -> int:
+    from repro.analysis import experiments as E
+    from repro.analysis import latency as L
+    from repro.analysis import misscurve as MC
+    from repro.analysis import sweeps as S
+    from repro.analysis.report import rows_to_table
+
+    key = args.id.lower()
+    prefix = {
+        **{f"e{i}": f"experiment_e{i}_" for i in range(1, 16)},
+        **{f"a{i}": f"ablation_a{i}_" for i in range(1, 7)},
+    }.get(key)
+    if prefix is None:
+        raise SystemExit(f"unknown experiment {args.id!r} (use e1..e15 or a1..a6)")
+    for module in (E, S, L, MC):
+        fn_name = next(
+            (n for n in dir(module) if n.startswith(prefix) and callable(getattr(module, n))),
+            None,
+        )
+        if fn_name:
+            rows = getattr(module, fn_name)()
+            print(rows_to_table(rows, title=fn_name))
+            return 0
+    raise SystemExit(f"driver for {args.id!r} not found")
+
+
+def cmd_misscurve(args: argparse.Namespace) -> int:
+    from repro.analysis.misscurve import miss_curve
+    from repro.analysis.report import rows_to_table
+    from repro.cache.lru import LRUCache
+    from repro.core.baselines import single_appearance_schedule
+    from repro.core.partition_sched import (
+        component_layout_order,
+        inhomogeneous_partition_schedule,
+        pipeline_dynamic_schedule,
+    )
+    from repro.core.tuning import choose_batch
+    from repro.graphs.repetition import repetition_vector
+    from repro.mem.trace import TraceRecorder, TracingCache
+    from repro.runtime.executor import Executor
+
+    g = _resolve_graph(args.graph)
+    geom = CacheGeometry(size=args.cache, block=args.block)
+    part = _partition_for(g, args.cache, args.c)
+    big = CacheGeometry(size=max(16 * args.cache, 4096), block=args.block)
+
+    def record(schedule, order=None):
+        rec = TraceRecorder()
+        Executor.measure(g, big, schedule, layout_order=order,
+                         cache=TracingCache(LRUCache(big), rec))
+        return rec.blocks
+
+    if g.is_pipeline():
+        part_sched = pipeline_dynamic_schedule(g, part, geom, target_outputs=args.inputs)
+    else:
+        plan = choose_batch(g, args.cache, cross_cids=[c.cid for c in part.cross_channels()])
+        n_batches = max(1, -(-args.inputs // max(plan.source_fires, 1)))
+        part_sched = inhomogeneous_partition_schedule(g, part, geom, n_batches=n_batches, plan=plan)
+    part_trace = record(part_sched, order=component_layout_order(part))
+    reps = repetition_vector(g)
+    iters = max(1, args.inputs // reps[g.sources()[0]])
+    naive_trace = record(single_appearance_schedule(g, n_iterations=iters))
+
+    pc, nc = miss_curve(part_trace), miss_curve(naive_trace)
+    rows = []
+    blocks = args.cache // args.block
+    for mult in (0.5, 1.0, 1.5, 2.0, 3.0, 4.0, 6.0, 8.0):
+        c = int(blocks * mult)
+        rows.append(
+            {
+                "cache_words": c * args.block,
+                "x_M": mult,
+                "partitioned": int(pc[min(c, len(pc) - 1)]),
+                "naive": int(nc[min(c, len(nc) - 1)]),
+            }
+        )
+    print(rows_to_table(rows, title=f"miss curves for {g.name} (M={args.cache}, B={args.block})"))
+    return 0
+
+
+def cmd_export_dot(args: argparse.Namespace) -> int:
+    g = _resolve_graph(args.graph)
+    part = _partition_for(g, args.cache, args.c) if args.cache else None
+    dot = to_dot(g, part)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            fh.write(dot + "\n")
+        print(f"wrote {args.output}")
+    else:
+        print(dot)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro",
+        description="Cache-conscious scheduling of streaming applications (SPAA'12)",
+    )
+    sub = p.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("apps", help="list bundled application graphs").set_defaults(fn=cmd_apps)
+
+    d = sub.add_parser("describe", help="print a graph")
+    d.add_argument("graph")
+    d.set_defaults(fn=cmd_describe)
+
+    q = sub.add_parser("partition", help="partition a graph")
+    q.add_argument("graph")
+    q.add_argument("--cache", type=int, default=256, help="cache size M in words")
+    q.add_argument("--block", type=int, default=8, help="block size B in words")
+    q.add_argument("--c", type=float, default=2.0, help="state bound factor c")
+    q.set_defaults(fn=cmd_partition)
+
+    s = sub.add_parser("schedule", help="partition + schedule + simulate")
+    s.add_argument("graph")
+    s.add_argument("--cache", type=int, default=256)
+    s.add_argument("--block", type=int, default=8)
+    s.add_argument("--c", type=float, default=2.0)
+    s.add_argument("--inputs", type=int, default=1024, help="target inputs/outputs")
+    s.set_defaults(fn=cmd_schedule)
+
+    e = sub.add_parser("experiment", help="run an experiment driver")
+    e.add_argument("id", help="e1..e15 or a1..a6")
+    e.set_defaults(fn=cmd_experiment)
+
+    mc = sub.add_parser("misscurve", help="misses-vs-cache-size curves")
+    mc.add_argument("graph")
+    mc.add_argument("--cache", type=int, default=256)
+    mc.add_argument("--block", type=int, default=8)
+    mc.add_argument("--c", type=float, default=2.0)
+    mc.add_argument("--inputs", type=int, default=512)
+    mc.set_defaults(fn=cmd_misscurve)
+
+    x = sub.add_parser("export-dot", help="Graphviz DOT export")
+    x.add_argument("graph")
+    x.add_argument("--cache", type=int, default=0, help="partition for this M (0 = none)")
+    x.add_argument("--block", type=int, default=8)
+    x.add_argument("--c", type=float, default=2.0)
+    x.add_argument("-o", "--output", default="")
+    x.set_defaults(fn=cmd_export_dot)
+    return p
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,77 @@
+"""The paper's core contribution: partitions, partitioning algorithms,
+lower bounds, partition schedulers, and the baselines they are compared to."""
+
+from repro.core.partition import Partition, singleton_partition, whole_graph_partition
+from repro.core.pipeline import (
+    greedy_state_blocks,
+    optimal_pipeline_partition,
+    theorem5_partition,
+)
+from repro.core.dagpart import (
+    exact_min_bandwidth_partition,
+    greedy_topological_partition,
+    interval_dp_partition,
+    min_bandwidth,
+    refine_partition,
+)
+from repro.core.lower_bound import (
+    DagLowerBound,
+    PipelineLowerBound,
+    dag_lower_bound,
+    pipeline_lower_bound,
+)
+from repro.core.partition_sched import (
+    component_layout_order,
+    homogeneous_partition_schedule,
+    inhomogeneous_partition_schedule,
+    pipeline_dynamic_schedule,
+)
+from repro.core.baselines import (
+    interleaved_schedule,
+    kohli_greedy_schedule,
+    phased_schedule,
+    sermulins_scaled_schedule,
+    single_appearance_schedule,
+)
+from repro.core.tuning import BatchPlan, augmented_geometry, choose_batch, cross_capacities, required_geometry
+from repro.core.dynamic_dag import dynamic_dag_schedule, ready_components
+from repro.core.parallel_sched import ParallelResult, WorkerStats, parallel_dynamic_simulation
+from repro.core.multilevel import multilevel_partition
+
+__all__ = [
+    "Partition",
+    "singleton_partition",
+    "whole_graph_partition",
+    "greedy_state_blocks",
+    "optimal_pipeline_partition",
+    "theorem5_partition",
+    "exact_min_bandwidth_partition",
+    "greedy_topological_partition",
+    "interval_dp_partition",
+    "min_bandwidth",
+    "refine_partition",
+    "DagLowerBound",
+    "PipelineLowerBound",
+    "dag_lower_bound",
+    "pipeline_lower_bound",
+    "component_layout_order",
+    "homogeneous_partition_schedule",
+    "inhomogeneous_partition_schedule",
+    "pipeline_dynamic_schedule",
+    "interleaved_schedule",
+    "kohli_greedy_schedule",
+    "phased_schedule",
+    "sermulins_scaled_schedule",
+    "single_appearance_schedule",
+    "BatchPlan",
+    "augmented_geometry",
+    "choose_batch",
+    "cross_capacities",
+    "required_geometry",
+    "dynamic_dag_schedule",
+    "ready_components",
+    "ParallelResult",
+    "WorkerStats",
+    "parallel_dynamic_simulation",
+    "multilevel_partition",
+]

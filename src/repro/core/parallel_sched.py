@@ -1,0 +1,261 @@
+"""Parallel dynamic scheduling of homogeneous dags (Section 7 direction).
+
+The paper closes with: "Another direction for future research is to study
+the cache-efficient scheduling of streaming computations on multiprocessors.
+If the number of cache misses is the only criterion, then the optimal
+uniprocessor schedule is trivially the optimal multiprocessor schedule.
+When considering multiprocessors, however, we must consider both load
+balancing and the number of cache misses simultaneously."  Section 3 also
+notes the homogeneous dynamic schedule "extends to an asynchronous or
+parallel dynamic schedule".
+
+This module builds exactly that object of study: a time-stepped simulation
+of ``P`` workers executing the dynamic component rule concurrently.
+
+Model
+-----
+* Each worker owns a private cache (fully associative LRU of the given
+  geometry) over the *shared* address space laid out by
+  :class:`repro.mem.layout.MemoryLayout` — the natural private-L1 model.
+* A ready component (>= M tokens on all incoming cross edges, room for M on
+  all outgoing) is claimed by an idle worker; input tokens are reserved at
+  claim time and outputs materialize at completion, so two workers never
+  race on the same tokens.
+* Running a component takes abstract time equal to its total work
+  (sum of ``work(v)`` over its modules, times the M-fold sweep), during
+  which the worker touches the component's state, its internal buffers and
+  M tokens per cross edge through its private cache.
+
+Outputs: makespan, per-worker busy time (load balance), and total cache
+misses — the two axes the paper says must be balanced.  Experiment E11
+sweeps P and shows the predicted tension: throughput scales until the
+component graph's width is exhausted, while total misses stay within a
+small factor of the uniprocessor schedule (state reloads across workers are
+the only growth).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.cache.base import CacheGeometry
+from repro.cache.lru import LRUCache
+from repro.core.partition import Partition
+from repro.errors import DeadlockError, GraphError, ScheduleError
+from repro.graphs.minbuf import min_buffers
+from repro.graphs.sdf import StreamGraph
+from repro.mem.layout import MemoryLayout
+
+__all__ = ["ParallelResult", "WorkerStats", "parallel_dynamic_simulation"]
+
+
+@dataclass
+class WorkerStats:
+    """Per-worker accounting from one parallel simulation."""
+
+    worker: int
+    busy_time: int = 0
+    components_run: int = 0
+    misses: int = 0
+
+
+@dataclass
+class ParallelResult:
+    """Outcome of :func:`parallel_dynamic_simulation`."""
+
+    workers: List[WorkerStats]
+    makespan: int
+    total_work: int
+    batches_run: int
+    source_fires: int
+    total_misses: int
+
+    @property
+    def p(self) -> int:
+        return len(self.workers)
+
+    @property
+    def speedup(self) -> float:
+        """Total work / makespan: perfect = P."""
+        return self.total_work / self.makespan if self.makespan else 0.0
+
+    @property
+    def load_balance(self) -> float:
+        """mean busy / max busy in [0, 1]; 1.0 = perfectly balanced."""
+        busies = [w.busy_time for w in self.workers]
+        mx = max(busies)
+        return (sum(busies) / len(busies)) / mx if mx else 1.0
+
+    @property
+    def misses_per_input(self) -> float:
+        return self.total_misses / self.source_fires if self.source_fires else float("inf")
+
+    def summary(self) -> str:
+        return (
+            f"P={self.p}: makespan={self.makespan}, speedup={self.speedup:.2f}, "
+            f"balance={self.load_balance:.2f}, misses={self.total_misses} "
+            f"({self.misses_per_input:.3f}/input)"
+        )
+
+
+def parallel_dynamic_simulation(
+    graph: StreamGraph,
+    partition: Partition,
+    geometry: CacheGeometry,
+    n_workers: int,
+    target_outputs: int,
+) -> ParallelResult:
+    """Simulate ``n_workers`` executing the dynamic component rule.
+
+    Event-driven: a min-heap of (finish_time, worker, component) completions;
+    whenever a worker frees up (or at t=0), it claims the least-recently-run
+    ready component.  Terminates when the sink component has produced
+    ``target_outputs`` outputs (batches of M).
+
+    Raises :class:`DeadlockError` if no component is ready while all workers
+    idle and the target is unmet (cannot happen for well-ordered partitions
+    of homogeneous dags — asserted by tests).
+    """
+    if not graph.is_homogeneous():
+        raise GraphError("parallel simulation requires a homogeneous graph")
+    if n_workers < 1:
+        raise ScheduleError(f"need n_workers >= 1, got {n_workers}")
+    if target_outputs < 1:
+        raise ScheduleError(f"need target_outputs >= 1, got {target_outputs}")
+
+    M = geometry.size
+    comp_order = partition.component_order()
+    topo_rank = {n: i for i, n in enumerate(graph.topological_order())}
+    comp_topo: Dict[int, List[str]] = {
+        idx: sorted(partition.components[idx], key=lambda n: topo_rank[n])
+        for idx in comp_order
+    }
+
+    incoming: Dict[int, List[int]] = {i: [] for i in comp_order}
+    outgoing: Dict[int, List[int]] = {i: [] for i in comp_order}
+    for ch in partition.cross_channels():
+        outgoing[partition.component_of(ch.src)].append(ch.cid)
+        incoming[partition.component_of(ch.dst)].append(ch.cid)
+
+    caps: Dict[int, int] = min_buffers(graph)
+    for ch in partition.cross_channels():
+        caps[ch.cid] = 2 * M
+
+    layout = MemoryLayout(block=geometry.block)
+    order = [n for idx in comp_order for n in comp_topo[idx]]
+    layout.place_graph(graph, caps, order=order)
+
+    duration: Dict[int, int] = {
+        idx: max(1, M * sum(graph.module(n).work for n in comp_topo[idx]))
+        for idx in comp_order
+    }
+
+    # token state: committed tokens; reservations subtract inputs at claim
+    tokens: Dict[int, int] = {ch.cid: 0 for ch in graph.channels()}
+    pending_out: Dict[int, int] = {cid: 0 for cid in tokens}  # reserved capacity
+
+    sink = graph.sinks()[0]
+    sink_comp = partition.component_of(sink)
+    source = graph.sources()[0]
+    source_comp = partition.component_of(source)
+
+    workers = [WorkerStats(worker=i) for i in range(n_workers)]
+    cache: List[LRUCache] = [LRUCache(geometry) for _ in range(n_workers)]
+    last_run: Dict[int, int] = {idx: -1 for idx in comp_order}
+    running: Dict[int, bool] = {idx: False for idx in comp_order}
+
+    def is_ready(idx: int) -> bool:
+        if running[idx]:
+            return False
+        if any(tokens[cid] < M for cid in incoming[idx]):
+            return False
+        if any(tokens[cid] + pending_out[cid] + M > caps[cid] for cid in outgoing[idx]):
+            return False
+        return True
+
+    def charge_cache(widx: int, idx: int) -> int:
+        """Touch the component's working set through worker widx's cache."""
+        c = cache[widx]
+        before = c.stats.misses
+        for name in comp_topo[idx]:
+            region = layout.state_region(name)
+            if region.length:
+                c.access_range(region.start, region.length)
+        # internal buffers (small, hot for the whole run)
+        for ch in partition.internal_channels(idx):
+            r = layout.buffer_region(ch.cid)
+            c.access_range(r.start, min(r.length, 2))
+        # M tokens in/out on each cross edge (circular: approximate with the
+        # full buffer window, capped at M words)
+        for cid in incoming[idx] + outgoing[idx]:
+            r = layout.buffer_region(cid)
+            c.access_range(r.start, min(r.length, M))
+        # external streams for source/sink components
+        if idx == source_comp or idx == sink_comp:
+            c.access_range((1 << 41) + charge_cache.stream_pos, M)
+            charge_cache.stream_pos += M
+        return c.stats.misses - before
+
+    charge_cache.stream_pos = 0  # type: ignore[attr-defined]
+
+    heap: List[Tuple[int, int, int]] = []  # (finish, worker, comp)
+    idle = list(range(n_workers))
+    now = 0
+    outputs = 0
+    batches = 0
+    source_fires = 0
+    clock = 0
+
+    def try_dispatch() -> None:
+        nonlocal clock
+        while idle:
+            ready = [idx for idx in comp_order if is_ready(idx)]
+            if not ready:
+                return
+            idx = min(ready, key=lambda i: last_run[i])
+            widx = idle.pop()
+            clock += 1
+            last_run[idx] = clock
+            running[idx] = True
+            for cid in incoming[idx]:
+                tokens[cid] -= M
+            for cid in outgoing[idx]:
+                pending_out[cid] += M
+            heapq.heappush(heap, (now + duration[idx], widx, idx))
+
+    try_dispatch()
+    while outputs < target_outputs:
+        if not heap:
+            raise DeadlockError(
+                "all workers idle with no ready component before target met"
+            )
+        now, widx, idx = heapq.heappop(heap)
+        running[idx] = False
+        for cid in outgoing[idx]:
+            pending_out[cid] -= M
+            tokens[cid] += M
+        w = workers[widx]
+        w.busy_time += duration[idx]
+        w.components_run += 1
+        w.misses += charge_cache(widx, idx)
+        batches += 1
+        if idx == sink_comp:
+            outputs += M
+        if idx == source_comp:
+            source_fires += M
+        idle.append(widx)
+        try_dispatch()
+
+    # drain in-flight completions into the makespan (they were dispatched)
+    makespan = now
+    total_work = sum(w.busy_time for w in workers)
+    return ParallelResult(
+        workers=workers,
+        makespan=makespan,
+        total_work=total_work,
+        batches_run=batches,
+        source_fires=source_fires,
+        total_misses=sum(w.misses for w in workers),
+    )

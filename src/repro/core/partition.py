@@ -1,0 +1,191 @@
+"""Partitions of stream graphs (Definitions 2 and 3 of the paper).
+
+A *partition* splits the module set into disjoint *components*.  The paper's
+quality measures, all implemented here:
+
+* **well ordered** (Def. 2) — contracting each component yields a dag, so
+  components can be scheduled one-at-a-time in a topological order;
+* **c-bounded** — every component's total state is at most ``c * M``;
+* **bandwidth** (Def. 3) — the sum of gains of *cross* channels: tokens
+  crossing component boundaries per source firing.  For homogeneous graphs
+  this is just the number of cross channels;
+* **degree limited** (Section 5) — every component has O(M/B) incident cross
+  channels, so one block per cross buffer fits in cache alongside the
+  component.
+
+:class:`Partition` is immutable once constructed and caches derived data
+(assignment map, cross-channel set, gain table) because the partition search
+algorithms evaluate many candidates.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import NotWellOrderedError, PartitionError
+from repro.graphs.repetition import GainTable, compute_gains
+from repro.graphs.sdf import Channel, StreamGraph
+from repro.graphs.transforms import contract_partition
+
+__all__ = ["Partition", "singleton_partition", "whole_graph_partition"]
+
+
+class Partition:
+    """An immutable partition of a stream graph's modules into components."""
+
+    def __init__(
+        self,
+        graph: StreamGraph,
+        components: Sequence[Iterable[str]],
+        gains: Optional[GainTable] = None,
+        label: str = "",
+    ) -> None:
+        self.graph = graph
+        self.components: List[Tuple[str, ...]] = [tuple(c) for c in components]
+        if not self.components:
+            raise PartitionError("partition must have at least one component")
+        self.label = label
+
+        self._assignment: Dict[str, int] = {}
+        for idx, comp in enumerate(self.components):
+            if not comp:
+                raise PartitionError(f"component {idx} is empty")
+            for name in comp:
+                graph.module(name)
+                if name in self._assignment:
+                    raise PartitionError(
+                        f"module {name!r} in components {self._assignment[name]} and {idx}"
+                    )
+                self._assignment[name] = idx
+        missing = [m.name for m in graph.modules() if m.name not in self._assignment]
+        if missing:
+            raise PartitionError(f"partition does not cover modules: {missing}")
+
+        self._gains = gains if gains is not None else compute_gains(graph)
+        self._cross: Optional[List[Channel]] = None
+        self._contracted = None  # lazily built
+
+    # ------------------------------------------------------------------
+    @property
+    def k(self) -> int:
+        """Number of components."""
+        return len(self.components)
+
+    def component_of(self, name: str) -> int:
+        try:
+            return self._assignment[name]
+        except KeyError:
+            raise PartitionError(f"module {name!r} not in partition") from None
+
+    def component_state(self, idx: int) -> int:
+        return self.graph.total_state(self.components[idx])
+
+    def max_component_state(self) -> int:
+        return max(self.component_state(i) for i in range(self.k))
+
+    # ------------------------------------------------------------------
+    def cross_channels(self) -> List[Channel]:
+        """Channels whose endpoints lie in different components."""
+        if self._cross is None:
+            self._cross = [
+                ch
+                for ch in self.graph.channels()
+                if self._assignment[ch.src] != self._assignment[ch.dst]
+            ]
+        return self._cross
+
+    def internal_channels(self, idx: Optional[int] = None) -> List[Channel]:
+        """Channels internal to component ``idx`` (or to any component)."""
+        out = []
+        for ch in self.graph.channels():
+            a = self._assignment[ch.src]
+            if a == self._assignment[ch.dst] and (idx is None or a == idx):
+                out.append(ch)
+        return out
+
+    def bandwidth(self) -> Fraction:
+        """Definition 3: sum of cross-channel gains (tokens crossing
+        component boundaries per source firing)."""
+        return self._gains.bandwidth_of_edges(ch.cid for ch in self.cross_channels())
+
+    def component_degree(self, idx: int) -> int:
+        """Number of cross channels incident on component ``idx``."""
+        deg = 0
+        for ch in self.cross_channels():
+            if self._assignment[ch.src] == idx or self._assignment[ch.dst] == idx:
+                deg += 1
+        return deg
+
+    # ------------------------------------------------------------------
+    def contracted(self) -> StreamGraph:
+        """The component multigraph of Definition 2 (cached)."""
+        if self._contracted is None:
+            self._contracted, _ = contract_partition(self.graph, self.components)
+        return self._contracted
+
+    def is_well_ordered(self) -> bool:
+        """Definition 2: the contracted multigraph is a dag."""
+        return self.contracted().is_dag()
+
+    def component_order(self) -> List[int]:
+        """Topological order of components; raises if not well ordered."""
+        if not self.is_well_ordered():
+            raise NotWellOrderedError(
+                f"partition {self.label or self.components} is not well ordered"
+            )
+        return [int(n[1:]) for n in self.contracted().topological_order()]
+
+    def is_c_bounded(self, cache_size: int, c: float = 1.0) -> bool:
+        """Every component's total state is at most ``c * M``."""
+        return all(self.component_state(i) <= c * cache_size for i in range(self.k))
+
+    def is_degree_limited(self, cache_size: int, block: int, factor: float = 1.0) -> bool:
+        """Section 5: every component has at most ``factor * M / B`` incident
+        cross channels, so one block per cross buffer co-resides with it."""
+        limit = factor * cache_size / block
+        return all(self.component_degree(i) <= limit for i in range(self.k))
+
+    def validate(self, cache_size: int, c: float = 1.0) -> None:
+        """Raise unless well ordered and c-bounded — the preconditions every
+        partition scheduler requires."""
+        if not self.is_well_ordered():
+            raise NotWellOrderedError(f"partition {self.label!r} is not well ordered")
+        for i in range(self.k):
+            s = self.component_state(i)
+            if s > c * cache_size:
+                raise PartitionError(
+                    f"component {i} has state {s} > {c} * M = {c * cache_size}"
+                )
+
+    # ------------------------------------------------------------------
+    def gains(self) -> GainTable:
+        return self._gains
+
+    def __repr__(self) -> str:
+        return (
+            f"Partition({self.label or self.graph.name!r}, k={self.k}, "
+            f"bandwidth={self.bandwidth()}, max_state={self.max_component_state()})"
+        )
+
+    def describe(self) -> str:
+        lines = [repr(self)]
+        order = self.component_order() if self.is_well_ordered() else range(self.k)
+        for i in order:
+            comp = self.components[i]
+            lines.append(
+                f"  C{i}: state={self.component_state(i)}, degree={self.component_degree(i)}, "
+                f"modules={list(comp) if len(comp) <= 8 else f'{len(comp)} modules'}"
+            )
+        return "\n".join(lines)
+
+
+def singleton_partition(graph: StreamGraph, label: str = "singletons") -> Partition:
+    """One component per module — always well ordered; maximal bandwidth."""
+    return Partition(graph, [[m.name] for m in graph.modules()], label=label)
+
+
+def whole_graph_partition(graph: StreamGraph, label: str = "whole") -> Partition:
+    """A single component holding everything — zero bandwidth; only
+    c-bounded when the whole graph fits in ``c * M``."""
+    return Partition(graph, [[m.name for m in graph.modules()]], label=label)

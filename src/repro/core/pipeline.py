@@ -1,0 +1,204 @@
+"""Pipeline partitioning (Section 4 of the paper).
+
+For a pipeline — a single directed chain of modules — well-ordered
+partitions are exactly the partitions into contiguous *segments*, compactly
+described by the set of cut edges.  Two constructions are implemented:
+
+* :func:`theorem5_partition` — the constructive proof of Theorem 5: scan the
+  chain into blocks ``W_i`` of total state in (2M, 3M], cut each block at
+  its *gain-minimizing* edge, and use the cuts as segment boundaries.  The
+  resulting segments have state at most 8M and bandwidth equal to the sum of
+  the blocks' minimum gains — which Theorem 3 shows is, up to constants, a
+  lower bound on *any* schedule's cost.  Runs in O(n).
+
+* :func:`optimal_pipeline_partition` — the minimum-bandwidth c-bounded
+  partition via the "simple dynamic program" the paper alludes to after
+  Theorem 5.  O(n²) over chain positions; exact.
+
+Both return :class:`repro.core.partition.Partition` objects whose components
+are listed source-to-sink (so ``components[i]`` precedes ``components[i+1]``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.partition import Partition
+from repro.errors import GraphError, PartitionError
+from repro.graphs.repetition import GainTable, compute_gains
+from repro.graphs.sdf import Channel, StreamGraph
+
+__all__ = [
+    "pipeline_chain",
+    "gain_min_edge",
+    "greedy_state_blocks",
+    "theorem5_partition",
+    "optimal_pipeline_partition",
+]
+
+
+def pipeline_chain(graph: StreamGraph) -> Tuple[List[str], List[Channel]]:
+    """The chain's modules (source->sink) and its n-1 connecting channels."""
+    order = graph.pipeline_order()
+    chans: List[Channel] = []
+    for a, b in zip(order, order[1:]):
+        between = graph.channels_between(a, b)
+        if len(between) != 1:
+            raise GraphError(f"pipeline expects exactly one channel {a}->{b}, found {len(between)}")
+        chans.append(between[0])
+    return order, chans
+
+
+def gain_min_edge(
+    chans: Sequence[Channel], gains: GainTable, lo: int, hi: int
+) -> Tuple[int, Fraction]:
+    """Index (into ``chans``) and gain of the gain-minimizing edge among
+    chain edges ``lo..hi-1`` — ``gainMin`` of the segment spanning those
+    edges.  Ties break toward the earliest edge (deterministic)."""
+    if hi <= lo:
+        raise PartitionError("segment has no internal edge")
+    best_i, best_g = lo, gains.edge_gain(chans[lo].cid)
+    for i in range(lo + 1, hi):
+        g = gains.edge_gain(chans[i].cid)
+        if g < best_g:
+            best_i, best_g = i, g
+    return best_i, best_g
+
+
+def greedy_state_blocks(graph: StreamGraph, cache_size: int) -> List[Tuple[int, int]]:
+    """The ``W_i`` blocks of Theorem 5's proof, as index ranges.
+
+    Scan modules source-to-sink, adding to the current block until its total
+    state *exceeds* ``2M``; if more than ``2M`` state remains, close the
+    block, else absorb the remainder.  Every block except possibly a
+    sub-2M-total graph has state > 2M; since each module has state <= M,
+    closed blocks stay <= 3M and the absorbed last block <= 5M.
+
+    Returns half-open index ranges ``(lo, hi)`` over the chain order.
+    """
+    order = graph.pipeline_order()
+    states = [graph.state(n) for n in order]
+    n = len(order)
+    blocks: List[Tuple[int, int]] = []
+    lo = 0
+    acc = 0
+    remaining = sum(states)
+    for i, s in enumerate(states):
+        acc += s
+        remaining -= s
+        if acc > 2 * cache_size:
+            if remaining > 2 * cache_size:
+                blocks.append((lo, i + 1))
+                lo, acc = i + 1, 0
+            else:
+                # absorb everything that's left into this block
+                blocks.append((lo, n))
+                return blocks
+    if lo < n:
+        blocks.append((lo, n))
+    return blocks
+
+
+def theorem5_partition(graph: StreamGraph, cache_size: int) -> Partition:
+    """The Theorem 5 constructive partition.
+
+    Cuts the chain at the gain-minimizing edge of every state block ``W_i``
+    that exceeds ``2M``; blocks that never reach 2M (only possible when the
+    whole graph's state is <= 2M) produce no cut, yielding the whole-graph
+    partition whose bandwidth is zero.
+
+    The returned partition is well ordered (contiguous segments), has
+    bandwidth equal to the sum of block minimum gains, and is 8M-bounded
+    (Theorem 5's ``c = 8``).
+    """
+    order, chans = (graph.pipeline_order(), [])
+    if len(order) > 1:
+        order, chans = pipeline_chain(graph)
+    gains = compute_gains(graph)
+    blocks = greedy_state_blocks(graph, cache_size)
+
+    cut_indices: List[int] = []
+    for lo, hi in blocks:
+        if graph.total_state(order[lo:hi]) <= 2 * cache_size:
+            continue  # undersized terminal block: no cut required
+        if hi - lo < 2:
+            # a single module cannot exceed 2M when s(v) <= M; treat as no cut
+            continue
+        i, _ = gain_min_edge(chans, gains, lo, hi - 1)
+        cut_indices.append(i)
+
+    cut_indices = sorted(set(cut_indices))
+    components: List[List[str]] = []
+    start = 0
+    for cut in cut_indices:
+        components.append(list(order[start : cut + 1]))
+        start = cut + 1
+    components.append(list(order[start:]))
+    return Partition(graph, components, gains=gains, label=f"theorem5[M={cache_size}]")
+
+
+def optimal_pipeline_partition(
+    graph: StreamGraph, cache_size: int, c: float = 1.0
+) -> Partition:
+    """Minimum-bandwidth c-bounded partition of a pipeline (exact, O(n²)).
+
+    Dynamic program over chain positions: ``dp[i]`` is the minimum bandwidth
+    of any partition of the first ``i`` modules into segments of state at
+    most ``c*M``, where cutting before position ``j`` pays the gain of the
+    chain edge ``(j-1, j)``.  The paper notes this optimal partition is
+    *no better asymptotically* than the Theorem-5 one — experiment E4
+    quantifies the constant-factor gap.
+
+    Raises :class:`PartitionError` when some single module exceeds ``c*M``
+    (no c-bounded partition exists).
+    """
+    order, chans = pipeline_chain(graph) if graph.n_modules > 1 else (graph.pipeline_order(), [])
+    gains = compute_gains(graph)
+    n = len(order)
+    states = [graph.state(name) for name in order]
+    bound = c * cache_size
+    for name, s in zip(order, states):
+        if s > bound:
+            raise PartitionError(
+                f"module {name!r} has state {s} > c*M = {bound}; no c-bounded partition"
+            )
+
+    INF = Fraction(1 << 62)
+    dp: List[Fraction] = [INF] * (n + 1)
+    parent: List[int] = [-1] * (n + 1)
+    dp[0] = Fraction(0)
+    # prefix[i] = total state of modules[0:i]
+    prefix = [0] * (n + 1)
+    for i, s in enumerate(states):
+        prefix[i + 1] = prefix[i] + s
+
+    for i in range(1, n + 1):
+        # last segment is modules[j:i]
+        for j in range(i - 1, -1, -1):
+            if prefix[i] - prefix[j] > bound:
+                break  # segments only grow as j decreases
+            cut_cost = gains.edge_gain(chans[j - 1].cid) if j > 0 else Fraction(0)
+            cand = dp[j] + cut_cost
+            if cand < dp[i]:
+                dp[i] = cand
+                parent[i] = j
+    if dp[n] >= INF:
+        raise PartitionError("no feasible c-bounded pipeline partition found")
+
+    # reconstruct segments
+    bounds: List[int] = []
+    i = n
+    while i > 0:
+        j = parent[i]
+        bounds.append(j)
+        i = j
+    bounds.reverse()
+    components: List[List[str]] = []
+    for idx, j in enumerate(bounds):
+        hi = bounds[idx + 1] if idx + 1 < len(bounds) else n
+        components.append(list(order[j:hi]))
+    return Partition(
+        graph, components, gains=gains, label=f"dp-optimal[c={c},M={cache_size}]"
+    )

@@ -1,0 +1,78 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by the library derives from :class:`ReproError`, so callers
+can catch library failures without catching programming errors.  The concrete
+subclasses mirror the preconditions stated in Section 2 of the paper
+("Model and definitions"): graphs must be dags, rate matched, single
+source/sink, with per-module state at most the cache size.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all library errors."""
+
+
+class GraphError(ReproError):
+    """Structural problem with a stream graph (bad vertex/edge references,
+    duplicate module names, malformed rates, and so on)."""
+
+
+class CycleError(GraphError):
+    """The stream graph contains a directed cycle.
+
+    The paper restricts attention to dags (Section 2, "Streaming model");
+    feedback is explicitly listed as future work (Section 7).
+    """
+
+
+class RateMismatchError(GraphError):
+    """The graph is not rate matched: two directed paths between the same
+    pair of vertices have different gain products (Section 2, "Assumptions").
+    A non-rate-matched graph cannot be scheduled with bounded buffers.
+    """
+
+
+class SourceSinkError(GraphError):
+    """The graph does not have the required single source / single sink
+    structure and was not normalized via
+    :func:`repro.graphs.transforms.normalize_source_sink`."""
+
+
+class StateTooLargeError(GraphError):
+    """Some module's state exceeds the cache size ``M``.
+
+    The paper assumes ``s(v) <= M`` for every module (Section 2,
+    "Assumptions"); otherwise a module cannot be fully loaded to fire.
+    """
+
+
+class PartitionError(ReproError):
+    """A partition violates a required invariant (not a partition of V,
+    not well ordered, not c-bounded, ...)."""
+
+
+class NotWellOrderedError(PartitionError):
+    """The contracted component multigraph has a cycle (Definition 2)."""
+
+
+class ScheduleError(ReproError):
+    """A schedule is infeasible: fires a module without sufficient input
+    tokens, overflows a bounded buffer, or deadlocks."""
+
+
+class DeadlockError(ScheduleError):
+    """No module can fire although the computation is not complete."""
+
+
+class BufferOverflowError(ScheduleError):
+    """A firing would exceed the capacity of a bounded channel buffer."""
+
+
+class CacheConfigError(ReproError):
+    """Invalid cache geometry (non-positive M or B, B not dividing M, ...)."""
+
+
+class LayoutError(ReproError):
+    """Memory-layout failure (overlapping ranges, unallocated object)."""

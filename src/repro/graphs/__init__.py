@@ -1,0 +1,40 @@
+"""Stream-graph substrate: the SDF model, validation, gains, buffers,
+transforms, and generators for topologies and StreamIt-style applications."""
+
+from repro.graphs.sdf import Channel, Module, StreamGraph
+from repro.graphs.builder import GraphBuilder
+from repro.graphs.repetition import GainTable, compute_gains, repetition_vector
+from repro.graphs.minbuf import min_buffer, min_buffers
+from repro.graphs.csdf import CsdfChannel, CsdfGraph, CsdfModule, expand_csdf
+from repro.graphs.io import graph_from_dict, graph_to_dict, load_graph, save_graph, to_dot
+from repro.graphs.validate import (
+    check_rate_matched,
+    check_single_source_sink,
+    check_state_bound,
+    validate_graph,
+)
+
+__all__ = [
+    "Channel",
+    "Module",
+    "StreamGraph",
+    "GraphBuilder",
+    "GainTable",
+    "compute_gains",
+    "repetition_vector",
+    "min_buffer",
+    "min_buffers",
+    "CsdfChannel",
+    "CsdfGraph",
+    "CsdfModule",
+    "expand_csdf",
+    "graph_from_dict",
+    "graph_to_dict",
+    "load_graph",
+    "save_graph",
+    "to_dot",
+    "check_rate_matched",
+    "check_single_source_sink",
+    "check_state_bound",
+    "validate_graph",
+]

@@ -1,0 +1,249 @@
+"""StreamIt-motivated application graphs.
+
+The paper's introduction motivates the model with StreamIt, GNU Radio,
+Simulink and LabVIEW workloads.  The original StreamIt benchmarks are C/Java
+programs we cannot run; what the scheduling theory consumes is only their
+*graph structure* — module state sizes and channel rates — so we re-specify
+the well-known benchmark shapes as SDF graphs here.  Shapes and rate
+structure follow the published benchmark descriptions (Thies et al., CC'02;
+Sermulins et al., LCTES'05); state sizes model filter tap counts and
+coefficient tables at one word per coefficient plus a code constant.
+
+These graphs drive experiment E7 ("partitioned vs naive baselines on
+application workloads") and the examples.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.graphs.sdf import StreamGraph
+
+__all__ = [
+    "fm_radio",
+    "filter_bank",
+    "beamformer",
+    "bitonic_sort",
+    "des_rounds",
+    "mp3_subband",
+    "ALL_APPS",
+]
+
+#: Abstract words of code per module, charged on top of coefficient state.
+CODE_WORDS = 16
+
+
+def fm_radio(taps: int = 64, bands: int = 8, name: str = "fm-radio") -> StreamGraph:
+    """Software FM radio: demodulator followed by a multi-band equalizer.
+
+    Structure (after StreamIt's FMRadio): an input front end, a low-pass
+    filter with ``taps`` taps that decimates 4:1, an FM demodulator, then a
+    ``bands``-way equalizer split where each band runs two band-pass filters
+    and a gain stage, re-joined by an adder and emitted.
+
+    The equalizer split duplicates the demodulated signal to every band
+    (out_rate 1 per band channel), and the adder consumes one sample from
+    each band per output — the graph is homogeneous except for the 4:1
+    decimating low-pass filter.
+    """
+    g = StreamGraph(name)
+    g.add_module("reader", state=CODE_WORDS)
+    g.add_module("lpf", state=taps + CODE_WORDS)
+    g.add_module("demod", state=CODE_WORDS + 4)
+    g.add_channel("reader", "lpf", out_rate=4, in_rate=4)  # block reads
+    g.add_channel("lpf", "demod", out_rate=1, in_rate=1)  # decimated inside lpf
+    for b in range(bands):
+        lo, hi, gain = f"bpf_lo{b}", f"bpf_hi{b}", f"gain{b}"
+        g.add_module(lo, state=taps + CODE_WORDS)
+        g.add_module(hi, state=taps + CODE_WORDS)
+        g.add_module(gain, state=CODE_WORDS)
+        g.add_channel("demod", lo)
+        g.add_channel(lo, hi)
+        g.add_channel(hi, gain)
+    g.add_module("adder", state=CODE_WORDS + bands)
+    for b in range(bands):
+        g.add_channel(f"gain{b}", "adder")
+    g.add_module("writer", state=CODE_WORDS)
+    g.add_channel("adder", "writer")
+    return g
+
+
+def filter_bank(
+    branches: int = 8, taps: int = 32, name: str = "filter-bank"
+) -> StreamGraph:
+    """Multirate analysis/synthesis filter bank (StreamIt FilterBank).
+
+    Each branch: band-pass filter -> ``branches``:1 down-sampler ->
+    per-branch processing -> 1:``branches`` up-sampler -> synthesis filter.
+    The down/up-samplers make this genuinely *inhomogeneous*: internal branch
+    modules fire at 1/branches the source rate, exercising the fractional
+    gains of Definition 1 and the Theorem 10 machinery.
+    """
+    g = StreamGraph(name)
+    g.add_module("src", state=CODE_WORDS)
+    for b in range(branches):
+        analysis, down, proc, up, synth = (
+            f"analysis{b}",
+            f"down{b}",
+            f"proc{b}",
+            f"up{b}",
+            f"synth{b}",
+        )
+        g.add_module(analysis, state=taps + CODE_WORDS)
+        g.add_module(down, state=CODE_WORDS)
+        g.add_module(proc, state=taps // 2 + CODE_WORDS)
+        g.add_module(up, state=CODE_WORDS)
+        g.add_module(synth, state=taps + CODE_WORDS)
+        g.add_channel("src", analysis)
+        g.add_channel(analysis, down, out_rate=1, in_rate=branches)  # decimate
+        g.add_channel(down, proc)
+        g.add_channel(proc, up)
+        g.add_channel(up, synth, out_rate=branches, in_rate=1)  # expand
+    g.add_module("combine", state=CODE_WORDS + branches)
+    for b in range(branches):
+        g.add_channel(f"synth{b}", "combine")
+    g.add_module("out", state=CODE_WORDS)
+    g.add_channel("combine", "out")
+    return g
+
+
+def beamformer(
+    channels: int = 12, beams: int = 4, taps: int = 64, name: str = "beamformer"
+) -> StreamGraph:
+    """Phased-array beamformer (StreamIt Beamformer).
+
+    ``channels`` input channels each run a coarse and a fine decimating FIR;
+    every beam then combines all channels (dense cross-connection), runs a
+    matched filter and a detector.  The channel->beam cross product makes the
+    graph wide and highly connected — the hard case for degree-limited
+    partitions (Section 5 "Notes on the upper bound").
+    """
+    g = StreamGraph(name)
+    g.add_module("frontend", state=CODE_WORDS)
+    for c in range(channels):
+        coarse, fine = f"coarse{c}", f"fine{c}"
+        g.add_module(coarse, state=taps + CODE_WORDS)
+        g.add_module(fine, state=taps // 2 + CODE_WORDS)
+        g.add_channel("frontend", coarse)
+        g.add_channel(coarse, fine)
+    for b in range(beams):
+        bf, mf, det = f"beam{b}", f"match{b}", f"detect{b}"
+        g.add_module(bf, state=channels * 2 + CODE_WORDS)
+        g.add_module(mf, state=taps + CODE_WORDS)
+        g.add_module(det, state=CODE_WORDS)
+        for c in range(channels):
+            g.add_channel(f"fine{c}", bf)
+        g.add_channel(bf, mf)
+        g.add_channel(mf, det)
+    g.add_module("collect", state=CODE_WORDS + beams)
+    for b in range(beams):
+        g.add_channel(f"detect{b}", "collect")
+    return g
+
+
+def bitonic_sort(keys_log2: int = 3, state: int = 8, name: str = "bitonic") -> StreamGraph:
+    """Bitonic sorting network on ``2**keys_log2`` lanes (StreamIt
+    BitonicSort).  Stage (i, j) compares lanes differing in bit j within
+    blocks of size 2^(i+1); each comparator is a 2-in/2-out module.  All
+    rates are 1 — a large homogeneous dag with butterfly-like connectivity.
+    """
+    lanes = 1 << keys_log2
+    g = StreamGraph(name)
+    g.add_module("src", state=0)
+    prev: List[str] = []
+    for lane in range(lanes):
+        n = f"in{lane}"
+        g.add_module(n, state=state)
+        g.add_channel("src", n)
+        prev.append(n)
+    stage_idx = 0
+    for i in range(keys_log2):
+        for j in range(i, -1, -1):
+            cur: List[str] = [""] * lanes
+            done = set()
+            for lane in range(lanes):
+                partner = lane ^ (1 << j)
+                lo = min(lane, partner)
+                if lo in done:
+                    continue
+                done.add(lo)
+                cmpname = f"c{stage_idx}_{lo}"
+                g.add_module(cmpname, state=state)
+                g.add_channel(prev[lo], cmpname)
+                g.add_channel(prev[lo ^ (1 << j)], cmpname)
+                cur[lo] = cmpname
+                cur[lo ^ (1 << j)] = cmpname
+            # comparators emit both lanes; model as 2-token outputs consumed
+            # by distinct downstream nodes: insert per-lane taps.
+            taps: List[str] = []
+            for lane in range(lanes):
+                tname = f"t{stage_idx}_{lane}"
+                g.add_module(tname, state=0)
+                g.add_channel(cur[lane], tname, out_rate=1, in_rate=1)
+                taps.append(tname)
+            prev = taps
+            stage_idx += 1
+    g.add_module("snk", state=0)
+    for lane in range(lanes):
+        g.add_channel(prev[lane], "snk")
+    return g
+
+
+def des_rounds(rounds: int = 16, sbox_state: int = 64, name: str = "des") -> StreamGraph:
+    """DES-like block cipher pipeline (StreamIt DES): initial permutation,
+    ``rounds`` Feistel rounds (expansion, key mix, S-box lookup with a large
+    coefficient table, permutation), final permutation.  Deep pipeline with a
+    few large-state modules — exactly the profile where state reuse pays.
+    """
+    g = StreamGraph(name)
+    g.add_module("ip", state=CODE_WORDS)
+    prev = "ip"
+    for r in range(rounds):
+        exp, mix, sbox, perm = f"exp{r}", f"mix{r}", f"sbox{r}", f"perm{r}"
+        g.add_module(exp, state=CODE_WORDS)
+        g.add_module(mix, state=CODE_WORDS + 2)
+        g.add_module(sbox, state=sbox_state + CODE_WORDS)
+        g.add_module(perm, state=CODE_WORDS)
+        g.add_channel(prev, exp)
+        g.add_channel(exp, mix)
+        g.add_channel(mix, sbox)
+        g.add_channel(sbox, perm)
+        prev = perm
+    g.add_module("fp", state=CODE_WORDS)
+    g.add_channel(prev, "fp")
+    return g
+
+
+def mp3_subband(subbands: int = 4, taps: int = 48, name: str = "mp3") -> StreamGraph:
+    """MP3-style subband decoder sketch: Huffman-ish unpacker, dequantizer,
+    ``subbands``-way split with per-band inverse MDCT (large state),
+    polyphase synthesis join.  Inhomogeneous: the unpacker emits
+    ``subbands`` tokens per firing, each band consumes one.
+    """
+    g = StreamGraph(name)
+    g.add_module("unpack", state=CODE_WORDS * 4)
+    g.add_module("dequant", state=CODE_WORDS + 32)
+    g.add_channel("unpack", "dequant", out_rate=subbands, in_rate=subbands)
+    for b in range(subbands):
+        imdct, window = f"imdct{b}", f"window{b}"
+        g.add_module(imdct, state=taps * 2 + CODE_WORDS)
+        g.add_module(window, state=taps + CODE_WORDS)
+        g.add_channel("dequant", imdct, out_rate=1, in_rate=1)
+        g.add_channel(imdct, window)
+    g.add_module("synthesis", state=taps * 2 + CODE_WORDS)
+    for b in range(subbands):
+        g.add_channel(f"window{b}", "synthesis")
+    g.add_module("pcm", state=CODE_WORDS)
+    g.add_channel("synthesis", "pcm")
+    return g
+
+
+#: name -> zero-argument constructor with representative default sizes.
+ALL_APPS = {
+    "fm_radio": fm_radio,
+    "filter_bank": filter_bank,
+    "beamformer": beamformer,
+    "bitonic_sort": bitonic_sort,
+    "des_rounds": des_rounds,
+    "mp3_subband": mp3_subband,
+}

@@ -1,0 +1,193 @@
+"""Fluent construction API for stream graphs.
+
+:class:`GraphBuilder` lets examples and generators express common streaming
+shapes (chains, split/join, round-robin distribution) without repetitive
+``add_module``/``add_channel`` calls.  It mirrors the vocabulary of StreamIt
+(pipelines, split-joins) because the paper's motivating systems — StreamIt,
+GNU Radio, Simulink, LabVIEW — are all built from these combinators.
+
+The builder tracks a *frontier*: the set of modules whose outputs are not yet
+connected.  ``then`` extends every frontier module with a new stage; ``split``
+fans out; ``join`` fans in.  ``build`` returns the finished
+:class:`~repro.graphs.sdf.StreamGraph`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.errors import GraphError
+from repro.graphs.sdf import StreamGraph
+
+__all__ = ["GraphBuilder"]
+
+
+class GraphBuilder:
+    """Incremental construction of stream graphs with a moving frontier."""
+
+    def __init__(self, name: str = "stream") -> None:
+        self.graph = StreamGraph(name)
+        self._frontier: List[str] = []
+        self._counter = 0
+
+    # ------------------------------------------------------------------
+    def _fresh(self, prefix: str) -> str:
+        self._counter += 1
+        name = f"{prefix}{self._counter}"
+        while self.graph.has_module(name):
+            self._counter += 1
+            name = f"{prefix}{self._counter}"
+        return name
+
+    @property
+    def frontier(self) -> List[str]:
+        """Names of modules whose outputs are currently unconnected."""
+        return list(self._frontier)
+
+    # ------------------------------------------------------------------
+    def source(self, name: str = "", state: int = 0) -> "GraphBuilder":
+        """Start the graph with a source module (no inputs)."""
+        if self._frontier:
+            raise GraphError("source() must be the first stage")
+        n = name or self._fresh("src")
+        self.graph.add_module(n, state=state)
+        self._frontier = [n]
+        return self
+
+    def then(
+        self,
+        name: str = "",
+        state: int = 0,
+        out_rate: int = 1,
+        in_rate: int = 1,
+        work: int = 1,
+    ) -> "GraphBuilder":
+        """Append one module consuming from every frontier module.
+
+        Each frontier->new channel gets the given rates (``out_rate`` tokens
+        produced per frontier firing, ``in_rate`` consumed per new firing).
+        With a multi-module frontier this is a *join*.
+        """
+        if not self._frontier:
+            raise GraphError("then() requires a frontier; call source() first")
+        n = name or self._fresh("f")
+        self.graph.add_module(n, state=state, work=work)
+        for up in self._frontier:
+            self.graph.add_channel(up, n, out_rate=out_rate, in_rate=in_rate)
+        self._frontier = [n]
+        return self
+
+    def chain(
+        self,
+        count: int,
+        state: int = 0,
+        out_rate: int = 1,
+        in_rate: int = 1,
+        prefix: str = "f",
+        state_fn: Optional[Callable[[int], int]] = None,
+    ) -> "GraphBuilder":
+        """Append ``count`` modules in series, all with identical rates.
+
+        ``state_fn(i)`` overrides the state of the i-th appended module; this
+        is how generators produce irregular state profiles.
+        """
+        for i in range(count):
+            s = state_fn(i) if state_fn is not None else state
+            self.then(name=self._fresh(prefix), state=s, out_rate=out_rate, in_rate=in_rate)
+        return self
+
+    def split(
+        self,
+        ways: int,
+        state: int = 0,
+        out_rate: int = 1,
+        in_rate: int = 1,
+        prefix: str = "b",
+    ) -> "GraphBuilder":
+        """Fan the single frontier module out to ``ways`` parallel branches.
+
+        Every branch module consumes ``in_rate`` of the ``out_rate`` tokens
+        the splitter pushes on its own dedicated channel (duplicate-style
+        split; round-robin distribution is expressed by giving the splitter
+        different per-branch rates via :meth:`split_rates`).
+        """
+        if len(self._frontier) != 1:
+            raise GraphError(f"split() requires exactly one frontier module, have {self._frontier}")
+        up = self._frontier[0]
+        branches = []
+        for _ in range(ways):
+            n = self._fresh(prefix)
+            self.graph.add_module(n, state=state)
+            self.graph.add_channel(up, n, out_rate=out_rate, in_rate=in_rate)
+            branches.append(n)
+        self._frontier = branches
+        return self
+
+    def split_rates(
+        self, rates: Sequence[Tuple[int, int]], state: int = 0, prefix: str = "b"
+    ) -> "GraphBuilder":
+        """Fan out with per-branch ``(out_rate, in_rate)`` pairs."""
+        if len(self._frontier) != 1:
+            raise GraphError("split_rates() requires exactly one frontier module")
+        up = self._frontier[0]
+        branches = []
+        for orate, irate in rates:
+            n = self._fresh(prefix)
+            self.graph.add_module(n, state=state)
+            self.graph.add_channel(up, n, out_rate=orate, in_rate=irate)
+            branches.append(n)
+        self._frontier = branches
+        return self
+
+    def each(
+        self, count: int, state: int = 0, out_rate: int = 1, in_rate: int = 1, prefix: str = "w"
+    ) -> "GraphBuilder":
+        """Extend *every* frontier branch independently with a chain of
+        ``count`` modules (keeps the frontier width unchanged)."""
+        new_frontier = []
+        for up in self._frontier:
+            prev = up
+            for _ in range(count):
+                n = self._fresh(prefix)
+                self.graph.add_module(n, state=state)
+                self.graph.add_channel(prev, n, out_rate=out_rate, in_rate=in_rate)
+                prev = n
+            new_frontier.append(prev)
+        self._frontier = new_frontier
+        return self
+
+    def map_frontier(
+        self, fn: Callable[[int, str], Tuple[str, int, int, int]]
+    ) -> "GraphBuilder":
+        """Replace each frontier branch with one new module.
+
+        ``fn(i, upstream_name)`` returns ``(name, state, out_rate, in_rate)``
+        for branch ``i``; the new module becomes that branch's frontier."""
+        new_frontier = []
+        for i, up in enumerate(self._frontier):
+            name, state, orate, irate = fn(i, up)
+            self.graph.add_module(name, state=state)
+            self.graph.add_channel(up, name, out_rate=orate, in_rate=irate)
+            new_frontier.append(name)
+        self._frontier = new_frontier
+        return self
+
+    def join(
+        self, name: str = "", state: int = 0, out_rate: int = 1, in_rate: int = 1
+    ) -> "GraphBuilder":
+        """Merge all frontier branches into one module (alias of then())."""
+        return self.then(name=name, state=state, out_rate=out_rate, in_rate=in_rate)
+
+    def sink(self, name: str = "", state: int = 0, in_rate: int = 1) -> "GraphBuilder":
+        """Terminate the graph with a sink consuming every frontier output."""
+        return self.then(name=name or "sink", state=state, in_rate=in_rate)
+
+    # ------------------------------------------------------------------
+    def build(self, validate: bool = True) -> StreamGraph:
+        """Finish construction, optionally validating Section-2 assumptions."""
+        if validate:
+            from repro.graphs.validate import validate_graph
+
+            report = validate_graph(self.graph)
+            report.raise_if_failed()
+        return self.graph

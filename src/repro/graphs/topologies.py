@@ -1,0 +1,296 @@
+"""Synthetic topology generators for experiments.
+
+These produce the graph families the paper's theorems quantify over:
+
+* **pipelines** (Section 4) — single directed chains, optionally with
+  non-unit rates (up/down-samplers) and heterogeneous state sizes;
+* **homogeneous dags** (Section 5, Theorem 7 / Lemma 8) — diamonds, trees,
+  butterflies, layered random dags with all rates 1;
+* **inhomogeneous dags** (Theorem 10) — rate-matched dags with non-unit
+  rates placed so every undirected cycle stays balanced.
+
+All generators are deterministic given a seed (`numpy.random.Generator` under
+the hood) and return validated single-source/single-sink dags.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.graphs.sdf import StreamGraph
+
+__all__ = [
+    "pipeline",
+    "random_pipeline",
+    "diamond",
+    "split_join_tree",
+    "butterfly",
+    "layered_random_dag",
+    "rate_matched_random_dag",
+]
+
+SeedLike = Union[int, np.random.Generator, None]
+
+
+def _rng(seed: SeedLike) -> np.random.Generator:
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def pipeline(
+    states: Sequence[int],
+    rates: Optional[Sequence[Tuple[int, int]]] = None,
+    name: str = "pipeline",
+) -> StreamGraph:
+    """Build a pipeline with the given per-module state sizes.
+
+    Parameters
+    ----------
+    states:
+        ``states[i]`` is the state of module ``m<i>``; the first module is
+        the source, the last the sink.
+    rates:
+        ``rates[i] = (out, in)`` for the channel between modules i and i+1
+        (length ``len(states) - 1``); defaults to homogeneous ``(1, 1)``.
+    """
+    if len(states) < 1:
+        raise GraphError("pipeline needs at least one module")
+    if rates is not None and len(rates) != len(states) - 1:
+        raise GraphError(f"need {len(states) - 1} rate pairs, got {len(rates)}")
+    g = StreamGraph(name)
+    for i, s in enumerate(states):
+        g.add_module(f"m{i}", state=int(s))
+    for i in range(len(states) - 1):
+        orate, irate = rates[i] if rates is not None else (1, 1)
+        g.add_channel(f"m{i}", f"m{i + 1}", out_rate=orate, in_rate=irate)
+    return g
+
+
+def random_pipeline(
+    n: int,
+    max_state: int,
+    seed: SeedLike = None,
+    rate_choices: Sequence[Tuple[int, int]] = ((1, 1),),
+    min_state: int = 1,
+    name: str = "random-pipeline",
+) -> StreamGraph:
+    """Random pipeline: states uniform in ``[min_state, max_state]``, channel
+    rates drawn uniformly from ``rate_choices``.
+
+    Passing e.g. ``rate_choices=[(1, 1), (2, 1), (1, 2), (3, 2)]`` produces
+    inhomogeneous pipelines with up/down-samplers — the Section 4 setting
+    ("modules form a chain but can have nonunit input and output rates").
+    """
+    rng = _rng(seed)
+    if n < 1:
+        raise GraphError("random_pipeline needs n >= 1")
+    states = rng.integers(min_state, max_state + 1, size=n).tolist()
+    idx = rng.integers(0, len(rate_choices), size=max(n - 1, 0))
+    rates = [tuple(rate_choices[i]) for i in idx]
+    return pipeline(states, rates, name=name)
+
+
+def diamond(
+    branch_len: int = 2,
+    ways: int = 2,
+    state: int = 4,
+    name: str = "diamond",
+) -> StreamGraph:
+    """Homogeneous split/join diamond: source -> ``ways`` parallel chains of
+    length ``branch_len`` -> sink.  The simplest dag where the well-ordered
+    constraint bites: a partition putting one whole branch in each component
+    contracts to an acyclic 2-path, but interleaving branch prefixes/suffixes
+    across components can create contracted cycles."""
+    g = StreamGraph(name)
+    g.add_module("src", state=state)
+    for w in range(ways):
+        prev = "src"
+        for i in range(branch_len):
+            n = f"b{w}_{i}"
+            g.add_module(n, state=state)
+            g.add_channel(prev, n)
+            prev = n
+    g.add_module("snk", state=state)
+    for w in range(ways):
+        tail = f"b{w}_{branch_len - 1}" if branch_len > 0 else "src"
+        g.add_channel(tail, "snk")
+    return g
+
+
+def split_join_tree(depth: int, state: int = 4, name: str = "tree") -> StreamGraph:
+    """Complete binary split tree of the given depth followed by its mirror
+    join tree — 2^(depth+1) - 1 splitter modules, the same number of joiners,
+    homogeneous rates.  Models scatter/gather computations."""
+    if depth < 0:
+        raise GraphError("depth must be >= 0")
+    g = StreamGraph(name)
+
+    def add_split(path: str, d: int) -> List[str]:
+        name_ = f"s{path or 'r'}"
+        g.add_module(name_, state=state)
+        if d == 0:
+            return [name_]
+        leaves: List[str] = []
+        for side in "01":
+            sub = add_split(path + side, d - 1)
+            g.add_channel(name_, f"s{(path + side) or 'r'}")
+            leaves.extend(sub)
+        return leaves
+
+    leaves = add_split("", depth)
+
+    def add_join(path: str, d: int) -> str:
+        name_ = f"j{path or 'r'}"
+        g.add_module(name_, state=state)
+        if d == 0:
+            return name_
+        for side in "01":
+            child = add_join(path + side, d - 1)
+            g.add_channel(child, name_)
+        return name_
+
+    root_join = add_join("", depth)
+    for leaf in leaves:
+        g.add_channel(leaf, f"j{leaf[1:] or 'r'}")
+    return g
+
+
+def butterfly(stages: int, state: int = 4, name: str = "butterfly") -> StreamGraph:
+    """FFT-style butterfly network: ``2**stages`` lanes, ``stages`` layers,
+    each layer-k node receiving from its own lane and the lane differing in
+    bit k.  Homogeneous rates; single super source/sink added to satisfy the
+    paper's endpoint assumption.  This is the canonical "hard to partition"
+    streaming dag — every bisection has many crossing edges."""
+    if stages < 1:
+        raise GraphError("butterfly needs stages >= 1")
+    lanes = 1 << stages
+    g = StreamGraph(name)
+    g.add_module("src", state=0)
+    for lane in range(lanes):
+        g.add_module(f"n0_{lane}", state=state)
+        g.add_channel("src", f"n0_{lane}")
+    for k in range(1, stages + 1):
+        for lane in range(lanes):
+            g.add_module(f"n{k}_{lane}", state=state)
+            g.add_channel(f"n{k - 1}_{lane}", f"n{k}_{lane}")
+            g.add_channel(f"n{k - 1}_{lane ^ (1 << (k - 1))}", f"n{k}_{lane}")
+    g.add_module("snk", state=0)
+    for lane in range(lanes):
+        g.add_channel(f"n{stages}_{lane}", "snk")
+    return g
+
+
+def layered_random_dag(
+    layers: int,
+    width: int,
+    max_state: int,
+    seed: SeedLike = None,
+    edge_prob: float = 0.5,
+    min_state: int = 1,
+    name: str = "layered-dag",
+) -> StreamGraph:
+    """Random homogeneous layered dag: ``layers`` layers of ``width`` modules,
+    edges only between consecutive layers, each present with probability
+    ``edge_prob`` (with a forced edge per node to keep everything connected).
+    A single source feeds layer 0 and a single sink drains the last layer.
+    """
+    rng = _rng(seed)
+    if layers < 1 or width < 1:
+        raise GraphError("need layers >= 1 and width >= 1")
+    g = StreamGraph(name)
+    g.add_module("src", state=0)
+    for layer in range(layers):
+        for w in range(width):
+            g.add_module(f"n{layer}_{w}", state=int(rng.integers(min_state, max_state + 1)))
+    g.add_module("snk", state=0)
+
+    for w in range(width):
+        g.add_channel("src", f"n0_{w}")
+    for layer in range(1, layers):
+        covered = [False] * width  # layer-1 nodes with an outgoing edge
+        for w in range(width):
+            ins = [u for u in range(width) if rng.random() < edge_prob]
+            if not ins:
+                ins = [int(rng.integers(0, width))]
+            for u in ins:
+                g.add_channel(f"n{layer - 1}_{u}", f"n{layer}_{w}")
+                covered[u] = True
+        for u in range(width):
+            # every node must feed the next layer, or it becomes a stray sink
+            if not covered[u]:
+                g.add_channel(f"n{layer - 1}_{u}", f"n{layer}_{int(rng.integers(0, width))}")
+    for w in range(width):
+        g.add_channel(f"n{layers - 1}_{w}", "snk")
+    return g
+
+
+def rate_matched_random_dag(
+    layers: int,
+    width: int,
+    max_state: int,
+    seed: SeedLike = None,
+    rate_choices: Sequence[int] = (1, 2, 3),
+    edge_prob: float = 0.5,
+    name: str = "rate-dag",
+) -> StreamGraph:
+    """Random *inhomogeneous* rate-matched layered dag.
+
+    Rate-matching is guaranteed by construction: we first assign every module
+    a target per-layer gain ``G(layer)`` (a random positive rational built
+    from ``rate_choices``), then set each channel's rates so that
+    ``out/in = G(dst_layer) / G(src_layer)``.  Any assignment of this form
+    makes every path between two fixed vertices carry the same gain product,
+    because the product telescopes over layers.
+    """
+    rng = _rng(seed)
+    from fractions import Fraction
+
+    if layers < 1 or width < 1:
+        raise GraphError("need layers >= 1 and width >= 1")
+
+    # Per-layer gains: start at 1, multiply/divide by random small factors.
+    gains: List[Fraction] = [Fraction(1)]
+    for _ in range(layers):
+        f = int(rng.choice(rate_choices))
+        if rng.random() < 0.5:
+            gains.append(gains[-1] * f)
+        else:
+            gains.append(gains[-1] / f)
+
+    g = StreamGraph(name)
+    g.add_module("src", state=0)
+    for layer in range(layers):
+        for w in range(width):
+            g.add_module(f"n{layer}_{w}", state=int(rng.integers(1, max_state + 1)))
+    g.add_module("snk", state=0)
+
+    def connect(src: str, dst: str, gsrc: Fraction, gdst: Fraction) -> None:
+        ratio = gdst / gsrc
+        g.add_channel(src, dst, out_rate=ratio.numerator, in_rate=ratio.denominator)
+
+    for w in range(width):
+        connect("src", f"n0_{w}", gains[0], gains[1])
+    for layer in range(1, layers):
+        covered = [False] * width
+        for w in range(width):
+            ins = [u for u in range(width) if rng.random() < edge_prob]
+            if not ins:
+                ins = [int(rng.integers(0, width))]
+            for u in ins:
+                connect(f"n{layer - 1}_{u}", f"n{layer}_{w}", gains[layer], gains[layer + 1])
+                covered[u] = True
+        for u in range(width):
+            if not covered[u]:
+                connect(
+                    f"n{layer - 1}_{u}",
+                    f"n{layer}_{int(rng.integers(0, width))}",
+                    gains[layer],
+                    gains[layer + 1],
+                )
+    for w in range(width):
+        connect(f"n{layers - 1}_{w}", "snk", gains[layers], gains[layers])
+    return g

@@ -1,0 +1,194 @@
+"""Validation of the paper's structural assumptions (Section 2).
+
+The paper assumes throughout that the streaming graph
+
+1. is a dag (feedback is future work, Section 7);
+2. is *rate matched*: the product of ``out/in`` along every directed path
+   between a fixed pair of vertices is identical — necessary and sufficient
+   for deadlock-free bounded-buffer scheduling;
+3. has a single source and a single sink (w.l.o.g.; see
+   :func:`repro.graphs.transforms.normalize_source_sink`);
+4. has per-module state at most the cache size ``M`` (necessary so a module
+   can be fully loaded to fire);
+5. satisfies the buffer-vs-state condition: for any induced subgraph, the
+   total ``minBuf`` of internal channels is O(total state) — automatic for
+   pipelines and homogeneous dags where ``minBuf(e) = in(e) + out(e)``.
+
+:func:`validate_graph` runs all checks and returns a :class:`ValidationReport`
+so callers can treat failures as data; the individual ``check_*`` functions
+raise typed exceptions for use as preconditions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.errors import (
+    CycleError,
+    GraphError,
+    RateMismatchError,
+    SourceSinkError,
+    StateTooLargeError,
+)
+from repro.graphs.sdf import StreamGraph
+
+__all__ = [
+    "ValidationReport",
+    "check_rate_matched",
+    "check_single_source_sink",
+    "check_state_bound",
+    "check_buffer_state_condition",
+    "validate_graph",
+]
+
+
+@dataclass
+class ValidationReport:
+    """Outcome of :func:`validate_graph`: per-check pass/fail plus messages."""
+
+    is_dag: bool = False
+    rate_matched: bool = False
+    single_source: bool = False
+    single_sink: bool = False
+    state_bounded: bool = True
+    buffer_state_ok: bool = True
+    errors: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return (
+            self.is_dag
+            and self.rate_matched
+            and self.single_source
+            and self.single_sink
+            and self.state_bounded
+            and self.buffer_state_ok
+        )
+
+    def raise_if_failed(self) -> None:
+        if not self.ok:
+            raise GraphError("graph validation failed: " + "; ".join(self.errors))
+
+
+def check_rate_matched(graph: StreamGraph) -> None:
+    """Raise :class:`RateMismatchError` if two paths disagree on a gain."""
+    from repro.graphs.repetition import compute_gains
+
+    compute_gains(graph)  # raises on mismatch
+
+
+def check_single_source_sink(graph: StreamGraph) -> None:
+    """Raise :class:`SourceSinkError` unless exactly one source and sink."""
+    sources = graph.sources()
+    sinks = graph.sinks()
+    if len(sources) != 1:
+        raise SourceSinkError(
+            f"graph {graph.name!r} has {len(sources)} sources {sources}; "
+            "normalize with repro.graphs.transforms.normalize_source_sink"
+        )
+    if len(sinks) != 1:
+        raise SourceSinkError(
+            f"graph {graph.name!r} has {len(sinks)} sinks {sinks}; "
+            "normalize with repro.graphs.transforms.normalize_source_sink"
+        )
+
+
+def check_state_bound(graph: StreamGraph, cache_size: int) -> None:
+    """Raise :class:`StateTooLargeError` if some module exceeds ``M``.
+
+    Section 2: "the state size of each module is at most M ... necessary to
+    allow a module to be fully loaded into cache when fired."
+    """
+    for m in graph.modules():
+        if m.state > cache_size:
+            raise StateTooLargeError(
+                f"module {m.name!r} has state {m.state} > cache size {cache_size}"
+            )
+
+
+def check_buffer_state_condition(graph: StreamGraph, slack: float = 4.0) -> None:
+    """Check the per-channel form of the buffer-vs-state assumption.
+
+    The paper requires, for any induced subgraph, total internal minBuf to
+    be O(total state).  The channel-local sufficient condition we check is
+    ``minBuf(e) <= slack * max(s(u) + s(v), in(e) + out(e))``: rates lower-
+    bound what a firing touches anyway, so under the paper's additive
+    ``minBuf = in + out`` convention the condition holds without loss of
+    generality (exactly the paper's remark for pipelines and homogeneous
+    dags); it can only bind for alternative buffer conventions.
+    """
+    from repro.graphs.minbuf import min_buffer
+
+    for ch in graph.channels():
+        buf = min_buffer(ch)
+        endpoint_state = graph.state(ch.src) + graph.state(ch.dst)
+        rate_total = ch.out_rate + ch.in_rate
+        bound = slack * max(endpoint_state, rate_total, 1)
+        if buf > bound:
+            raise GraphError(
+                f"channel {ch.src!r}->{ch.dst!r} violates the buffer/state "
+                f"condition: minBuf {buf} > {slack} * max(endpoint state="
+                f"{endpoint_state}, rates={rate_total})"
+            )
+
+
+def validate_graph(
+    graph: StreamGraph,
+    cache_size: Optional[int] = None,
+    require_single_endpoints: bool = True,
+) -> ValidationReport:
+    """Run every Section-2 check and collect the outcome.
+
+    Parameters
+    ----------
+    graph:
+        Graph under test.
+    cache_size:
+        When given, also verify ``s(v) <= M`` for all modules.
+    require_single_endpoints:
+        Multi-source/multi-sink graphs fail validation unless this is False
+        (they can be repaired with ``normalize_source_sink``).
+    """
+    report = ValidationReport()
+
+    try:
+        graph.topological_order()
+        report.is_dag = True
+    except CycleError as exc:
+        report.errors.append(str(exc))
+        return report  # everything downstream needs a dag
+
+    try:
+        check_rate_matched(graph)
+        report.rate_matched = True
+    except (RateMismatchError, GraphError) as exc:
+        report.errors.append(str(exc))
+
+    sources, sinks = graph.sources(), graph.sinks()
+    report.single_source = len(sources) == 1
+    report.single_sink = len(sinks) == 1
+    if require_single_endpoints:
+        if not report.single_source:
+            report.errors.append(f"{len(sources)} sources: {sources}")
+        if not report.single_sink:
+            report.errors.append(f"{len(sinks)} sinks: {sinks}")
+    else:
+        report.single_source = True
+        report.single_sink = True
+
+    if cache_size is not None:
+        try:
+            check_state_bound(graph, cache_size)
+        except StateTooLargeError as exc:
+            report.state_bounded = False
+            report.errors.append(str(exc))
+
+    if report.rate_matched:
+        try:
+            check_buffer_state_condition(graph)
+        except GraphError as exc:
+            report.buffer_state_ok = False
+            report.errors.append(str(exc))
+
+    return report

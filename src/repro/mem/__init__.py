@@ -1,0 +1,6 @@
+"""Memory layout (address assignment) and access-trace recording."""
+
+from repro.mem.layout import MemoryLayout, Region
+from repro.mem.trace import TraceRecorder, TracingCache
+
+__all__ = ["MemoryLayout", "Region", "TraceRecorder", "TracingCache"]

@@ -1,0 +1,66 @@
+"""Block-trace recording for offline analysis (OPT replay, debugging).
+
+:class:`TracingCache` wraps any :class:`~repro.cache.base.CacheModel` and
+appends every block touch to a :class:`TraceRecorder` before forwarding, so
+the identical access sequence can later be replayed under Belady's OPT
+(:func:`repro.cache.opt.simulate_opt`) or inspected in tests.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.cache.base import CacheGeometry, CacheModel
+
+__all__ = ["TraceRecorder", "TracingCache"]
+
+
+class TraceRecorder:
+    """Append-only record of block ids, with optional phase markers."""
+
+    def __init__(self) -> None:
+        self.blocks: List[int] = []
+        self.marks: List[tuple] = []  # (position, label)
+
+    def record(self, block: int) -> None:
+        self.blocks.append(block)
+
+    def mark(self, label: str) -> None:
+        self.marks.append((len(self.blocks), label))
+
+    def __len__(self) -> int:
+        return len(self.blocks)
+
+    def slice_between(self, start_label: str, end_label: str) -> List[int]:
+        """Trace segment between the first occurrences of two marks."""
+        start = end = None
+        for pos, label in self.marks:
+            if label == start_label and start is None:
+                start = pos
+            elif label == end_label and start is not None:
+                end = pos
+                break
+        if start is None or end is None:
+            raise ValueError(f"marks {start_label!r}..{end_label!r} not found")
+        return self.blocks[start:end]
+
+
+class TracingCache(CacheModel):
+    """Decorator: records every block touch, then delegates to ``inner``."""
+
+    def __init__(self, inner: CacheModel, recorder: Optional[TraceRecorder] = None) -> None:
+        super().__init__(inner.geometry)
+        self.inner = inner
+        self.recorder = recorder if recorder is not None else TraceRecorder()
+        # share stats with the inner cache so callers see one set of counters
+        self.stats = inner.stats
+
+    def access_block(self, block: int) -> bool:
+        self.recorder.record(block)
+        return self.inner.access_block(block)
+
+    def flush(self) -> None:
+        self.inner.flush()
+
+    def resident_blocks(self) -> int:
+        return self.inner.resident_blocks()

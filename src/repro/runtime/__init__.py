@@ -1,0 +1,22 @@
+"""Execution substrate: FIFO channel buffers bound to memory addresses, the
+firing engine that moves tokens through the cache simulator, schedule
+representation/validation, and deadlock analysis."""
+
+from repro.runtime.buffers import ChannelBuffer
+from repro.runtime.looped import Loop, LoopedSchedule, compress_schedule
+from repro.runtime.schedule import Schedule, validate_schedule
+from repro.runtime.executor import ExecutionResult, Executor
+from repro.runtime.deadlock import fireable_modules, demand_driven_schedule
+
+__all__ = [
+    "ChannelBuffer",
+    "Loop",
+    "LoopedSchedule",
+    "compress_schedule",
+    "Schedule",
+    "validate_schedule",
+    "ExecutionResult",
+    "Executor",
+    "fireable_modules",
+    "demand_driven_schedule",
+]

@@ -1,0 +1,124 @@
+"""Circular FIFO buffers bound to memory regions.
+
+Each channel's buffer occupies one contiguous region of the simulated
+address space (:class:`repro.mem.layout.Region`).  Tokens are unit words;
+the FIFO is circular, so a push or pop of ``k`` tokens touches one or two
+contiguous word ranges (two when the window wraps the end of the region).
+
+The buffer does not talk to the cache itself — it returns the address ranges
+a transfer touches and lets :class:`repro.runtime.executor.Executor` feed
+them to the cache model, keeping the data structure testable in isolation.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.errors import BufferOverflowError, ScheduleError
+from repro.mem.layout import Region
+
+__all__ = ["ChannelBuffer"]
+
+
+class ChannelBuffer:
+    """Bounded circular FIFO of unit-word tokens.
+
+    Attributes
+    ----------
+    cid:
+        Channel id this buffer serves.
+    region:
+        Word range backing the buffer; ``region.length`` is the capacity.
+    """
+
+    def __init__(self, cid: int, region: Region) -> None:
+        if region.length <= 0:
+            raise ScheduleError(f"channel {cid}: buffer capacity must be positive")
+        self.cid = cid
+        self.region = region
+        self._head = 0  # index of the oldest token (read side)
+        self._count = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def capacity(self) -> int:
+        return self.region.length
+
+    @property
+    def tokens(self) -> int:
+        return self._count
+
+    @property
+    def free(self) -> int:
+        return self.capacity - self._count
+
+    # ------------------------------------------------------------------
+    def _ranges(self, offset: int, k: int) -> List[Tuple[int, int]]:
+        """Address ranges for ``k`` slots starting at circular ``offset``."""
+        cap = self.capacity
+        base = self.region.start
+        start = (self._head + offset) % cap
+        if start + k <= cap:
+            return [(base + start, k)]
+        first = cap - start
+        return [(base + start, first), (base, k - first)]
+
+    def push_ranges(self, k: int) -> List[Tuple[int, int]]:
+        """Address ranges a push of ``k`` tokens writes, then commit it.
+
+        Raises :class:`BufferOverflowError` when ``k`` tokens do not fit —
+        schedulers must check :attr:`free` first (the paper's schedulability
+        condition: "enough space remains in the output buffers").
+        """
+        if k < 0:
+            raise ScheduleError(f"channel {self.cid}: cannot push {k} tokens")
+        if k > self.free:
+            raise BufferOverflowError(
+                f"channel {self.cid}: push of {k} exceeds free space "
+                f"{self.free}/{self.capacity}"
+            )
+        ranges = self._ranges(self._count, k)
+        self._count += k
+        return ranges
+
+    def pop_ranges(self, k: int) -> List[Tuple[int, int]]:
+        """Address ranges a pop of ``k`` tokens reads, then commit it.
+
+        Raises :class:`ScheduleError` when fewer than ``k`` tokens are
+        buffered (firing a module without sufficient input).
+        """
+        if k < 0:
+            raise ScheduleError(f"channel {self.cid}: cannot pop {k} tokens")
+        if k > self._count:
+            raise ScheduleError(
+                f"channel {self.cid}: pop of {k} exceeds occupancy {self._count}"
+            )
+        ranges = self._ranges(0, k)
+        self._head = (self._head + k) % self.capacity
+        self._count -= k
+        return ranges
+
+    def prefill(self, k: int) -> None:
+        """Mark ``k`` tokens as already present (SDF delay / initial tokens).
+
+        Only valid on an empty, unused buffer; the tokens occupy the first
+        ``k`` slots of the region.  The words are treated as initialized in
+        memory (reading them later costs ordinary block transfers, same as
+        any cold data)."""
+        if self._count or self._head:
+            raise ScheduleError(f"channel {self.cid}: prefill on a used buffer")
+        if k < 0 or k > self.capacity:
+            raise ScheduleError(
+                f"channel {self.cid}: prefill of {k} invalid for capacity {self.capacity}"
+            )
+        self._count = k
+
+    def peek_occupancy(self) -> Tuple[int, int]:
+        """(head index, token count) — for tests and debugging."""
+        return (self._head, self._count)
+
+    def __repr__(self) -> str:
+        return (
+            f"ChannelBuffer(cid={self.cid}, tokens={self._count}/{self.capacity}, "
+            f"region=[{self.region.start},{self.region.end}))"
+        )

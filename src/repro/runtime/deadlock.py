@@ -1,0 +1,126 @@
+"""Deadlock analysis and demand-driven schedule construction.
+
+Section 3 of the paper leans on two facts about rate-matched dags:
+
+1. With ``minBuf`` capacities on internal edges, a component "can always be
+   scheduled at the lower level without overflowing these buffers" [17].
+   :func:`demand_driven_schedule` constructs such a low-level schedule:
+   repeatedly fire any module that both has enough inputs and whose outputs
+   fit, preferring modules *later* in topological order (draining before
+   filling keeps occupancies minimal).
+2. Buffer capacities on cross edges must keep *some* component schedulable
+   at all times; :func:`fireable_modules` is the primitive that dynamic
+   schedulers poll.
+
+These functions operate on token counts only (no cache); the executor
+applies the resulting firing sequences to the memory simulation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set
+
+from repro.errors import DeadlockError, ScheduleError
+from repro.graphs.sdf import StreamGraph
+
+__all__ = ["can_fire", "fireable_modules", "demand_driven_schedule"]
+
+
+def can_fire(
+    graph: StreamGraph,
+    name: str,
+    tokens: Dict[int, int],
+    capacities: Optional[Dict[int, int]] = None,
+    allow_source: bool = True,
+) -> bool:
+    """True when ``name`` has sufficient inputs and sufficient output space.
+
+    Sources are input-free; ``allow_source=False`` excludes them, which
+    low-level component schedulers use when source firings are rationed by
+    the high-level batching.
+    """
+    ins = graph.in_channels(name)
+    if not ins and not allow_source:
+        return False
+    for ch in ins:
+        if tokens.get(ch.cid, 0) < ch.in_rate:
+            return False
+    caps = capacities or {}
+    for ch in graph.out_channels(name):
+        cap = caps.get(ch.cid)
+        if cap is not None and tokens.get(ch.cid, 0) + ch.out_rate > cap:
+            return False
+    return True
+
+
+def fireable_modules(
+    graph: StreamGraph,
+    tokens: Dict[int, int],
+    capacities: Optional[Dict[int, int]] = None,
+    among: Optional[Sequence[str]] = None,
+    allow_source: bool = True,
+) -> List[str]:
+    """All modules (optionally restricted to ``among``) that can fire now."""
+    names = among if among is not None else graph.module_names()
+    return [n for n in names if can_fire(graph, n, tokens, capacities, allow_source)]
+
+
+def demand_driven_schedule(
+    graph: StreamGraph,
+    target_fires: Dict[str, int],
+    capacities: Optional[Dict[int, int]] = None,
+    initial_tokens: Optional[Dict[int, int]] = None,
+    prefer_downstream: bool = True,
+) -> List[str]:
+    """Fire each module exactly ``target_fires[name]`` times, never breaking
+    feasibility, and return the firing order.
+
+    Strategy: at each step fire the *latest* (in topological order) module
+    that still owes firings and can fire — "repeatedly choosing any module
+    that can be fired without exceeding output buffer size" (Section 3), with
+    the downstream preference keeping buffer occupancy minimal so the
+    ``minBuf`` capacities suffice.  Set ``prefer_downstream=False`` to prefer
+    upstream modules instead (useful in tests to exhibit higher occupancy).
+
+    Raises
+    ------
+    DeadlockError
+        If no owing module can fire before all targets are met.  For
+        rate-matched targets (multiples of the repetition vector) with
+        capacities >= minBuf this cannot happen [17]; reaching it signals
+        either inconsistent targets or undersized buffers.
+    """
+    order = graph.topological_order()
+    rank = {n: i for i, n in enumerate(order)}
+    owed: Dict[str, int] = {n: int(c) for n, c in target_fires.items() if c > 0}
+    for n in owed:
+        graph.module(n)
+
+    tokens: Dict[int, int] = {ch.cid: ch.delay for ch in graph.channels()}
+    if initial_tokens:
+        tokens.update(initial_tokens)
+
+    firings: List[str] = []
+    total = sum(owed.values())
+    candidates = sorted(owed, key=lambda n: rank[n], reverse=prefer_downstream)
+    while total > 0:
+        fired = None
+        for n in candidates:
+            if owed.get(n, 0) > 0 and can_fire(graph, n, tokens, capacities):
+                fired = n
+                break
+        if fired is None:
+            owing = {n: c for n, c in owed.items() if c > 0}
+            raise DeadlockError(
+                f"no fireable module among {sorted(owing)}; "
+                f"occupancies={{cid: t for cid, t in tokens.items() if t}}"
+                f" = { {cid: t for cid, t in tokens.items() if t} }"
+            )
+        for ch in graph.in_channels(fired):
+            tokens[ch.cid] -= ch.in_rate
+        for ch in graph.out_channels(fired):
+            tokens[ch.cid] += ch.out_rate
+        owed[fired] -= 1
+        total -= 1
+        firings.append(fired)
+    return firings

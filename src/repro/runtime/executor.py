@@ -1,0 +1,248 @@
+"""The firing engine: executes schedules against the cache simulator.
+
+This is the measurement instrument for every experiment.  Executing a firing
+of module ``v`` does exactly what Section 2 prescribes:
+
+1. *load state* — touch all ``s(v)`` words of ``v``'s state region ("the
+   entire state of that module must be loaded into the cache");
+2. *consume* — pop ``in(u, v)`` tokens from each input channel, touching the
+   popped words in the channel's circular buffer;
+3. *produce* — push ``out(v, w)`` tokens on each output channel, touching
+   the written words.
+
+Sources additionally read fresh words from an unbounded external input
+stream and sinks write to an external output stream (monotonically
+increasing addresses ⇒ one compulsory miss per ``B`` tokens).  This keeps
+the accounting identical across schedulers — every schedule pays the same
+Θ(T/B) stream cost, matching the paper's "per data item that enters the
+graph" normalization — and can be disabled for experiments that charge only
+internal traffic.
+
+Misses are attributed to phases (``state`` / ``data`` / ``stream``) so
+experiments can decompose cost the way Lemma 4 and Lemma 8 do.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+from repro.cache.base import CacheGeometry, CacheModel
+from repro.cache.lru import LRUCache
+from repro.errors import ScheduleError
+from repro.graphs.minbuf import min_buffers
+from repro.graphs.sdf import StreamGraph
+from repro.mem.layout import MemoryLayout
+from repro.runtime.buffers import ChannelBuffer
+from repro.runtime.schedule import Schedule
+
+__all__ = ["Executor", "ExecutionResult"]
+
+
+@dataclass
+class ExecutionResult:
+    """Outcome of running one schedule through the simulator."""
+
+    label: str
+    firings: int
+    misses: int
+    accesses: int
+    phase_misses: Dict[str, int] = field(default_factory=dict)
+    fire_counts: Dict[str, int] = field(default_factory=dict)
+    source_fires: int = 0
+    sink_fires: int = 0
+
+    @property
+    def misses_per_source_fire(self) -> float:
+        """Amortized cache misses per input item — the paper's unit of cost."""
+        return self.misses / self.source_fires if self.source_fires else float("inf")
+
+    def summary(self) -> str:
+        phases = ", ".join(f"{k}={v}" for k, v in sorted(self.phase_misses.items()))
+        return (
+            f"{self.label}: misses={self.misses} ({phases}) over {self.firings} firings, "
+            f"{self.source_fires} inputs -> {self.misses_per_source_fire:.3f} misses/input"
+        )
+
+
+class Executor:
+    """Binds a graph + buffer sizes + cache model into a runnable system.
+
+    Parameters
+    ----------
+    graph:
+        Stream graph to execute.
+    geometry:
+        Cache geometry (M, B).
+    capacities:
+        Channel id -> buffer capacity in tokens.  Defaults to ``minBuf`` on
+        every channel (paper convention) — partition schedulers pass their
+        enlarged cross-edge capacities instead.
+    cache:
+        Cache model instance; defaults to a fresh fully-associative LRU of
+        ``geometry``.  Pass a :class:`repro.mem.trace.TracingCache` to record
+        block traces.
+    layout_order:
+        Module placement order for the state arena (default topological);
+        partition schedulers pass component-grouped orders.
+    count_external:
+        Charge source input reads / sink output writes against the cache
+        (default True).
+    """
+
+    def __init__(
+        self,
+        graph: StreamGraph,
+        geometry: CacheGeometry,
+        capacities: Optional[Dict[int, int]] = None,
+        cache: Optional[CacheModel] = None,
+        layout_order: Optional[Iterable[str]] = None,
+        count_external: bool = True,
+    ) -> None:
+        self.graph = graph
+        self.geometry = geometry
+        self.cache = cache if cache is not None else LRUCache(geometry)
+        # Start from minBuf everywhere and overlay the caller's sizes, so a
+        # scheduler may specify only the channels it enlarges (cross edges).
+        caps = dict(min_buffers(graph))
+        if capacities:
+            caps.update(capacities)
+        self.capacities = caps
+
+        self.layout = MemoryLayout(block=geometry.block)
+        self.layout.place_graph(graph, caps, order=layout_order)
+        self.layout.check_disjoint()
+        self.buffers: Dict[int, ChannelBuffer] = {
+            cid: ChannelBuffer(cid, self.layout.buffer_region(cid)) for cid in caps
+        }
+        for ch in graph.channels():
+            if ch.delay:
+                self.buffers[ch.cid].prefill(ch.delay)
+
+        self.count_external = count_external
+        sources = graph.sources()
+        sinks = graph.sinks()
+        self._source_set = set(sources)
+        self._sink_set = set(sinks)
+        # External streams live beyond the layout footprint, in disjoint
+        # half-open arenas that only ever grow forward.  Block-aligned so
+        # stream traffic costs exactly one miss per B tokens.
+        base = (self.layout.footprint // geometry.block + 2) * geometry.block
+        self._ext_in_base = base
+        # far beyond any input position, and itself block-aligned
+        self._ext_out_base = base + ((1 << 40) // geometry.block) * geometry.block
+        self._ext_in_pos = 0
+        self._ext_out_pos = 0
+
+        self._fire_counts: Dict[str, int] = {}
+        self._total_firings = 0
+        self._source_fires = 0
+        self._sink_fires = 0
+
+    # ------------------------------------------------------------------
+    def tokens(self) -> Dict[int, int]:
+        """Current channel occupancies."""
+        return {cid: buf.tokens for cid, buf in self.buffers.items()}
+
+    def fire(self, name: str) -> None:
+        """Execute one firing of ``name`` (validates feasibility)."""
+        graph = self.graph
+        mod = graph.module(name)
+        cache = self.cache
+        stats = cache.stats
+
+        in_chs = graph.in_channels(name)
+        out_chs = graph.out_channels(name)
+        for ch in in_chs:
+            if self.buffers[ch.cid].tokens < ch.in_rate:
+                raise ScheduleError(
+                    f"firing {name!r}: channel {ch.src}->{ch.dst} has "
+                    f"{self.buffers[ch.cid].tokens} tokens, needs {ch.in_rate}"
+                )
+        for ch in out_chs:
+            if self.buffers[ch.cid].free < ch.out_rate:
+                raise ScheduleError(
+                    f"firing {name!r}: channel {ch.src}->{ch.dst} lacks space "
+                    f"({self.buffers[ch.cid].free} free, needs {ch.out_rate})"
+                )
+
+        stats.set_phase("state")
+        region = self.layout.state_region(name)
+        if region.length:
+            cache.access_range(region.start, region.length)
+
+        stats.set_phase("data")
+        for ch in in_chs:
+            for start, length in self.buffers[ch.cid].pop_ranges(ch.in_rate):
+                cache.access_range(start, length)
+        for ch in out_chs:
+            for start, length in self.buffers[ch.cid].push_ranges(ch.out_rate):
+                cache.access_range(start, length)
+
+        if self.count_external:
+            stats.set_phase("stream")
+            if name in self._source_set:
+                cache.access_range(self._ext_in_base + self._ext_in_pos, 1)
+                self._ext_in_pos += 1
+            if name in self._sink_set:
+                cache.access_range(self._ext_out_base + self._ext_out_pos, 1)
+                self._ext_out_pos += 1
+        stats.set_phase("")
+
+        self._fire_counts[name] = self._fire_counts.get(name, 0) + 1
+        self._total_firings += 1
+        if name in self._source_set:
+            self._source_fires += 1
+        if name in self._sink_set:
+            self._sink_fires += 1
+
+    def run(self, schedule) -> ExecutionResult:
+        """Execute every firing of ``schedule`` and return the accounting.
+
+        Accepts a flat :class:`Schedule` or a
+        :class:`repro.runtime.looped.LoopedSchedule` (anything exposing
+        ``firings_iter()`` or ``firings``) — iteration only, never indexing,
+        so looped schedules run without being materialized."""
+        it = (
+            schedule.firings_iter()
+            if hasattr(schedule, "firings_iter")
+            else schedule.firings
+        )
+        for name in it:
+            self.fire(name)
+        return self.result(schedule.label)
+
+    def result(self, label: str = "run") -> ExecutionResult:
+        stats = self.cache.stats
+        return ExecutionResult(
+            label=label,
+            firings=self._total_firings,
+            misses=stats.misses,
+            accesses=stats.accesses,
+            phase_misses=dict(stats.phase_misses),
+            fire_counts=dict(self._fire_counts),
+            source_fires=self._source_fires,
+            sink_fires=self._sink_fires,
+        )
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def measure(
+        graph: StreamGraph,
+        geometry: CacheGeometry,
+        schedule: Schedule,
+        layout_order: Optional[Iterable[str]] = None,
+        count_external: bool = True,
+        cache: Optional[CacheModel] = None,
+    ) -> ExecutionResult:
+        """One-shot convenience: build an executor with the schedule's own
+        capacities, run it, return the result."""
+        ex = Executor(
+            graph,
+            geometry,
+            capacities=schedule.capacities,
+            layout_order=layout_order,
+            count_external=count_external,
+            cache=cache,
+        )
+        return ex.run(schedule)

@@ -1,0 +1,22 @@
+"""Testing substrate: hypothesis strategies for random stream graphs and
+independent reference implementations (oracles) used by differential tests.
+
+Exposed as a public subpackage so downstream users extending the library
+(new schedulers, new partitioners, new cache models) can reuse the same
+generators and oracles to validate their code against the reference
+semantics."""
+
+from repro.testing.oracles import (
+    NaiveLRU,
+    bruteforce_pipeline_partition,
+    reference_token_replay,
+)
+from repro.testing.strategies import rate_matched_pipelines, small_dags
+
+__all__ = [
+    "NaiveLRU",
+    "bruteforce_pipeline_partition",
+    "reference_token_replay",
+    "rate_matched_pipelines",
+    "small_dags",
+]

@@ -1,0 +1,121 @@
+"""Reference implementations used as differential-test oracles.
+
+Each oracle is written for obviousness, not speed, with different data
+structures than the production code so shared bugs are unlikely:
+
+* :class:`NaiveLRU` — LRU over a plain Python list (O(n) per access);
+* :func:`bruteforce_pipeline_partition` — all 2^(n-1) segmentations;
+* :func:`reference_token_replay` — schedule feasibility by dict-of-lists
+  token simulation (tokens as individual objects, not counters), also
+  checking FIFO order end to end.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from itertools import product
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.graphs.repetition import compute_gains
+from repro.graphs.sdf import StreamGraph
+
+__all__ = ["NaiveLRU", "bruteforce_pipeline_partition", "reference_token_replay"]
+
+
+class NaiveLRU:
+    """List-based LRU: index 0 = most recent.  O(n) per access, obviously
+    correct; differential tests compare it block-for-block with the
+    production OrderedDict implementation."""
+
+    def __init__(self, capacity_blocks: int) -> None:
+        self.capacity = capacity_blocks
+        self.stack: List[int] = []
+        self.misses = 0
+        self.accesses = 0
+
+    def access(self, block: int) -> bool:
+        self.accesses += 1
+        if block in self.stack:
+            self.stack.remove(block)
+            self.stack.insert(0, block)
+            return False
+        self.misses += 1
+        self.stack.insert(0, block)
+        if len(self.stack) > self.capacity:
+            self.stack.pop()
+        return True
+
+
+def bruteforce_pipeline_partition(
+    graph: StreamGraph, cache_size: int, c: float
+) -> Optional[Fraction]:
+    """Minimum bandwidth over ALL segmentations of a pipeline (2^(n-1)
+    candidates), or None when no c-bounded segmentation exists.  Exponential;
+    n <= ~14 only."""
+    order = graph.pipeline_order()
+    n = len(order)
+    states = [graph.state(name) for name in order]
+    gains = compute_gains(graph)
+    chans = []
+    for a, b in zip(order, order[1:]):
+        chans.append(graph.channels_between(a, b)[0])
+    bound = c * cache_size
+
+    best: Optional[Fraction] = None
+    for cuts in product([0, 1], repeat=n - 1):
+        bw = Fraction(0)
+        acc = states[0]
+        feasible = True
+        for i, cut in enumerate(cuts):
+            if cut:
+                if acc > bound:  # the segment being closed must fit
+                    feasible = False
+                    break
+                bw += gains.edge_gain(chans[i].cid)
+                acc = 0
+            acc += states[i + 1]
+        if acc > bound:  # the final segment must fit too
+            feasible = False
+        if feasible and (best is None or bw < best):
+            best = bw
+    return best
+
+
+def reference_token_replay(
+    graph: StreamGraph,
+    firings: Sequence[str],
+    capacities: Optional[Dict[int, int]] = None,
+) -> Tuple[bool, Dict[int, int]]:
+    """Token-object replay of a schedule.
+
+    Each token is an integer sequence number per channel; the replay checks
+    (a) feasibility (enough tokens to pop, enough room to push) and (b) that
+    tokens are consumed in exactly the order produced (FIFO).  Returns
+    (feasible, final occupancies); feasibility failure returns (False, ...)
+    rather than raising so hypothesis can compare against the production
+    validator's raise/no-raise behaviour.
+    """
+    caps = capacities or {}
+    queues: Dict[int, List[int]] = {ch.cid: list(range(ch.delay)) for ch in graph.channels()}
+    next_seq: Dict[int, int] = {ch.cid: ch.delay for ch in graph.channels()}
+    expected_pop: Dict[int, int] = {ch.cid: 0 for ch in graph.channels()}
+
+    for name in firings:
+        in_chs = graph.in_channels(name)
+        out_chs = graph.out_channels(name)
+        if any(len(queues[ch.cid]) < ch.in_rate for ch in in_chs):
+            return False, {cid: len(q) for cid, q in queues.items()}
+        for ch in out_chs:
+            cap = caps.get(ch.cid)
+            if cap is not None and len(queues[ch.cid]) + ch.out_rate > cap:
+                return False, {cid: len(q) for cid, q in queues.items()}
+        for ch in in_chs:
+            for _ in range(ch.in_rate):
+                tok = queues[ch.cid].pop(0)
+                assert tok == expected_pop[ch.cid], "FIFO order violated"
+                expected_pop[ch.cid] += 1
+        for ch in out_chs:
+            for _ in range(ch.out_rate):
+                queues[ch.cid].append(next_seq[ch.cid])
+                next_seq[ch.cid] += 1
+    return True, {cid: len(q) for cid, q in queues.items()}

@@ -1,0 +1,71 @@
+"""Hypothesis strategies for random stream graphs.
+
+Centralized here so every property-based test draws from the same
+distributions, and so extensions can reuse them.  All strategies emit
+graphs satisfying the paper's Section-2 assumptions (dag, rate matched,
+single source/sink) by construction.
+"""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+from repro.graphs.sdf import StreamGraph
+from repro.graphs.topologies import pipeline
+
+__all__ = ["rate_matched_pipelines", "small_dags"]
+
+_rates = st.tuples(st.integers(1, 5), st.integers(1, 5))
+
+
+@st.composite
+def rate_matched_pipelines(draw, max_n: int = 10, max_state: int = 30, with_delays: bool = False):
+    """Random pipelines: arbitrary states, arbitrary per-edge rates (always
+    rate matched on a chain), optionally with small SDF delays."""
+    n = draw(st.integers(2, max_n))
+    states = draw(st.lists(st.integers(0, max_state), min_size=n, max_size=n))
+    rs = draw(st.lists(_rates, min_size=n - 1, max_size=n - 1))
+    g = pipeline(states, rs)
+    if with_delays:
+        delays = draw(st.lists(st.integers(0, 4), min_size=n - 1, max_size=n - 1))
+        g2 = StreamGraph(g.name)
+        for m in g.modules():
+            g2.add_module(m.name, state=m.state, work=m.work)
+        for ch, d in zip(g.channels(), delays):
+            g2.add_channel(ch.src, ch.dst, out_rate=ch.out_rate, in_rate=ch.in_rate, delay=d)
+        return g2
+    return g
+
+
+@st.composite
+def small_dags(draw, max_layers: int = 4, max_width: int = 3, max_state: int = 20):
+    """Random homogeneous layered dags, small enough for exact partition
+    search: a single source/sink, every layer fully reachable."""
+    layers = draw(st.integers(1, max_layers))
+    width = draw(st.integers(1, max_width))
+    g = StreamGraph("hyp-dag")
+    g.add_module("src", state=draw(st.integers(0, max_state)))
+    prev = ["src"]
+    for layer in range(layers):
+        cur = []
+        for w in range(width):
+            name = f"n{layer}_{w}"
+            g.add_module(name, state=draw(st.integers(1, max_state)))
+            cur.append(name)
+        # each node gets >= 1 parent from prev; each prev node >= 1 child
+        used = set()
+        for name in cur:
+            parents = draw(
+                st.lists(st.sampled_from(prev), min_size=1, max_size=len(prev), unique=True)
+            )
+            for p in parents:
+                g.add_channel(p, name)
+                used.add(p)
+        for p in prev:
+            if p not in used:
+                g.add_channel(p, draw(st.sampled_from(cur)))
+        prev = cur
+    g.add_module("snk", state=draw(st.integers(0, max_state)))
+    for p in prev:
+        g.add_channel(p, "snk")
+    return g

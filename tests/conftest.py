@@ -1,0 +1,55 @@
+"""Shared fixtures: canonical graphs and cache geometries used across the
+test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cache.base import CacheGeometry
+from repro.graphs.sdf import StreamGraph
+from repro.graphs.topologies import diamond, pipeline, random_pipeline
+
+
+@pytest.fixture
+def geom() -> CacheGeometry:
+    """Default experiment geometry: M=128 words, B=8 words/block."""
+    return CacheGeometry(size=128, block=8)
+
+
+@pytest.fixture
+def small_geom() -> CacheGeometry:
+    return CacheGeometry(size=32, block=4)
+
+
+@pytest.fixture
+def homog_pipeline() -> StreamGraph:
+    """10-module homogeneous pipeline, 24 words state each (240 total)."""
+    return pipeline([24] * 10, name="homog10")
+
+
+@pytest.fixture
+def mixed_pipeline() -> StreamGraph:
+    """Pipeline with up/down-samplers: rates 1:1, 2:1, 1:2, 3:1."""
+    return pipeline(
+        [16, 24, 8, 32, 24, 16],
+        rates=[(1, 1), (2, 1), (1, 2), (3, 1), (1, 3)],
+        name="mixed6",
+    )
+
+
+@pytest.fixture
+def simple_diamond() -> StreamGraph:
+    """src -> two 2-module branches -> snk, homogeneous."""
+    return diamond(branch_len=2, ways=2, state=16)
+
+
+@pytest.fixture
+def upsample_downsample() -> StreamGraph:
+    """Three modules: 1 -> 3 expander then 3 -> 1 decimator."""
+    g = StreamGraph("updown")
+    g.add_module("a", state=4)
+    g.add_module("b", state=4)
+    g.add_module("c", state=4)
+    g.add_channel("a", "b", out_rate=3, in_rate=1)
+    g.add_channel("b", "c", out_rate=1, in_rate=3)
+    return g

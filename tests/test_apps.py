@@ -1,0 +1,100 @@
+"""Tests for the StreamIt-motivated application graphs."""
+
+import pytest
+
+from repro.graphs.apps import (
+    ALL_APPS,
+    beamformer,
+    bitonic_sort,
+    des_rounds,
+    filter_bank,
+    fm_radio,
+    mp3_subband,
+)
+from repro.graphs.repetition import repetition_vector
+from repro.graphs.validate import validate_graph
+
+
+@pytest.mark.parametrize("name,ctor", sorted(ALL_APPS.items()))
+def test_every_app_is_valid(name, ctor):
+    g = ctor()
+    report = validate_graph(g)
+    assert report.ok, f"{name}: {report.errors}"
+
+
+@pytest.mark.parametrize("name,ctor", sorted(ALL_APPS.items()))
+def test_every_app_has_schedulable_repetition_vector(name, ctor):
+    reps = repetition_vector(ctor())
+    assert all(r >= 1 for r in reps.values())
+
+
+class TestFmRadio:
+    def test_band_count_scales(self):
+        g = fm_radio(bands=4)
+        assert sum(1 for m in g.modules() if m.name.startswith("gain")) == 4
+
+    def test_state_dominated_by_filters(self):
+        g = fm_radio(taps=100, bands=2)
+        assert g.state("lpf") > g.state("demod")
+
+    def test_single_endpoints(self):
+        g = fm_radio()
+        assert g.sources() == ["reader"] and g.sinks() == ["writer"]
+
+
+class TestFilterBank:
+    def test_inhomogeneous(self):
+        assert not filter_bank().is_homogeneous()
+
+    def test_branch_modules_fire_slower(self):
+        branches = 4
+        g = filter_bank(branches=branches)
+        reps = repetition_vector(g)
+        assert reps["proc0"] * branches == reps["src"]
+
+    def test_synthesis_restores_rate(self):
+        g = filter_bank(branches=4)
+        reps = repetition_vector(g)
+        assert reps["synth0"] == reps["src"]
+
+
+class TestBeamformer:
+    def test_cross_product_edges(self):
+        g = beamformer(channels=3, beams=2)
+        # every beam consumes from every channel's fine filter
+        assert len(g.in_channels("beam0")) == 3
+
+    def test_homogeneous(self):
+        assert beamformer(channels=2, beams=2).is_homogeneous()
+
+
+class TestBitonicSort:
+    def test_comparator_count(self):
+        k = 3  # 8 lanes
+        g = bitonic_sort(keys_log2=k)
+        n_stages = k * (k + 1) // 2
+        comparators = sum(1 for m in g.modules() if m.name.startswith("c"))
+        assert comparators == n_stages * (1 << k) // 2
+
+    def test_homogeneous(self):
+        assert bitonic_sort(keys_log2=2).is_homogeneous()
+
+
+class TestDesRounds:
+    def test_is_pipeline(self):
+        assert des_rounds(rounds=4).is_pipeline()
+
+    def test_sbox_state_dominates(self):
+        g = des_rounds(rounds=2, sbox_state=100)
+        assert g.state("sbox0") > g.state("perm0")
+
+
+class TestMp3:
+    def test_subband_split(self):
+        g = mp3_subband(subbands=6)
+        assert len(g.out_channels("dequant")) == 6
+
+    def test_inhomogeneous_unpack(self):
+        g = mp3_subband(subbands=4)
+        ch = g.channels_between("unpack", "dequant")[0]
+        assert ch.out_rate == 4

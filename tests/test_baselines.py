@@ -1,0 +1,161 @@
+"""Tests for baseline schedulers."""
+
+import pytest
+
+from repro.cache.base import CacheGeometry
+from repro.core.baselines import (
+    interleaved_schedule,
+    kohli_greedy_schedule,
+    sermulins_scaled_schedule,
+    single_appearance_schedule,
+)
+from repro.errors import GraphError, ScheduleError
+from repro.graphs.repetition import repetition_vector
+from repro.graphs.topologies import diamond, pipeline, random_pipeline
+from repro.runtime.schedule import validate_schedule
+
+
+class TestSingleAppearance:
+    def test_feasible_and_drained(self, mixed_pipeline):
+        s = single_appearance_schedule(mixed_pipeline, n_iterations=3)
+        validate_schedule(mixed_pipeline, s, require_drained=True)
+
+    def test_counts_are_iterations_times_reps(self, mixed_pipeline):
+        reps = repetition_vector(mixed_pipeline)
+        s = single_appearance_schedule(mixed_pipeline, n_iterations=4)
+        counts = s.fire_counts()
+        assert all(counts[n] == 4 * reps[n] for n in reps)
+
+    def test_consecutive_appearance(self, mixed_pipeline):
+        """All firings of one module are consecutive within an iteration."""
+        reps = repetition_vector(mixed_pipeline)
+        s = single_appearance_schedule(mixed_pipeline, n_iterations=1)
+        seen = []
+        for f in s.firings:
+            if not seen or seen[-1] != f:
+                seen.append(f)
+        assert len(seen) == len(reps)  # each module appears once as a block
+
+    def test_works_on_dags(self, simple_diamond):
+        s = single_appearance_schedule(simple_diamond, n_iterations=2)
+        validate_schedule(simple_diamond, s, require_drained=True)
+
+    def test_bad_iterations_rejected(self, simple_diamond):
+        with pytest.raises(ScheduleError):
+            single_appearance_schedule(simple_diamond, n_iterations=0)
+
+
+class TestInterleaved:
+    def test_feasible_with_minbuf(self, mixed_pipeline):
+        s = interleaved_schedule(mixed_pipeline, n_iterations=5)
+        validate_schedule(mixed_pipeline, s, require_drained=True)
+
+    def test_pushes_items_through_homogeneous_pipeline(self):
+        g = pipeline([4] * 4)
+        s = interleaved_schedule(g, n_iterations=3)
+        assert s.firings == ["m0", "m1", "m2", "m3"] * 3
+
+    def test_works_on_dags(self, simple_diamond):
+        s = interleaved_schedule(simple_diamond, n_iterations=2)
+        validate_schedule(simple_diamond, s, require_drained=True)
+
+    def test_bad_iterations_rejected(self, simple_diamond):
+        with pytest.raises(ScheduleError):
+            interleaved_schedule(simple_diamond, n_iterations=-1)
+
+
+class TestSermulins:
+    def test_feasible(self, mixed_pipeline, geom):
+        s = sermulins_scaled_schedule(mixed_pipeline, geom, n_macro_iterations=2)
+        validate_schedule(mixed_pipeline, s, require_drained=True)
+
+    def test_scaling_factor_grows_with_cache(self):
+        g = pipeline([4] * 4)
+        small = sermulins_scaled_schedule(g, CacheGeometry(size=32, block=8))
+        big = sermulins_scaled_schedule(g, CacheGeometry(size=512, block=8))
+        s_small = int(small.label.split("s=")[1].rstrip("]"))
+        s_big = int(big.label.split("s=")[1].rstrip("]"))
+        assert s_big > s_small
+
+    def test_degrades_to_single_appearance_when_no_room(self):
+        g = pipeline([1, 1], rates=[(64, 64)])  # one iteration needs 64 tokens
+        s = sermulins_scaled_schedule(g, CacheGeometry(size=32, block=8))
+        assert "s=1" in s.label
+
+    def test_buffers_hold_scaled_iteration(self, geom):
+        g = pipeline([2] * 3)
+        s = sermulins_scaled_schedule(g, geom, n_macro_iterations=1)
+        scale = int(s.label.split("s=")[1].rstrip("]"))
+        for cid, cap in s.capacities.items():
+            assert cap == scale  # homogeneous: iteration token = 1
+
+    def test_bad_iterations_rejected(self, geom):
+        with pytest.raises(ScheduleError):
+            sermulins_scaled_schedule(pipeline([1, 1]), geom, n_macro_iterations=0)
+
+
+class TestKohli:
+    def test_produces_target_outputs(self, geom):
+        g = pipeline([8] * 6)
+        s = kohli_greedy_schedule(g, geom, target_outputs=50)
+        validate_schedule(g, s)
+        assert s.count("m5") == 50
+
+    def test_feasible_on_rate_changing_pipeline(self, mixed_pipeline, geom):
+        s = kohli_greedy_schedule(mixed_pipeline, geom, target_outputs=30)
+        validate_schedule(mixed_pipeline, s)
+
+    def test_batches_locally(self, geom):
+        g = pipeline([8] * 3)
+        s = kohli_greedy_schedule(g, geom, target_outputs=64, batch_fraction=0.25)
+        # the first module should run a batch before the second starts
+        first_m1 = s.firings.index("m1")
+        assert s.firings[:first_m1].count("m0") > 1
+
+    def test_rejects_dag(self, simple_diamond, geom):
+        with pytest.raises(GraphError):
+            kohli_greedy_schedule(simple_diamond, geom, target_outputs=5)
+
+    def test_rejects_bad_target(self, geom):
+        with pytest.raises(ScheduleError):
+            kohli_greedy_schedule(pipeline([1, 1]), geom, target_outputs=0)
+
+
+class TestPhased:
+    def test_feasible_and_drained(self, mixed_pipeline):
+        from repro.core.baselines import phased_schedule
+
+        s = phased_schedule(mixed_pipeline, n_iterations=3)
+        validate_schedule(mixed_pipeline, s, require_drained=True)
+
+    def test_levels_fire_in_order(self, simple_diamond):
+        from repro.core.baselines import phased_schedule
+
+        s = phased_schedule(simple_diamond, n_iterations=1)
+        pos = {name: i for i, name in enumerate(s.firings)}
+        # src (level 0) before both branch heads, heads before tails
+        assert pos["src"] < pos["b0_0"] < pos["b0_1"] < pos["snk"]
+        assert pos["src"] < pos["b1_0"] < pos["b1_1"] < pos["snk"]
+
+    def test_parallel_branches_interleave_by_level(self, simple_diamond):
+        from repro.core.baselines import phased_schedule
+
+        s = phased_schedule(simple_diamond, n_iterations=1)
+        pos = {name: i for i, name in enumerate(s.firings)}
+        # both level-1 modules precede both level-2 modules
+        assert max(pos["b0_0"], pos["b1_0"]) < min(pos["b0_1"], pos["b1_1"])
+
+    def test_works_with_rates(self, upsample_downsample):
+        from repro.core.baselines import phased_schedule
+        from repro.graphs.repetition import repetition_vector
+
+        s = phased_schedule(upsample_downsample, n_iterations=2)
+        validate_schedule(upsample_downsample, s, require_drained=True)
+        reps = repetition_vector(upsample_downsample)
+        assert s.count("b") == 2 * reps["b"]
+
+    def test_bad_iterations_rejected(self, simple_diamond):
+        from repro.core.baselines import phased_schedule
+
+        with pytest.raises(ScheduleError):
+            phased_schedule(simple_diamond, n_iterations=0)

@@ -1,0 +1,95 @@
+"""Tests for circular channel buffers."""
+
+import pytest
+
+from repro.errors import BufferOverflowError, ScheduleError
+from repro.mem.layout import Region
+from repro.runtime.buffers import ChannelBuffer
+
+
+def buf(cap=8, start=0):
+    return ChannelBuffer(0, Region(start, cap))
+
+
+class TestChannelBuffer:
+    def test_push_pop_round_trip(self):
+        b = buf()
+        ranges = b.push_ranges(3)
+        assert ranges == [(0, 3)]
+        assert b.tokens == 3
+        assert b.pop_ranges(3) == [(0, 3)]
+        assert b.tokens == 0
+
+    def test_fifo_addresses_advance(self):
+        b = buf(cap=8)
+        b.push_ranges(4)
+        b.pop_ranges(2)
+        assert b.push_ranges(2) == [(4, 2)]
+        assert b.pop_ranges(2) == [(2, 2)]
+
+    def test_wraparound_splits_range(self):
+        b = buf(cap=8)
+        b.push_ranges(6)
+        b.pop_ranges(6)
+        # head at 6; pushing 4 wraps: [6,8) then [0,2)
+        assert b.push_ranges(4) == [(6, 2), (0, 2)]
+
+    def test_wraparound_pop(self):
+        b = buf(cap=4)
+        b.push_ranges(3)
+        b.pop_ranges(3)
+        b.push_ranges(3)  # occupies 3,0,1
+        assert b.pop_ranges(3) == [(3, 1), (0, 2)]
+
+    def test_base_address_offsets(self):
+        b = buf(cap=4, start=100)
+        assert b.push_ranges(2) == [(100, 2)]
+
+    def test_overflow_rejected(self):
+        b = buf(cap=4)
+        b.push_ranges(3)
+        with pytest.raises(BufferOverflowError):
+            b.push_ranges(2)
+        assert b.tokens == 3  # unchanged after failed push
+
+    def test_underflow_rejected(self):
+        b = buf(cap=4)
+        b.push_ranges(1)
+        with pytest.raises(ScheduleError):
+            b.pop_ranges(2)
+        assert b.tokens == 1
+
+    def test_negative_amounts_rejected(self):
+        b = buf()
+        with pytest.raises(ScheduleError):
+            b.push_ranges(-1)
+        with pytest.raises(ScheduleError):
+            b.pop_ranges(-1)
+
+    def test_zero_push_pop_noop(self):
+        b = buf()
+        assert b.push_ranges(0) == [(0, 0)]
+        assert b.pop_ranges(0) == [(0, 0)]
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(ScheduleError):
+            ChannelBuffer(0, Region(0, 0))
+
+    def test_free_accounting(self):
+        b = buf(cap=10)
+        b.push_ranges(4)
+        assert b.free == 6
+
+    def test_exercise_full_cycle_many_times(self):
+        b = buf(cap=7)
+        total_pushed = 0
+        for k in (3, 5, 2, 7, 1, 6):
+            b.push_ranges(k)
+            total_pushed += k
+            b.pop_ranges(k)
+        assert b.tokens == 0
+        head, count = b.peek_occupancy()
+        assert head == total_pushed % 7 and count == 0
+
+    def test_repr(self):
+        assert "ChannelBuffer" in repr(buf())

@@ -1,0 +1,93 @@
+"""Tests for the fluent GraphBuilder API."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graphs.builder import GraphBuilder
+from repro.graphs.validate import validate_graph
+
+
+class TestBuilder:
+    def test_simple_chain(self):
+        g = GraphBuilder().source(state=2).chain(3, state=5).sink().build()
+        assert g.n_modules == 5
+        assert g.is_pipeline()
+        assert validate_graph(g).ok
+
+    def test_source_must_come_first(self):
+        b = GraphBuilder().source()
+        with pytest.raises(GraphError):
+            b.source()
+
+    def test_then_requires_frontier(self):
+        with pytest.raises(GraphError):
+            GraphBuilder().then()
+
+    def test_split_join(self):
+        g = (
+            GraphBuilder()
+            .source()
+            .split(3, state=4)
+            .each(2, state=4)
+            .join(state=2)
+            .sink()
+            .build()
+        )
+        assert len(g.sources()) == 1 and len(g.sinks()) == 1
+        assert validate_graph(g).ok
+
+    def test_split_requires_single_frontier(self):
+        b = GraphBuilder().source().split(2)
+        with pytest.raises(GraphError):
+            b.split(2)
+
+    def test_split_rates(self):
+        g = (
+            GraphBuilder()
+            .source()
+            .split_rates([(1, 1), (1, 1)])
+            .join()
+            .build(validate=False)
+        )
+        assert g.n_modules == 4
+
+    def test_frontier_tracking(self):
+        b = GraphBuilder().source("s")
+        assert b.frontier == ["s"]
+        b.split(2)
+        assert len(b.frontier) == 2
+
+    def test_map_frontier(self):
+        g = (
+            GraphBuilder()
+            .source()
+            .split(2)
+            .map_frontier(lambda i, up: (f"w{i}", 3, 1, 1))
+            .join()
+            .build()
+        )
+        assert g.has_module("w0") and g.has_module("w1")
+        assert g.state("w0") == 3
+
+    def test_chain_state_fn(self):
+        g = GraphBuilder().source().chain(4, state_fn=lambda i: (i + 1) * 10).sink().build()
+        states = sorted(m.state for m in g.modules() if m.state)
+        assert states == [10, 20, 30, 40]
+
+    def test_named_modules(self):
+        g = GraphBuilder().source("in").then("mid", state=1).sink("out").build()
+        assert g.module_names() == ["in", "mid", "out"]
+
+    def test_fresh_names_unique(self):
+        b = GraphBuilder().source()
+        b.graph.add_module("f2")  # collide with the generator's next pick
+        b.chain(2)
+        assert b.graph.n_modules == 4  # no duplicate-name explosion
+
+    def test_build_validates_by_default(self):
+        b = GraphBuilder().source().split(2)  # two dangling sinks
+        g = b.build(validate=False)
+        assert len(g.sinks()) == 2
+        b2 = GraphBuilder().source().split(2)
+        with pytest.raises(GraphError):
+            b2.build()

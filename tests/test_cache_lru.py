@@ -1,0 +1,126 @@
+"""Tests for the LRU cache simulator and geometry."""
+
+import pytest
+
+from repro.cache.base import CacheGeometry
+from repro.cache.lru import LRUCache
+from repro.errors import CacheConfigError
+
+
+class TestGeometry:
+    def test_basic(self):
+        g = CacheGeometry(size=64, block=8)
+        assert g.n_blocks == 8
+        assert g.block_of(0) == 0
+        assert g.block_of(7) == 0
+        assert g.block_of(8) == 1
+
+    def test_blocks_spanned(self):
+        g = CacheGeometry(size=64, block=8)
+        assert list(g.blocks_spanned(0, 8)) == [0]
+        assert list(g.blocks_spanned(4, 8)) == [0, 1]
+        assert list(g.blocks_spanned(8, 16)) == [1, 2]
+        assert list(g.blocks_spanned(5, 0)) == []
+
+    def test_invalid_geometry_rejected(self):
+        with pytest.raises(CacheConfigError):
+            CacheGeometry(size=0, block=8)
+        with pytest.raises(CacheConfigError):
+            CacheGeometry(size=64, block=0)
+        with pytest.raises(CacheConfigError):
+            CacheGeometry(size=65, block=8)
+
+
+class TestLRU:
+    def g(self, blocks=4, block=8):
+        return LRUCache(CacheGeometry(size=blocks * block, block=block))
+
+    def test_cold_miss_then_hit(self):
+        c = self.g()
+        assert c.access(0) is True
+        assert c.access(1) is False  # same block
+        assert c.stats.misses == 1 and c.stats.accesses == 2
+
+    def test_capacity_eviction_lru_order(self):
+        c = self.g(blocks=2)
+        c.access_block(0)
+        c.access_block(1)
+        c.access_block(2)  # evicts 0
+        assert c.contains_block(1) and c.contains_block(2)
+        assert not c.contains_block(0)
+        assert c.stats.evictions == 1
+
+    def test_touch_refreshes_recency(self):
+        c = self.g(blocks=2)
+        c.access_block(0)
+        c.access_block(1)
+        c.access_block(0)  # 1 is now LRU
+        c.access_block(2)  # evicts 1
+        assert c.contains_block(0) and not c.contains_block(1)
+
+    def test_access_range_counts_blocks(self):
+        c = self.g(blocks=8, block=8)
+        misses = c.access_range(0, 64)
+        assert misses == 8
+        assert c.access_range(0, 64) == 0  # all hits
+
+    def test_access_range_partial_blocks(self):
+        c = self.g(blocks=8, block=8)
+        assert c.access_range(6, 4) == 2  # spans blocks 0 and 1
+
+    def test_flush_keeps_stats(self):
+        c = self.g()
+        c.access_block(0)
+        c.flush()
+        assert c.resident_blocks() == 0
+        assert c.stats.misses == 1
+
+    def test_reset_clears_stats(self):
+        c = self.g()
+        c.access_block(0)
+        c.reset()
+        assert c.stats.misses == 0 and c.resident_blocks() == 0
+
+    def test_never_exceeds_capacity(self):
+        c = self.g(blocks=3)
+        for i in range(100):
+            c.access_block(i % 17)
+            assert c.resident_blocks() <= 3
+
+    def test_working_set_within_capacity_no_steady_state_misses(self):
+        c = self.g(blocks=4)
+        for i in range(4):
+            c.access_block(i)
+        start = c.stats.misses
+        for _ in range(10):
+            for i in range(4):
+                c.access_block(i)
+        assert c.stats.misses == start
+
+    def test_cyclic_scan_thrashes(self):
+        # classic LRU pathology: cycling over capacity+1 blocks misses always
+        c = self.g(blocks=4)
+        for _ in range(3):
+            for i in range(5):
+                c.access_block(i)
+        assert c.stats.misses == 15
+
+    def test_phase_attribution(self):
+        c = self.g()
+        c.stats.set_phase("alpha")
+        c.access_block(0)
+        c.stats.set_phase("beta")
+        c.access_block(1)
+        c.access_block(1)
+        assert c.stats.phase_misses == {"alpha": 1, "beta": 1}
+
+    def test_stats_summary_and_merge(self):
+        c = self.g()
+        c.access_block(0)
+        s = c.stats.merged_with(c.stats)
+        assert s.misses == 2 and s.accesses == 2
+        assert "miss_rate" in c.stats.summary()
+
+    def test_miss_rate_empty(self):
+        c = self.g()
+        assert c.stats.miss_rate == 0.0

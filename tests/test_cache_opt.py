@@ -1,0 +1,66 @@
+"""Tests for Belady OPT replay, including LRU-dominance properties."""
+
+import pytest
+
+from repro.cache.base import CacheGeometry
+from repro.cache.lru import LRUCache
+from repro.cache.opt import OPTCache, simulate_opt
+
+
+def geom(blocks):
+    return CacheGeometry(size=blocks * 8, block=8)
+
+
+def lru_misses(trace, g):
+    c = LRUCache(g)
+    for b in trace:
+        c.access_block(b)
+    return c.stats.misses
+
+
+class TestOPT:
+    def test_empty_trace(self):
+        s = simulate_opt([], geom(2))
+        assert s.misses == 0 and s.accesses == 0
+
+    def test_all_distinct_all_miss(self):
+        trace = list(range(10))
+        s = simulate_opt(trace, geom(4))
+        assert s.misses == 10
+
+    def test_repeated_single_block(self):
+        s = simulate_opt([3] * 50, geom(1))
+        assert s.misses == 1 and s.accesses == 50
+
+    def test_belady_classic_example(self):
+        # capacity 3; OPT on this trace misses 7 (classic textbook case)
+        trace = [1, 2, 3, 4, 1, 2, 5, 1, 2, 3, 4, 5]
+        s = simulate_opt(trace, geom(3))
+        assert s.misses == 7
+
+    def test_opt_beats_lru_on_cyclic_scan(self):
+        trace = [i % 5 for i in range(50)]
+        g = geom(4)
+        assert simulate_opt(trace, g).misses < lru_misses(trace, g)
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_opt_never_worse_than_lru(self, seed):
+        import numpy as np
+
+        rng = np.random.default_rng(seed)
+        trace = rng.integers(0, 12, size=400).tolist()
+        g = geom(4)
+        assert simulate_opt(trace, g).misses <= lru_misses(trace, g)
+
+    def test_opt_at_least_cold_misses(self):
+        import numpy as np
+
+        rng = np.random.default_rng(7)
+        trace = rng.integers(0, 30, size=200).tolist()
+        s = simulate_opt(trace, geom(8))
+        assert s.misses >= len(set(trace))
+
+    def test_wrapper_class(self):
+        c = OPTCache(geom(2))
+        s = c.run([1, 2, 3, 1])
+        assert s.misses == c.stats.misses

@@ -1,0 +1,81 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.graphs.io import save_graph
+from repro.graphs.topologies import pipeline
+
+
+class TestCli:
+    def test_apps(self, capsys):
+        assert main(["apps"]) == 0
+        out = capsys.readouterr().out
+        assert "fm_radio" in out and "beamformer" in out
+
+    def test_describe_app(self, capsys):
+        assert main(["describe", "fm_radio"]) == 0
+        assert "lpf" in capsys.readouterr().out
+
+    def test_describe_json_file(self, tmp_path, capsys):
+        path = str(tmp_path / "p.json")
+        save_graph(pipeline([8] * 4, name="filegraph"), path)
+        assert main(["describe", path]) == 0
+        assert "filegraph" in capsys.readouterr().out
+
+    def test_unknown_graph_exits(self):
+        with pytest.raises(SystemExit):
+            main(["describe", "not_a_graph"])
+
+    def test_partition(self, capsys):
+        assert main(["partition", "des_rounds", "--cache", "192"]) == 0
+        out = capsys.readouterr().out
+        assert "well-ordered: True" in out
+
+    def test_schedule_pipeline(self, capsys):
+        assert main(["schedule", "des_rounds", "--cache", "192", "--inputs", "256"]) == 0
+        out = capsys.readouterr().out
+        assert "misses" in out
+
+    def test_schedule_dag(self, capsys):
+        assert main(["schedule", "mp3_subband", "--cache", "256", "--inputs", "128"]) == 0
+        assert "misses" in capsys.readouterr().out
+
+    def test_experiment_by_id(self, capsys):
+        assert main(["experiment", "a3"]) == 0
+        assert "LRU" in capsys.readouterr().out
+
+    def test_unknown_experiment_exits(self):
+        with pytest.raises(SystemExit):
+            main(["experiment", "e99"])
+
+    def test_export_dot_stdout(self, capsys):
+        assert main(["export-dot", "mp3_subband"]) == 0
+        assert "digraph" in capsys.readouterr().out
+
+    def test_export_dot_partitioned_file(self, tmp_path, capsys):
+        out_file = str(tmp_path / "g.dot")
+        assert main(["export-dot", "mp3_subband", "--cache", "256", "-o", out_file]) == 0
+        text = open(out_file).read()
+        assert "cluster_0" in text
+
+
+class TestCliExtended:
+    def test_experiment_extension_ids(self, capsys):
+        from repro.cli import main
+
+        assert main(["experiment", "e12"]) == 0
+        assert "cache_model" in capsys.readouterr().out
+
+    def test_misscurve_pipeline(self, capsys):
+        from repro.cli import main
+
+        assert main(["misscurve", "des_rounds", "--cache", "128", "--inputs", "64"]) == 0
+        out = capsys.readouterr().out
+        assert "miss curves" in out and "partitioned" in out
+
+    def test_misscurve_dag(self, capsys):
+        from repro.cli import main
+
+        assert main(["misscurve", "mp3_subband", "--cache", "256", "--inputs", "64"]) == 0
+        assert "naive" in capsys.readouterr().out

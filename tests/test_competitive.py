@@ -1,0 +1,112 @@
+"""Tests for bootstrap statistics (repro.analysis.competitive)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.competitive import (
+    bootstrap_ci,
+    competitive_summary,
+    paired_win_probability,
+)
+
+
+class TestBootstrapCI:
+    def test_point_estimate_is_sample_mean(self):
+        sample = [1.0, 2.0, 3.0, 4.0]
+        point, lo, hi = bootstrap_ci(sample)
+        assert point == pytest.approx(2.5)
+        assert lo <= point <= hi
+
+    def test_ci_shrinks_with_sample_size(self):
+        rng = np.random.default_rng(1)
+        small = rng.normal(10, 2, size=10)
+        big = rng.normal(10, 2, size=1000)
+        _, lo_s, hi_s = bootstrap_ci(small, seed=2)
+        _, lo_b, hi_b = bootstrap_ci(big, seed=2)
+        assert (hi_b - lo_b) < (hi_s - lo_s)
+
+    def test_ci_covers_true_mean_usually(self):
+        rng = np.random.default_rng(3)
+        covered = 0
+        for trial in range(20):
+            sample = rng.normal(5.0, 1.0, size=50)
+            _, lo, hi = bootstrap_ci(sample, seed=trial)
+            if lo <= 5.0 <= hi:
+                covered += 1
+        assert covered >= 16  # ~95% nominal; allow slack
+
+    def test_deterministic_given_seed(self):
+        s = [1.0, 5.0, 2.0, 8.0]
+        assert bootstrap_ci(s, seed=7) == bootstrap_ci(s, seed=7)
+
+    def test_custom_statistic(self):
+        s = [1.0, 2.0, 100.0]
+        point, lo, hi = bootstrap_ci(s, statistic=lambda m: np.median(m, axis=1))
+        assert point == 2.0
+
+    def test_empty_sample_rejected(self):
+        with pytest.raises(ValueError):
+            bootstrap_ci([])
+
+    def test_constant_sample_degenerate_ci(self):
+        point, lo, hi = bootstrap_ci([4.0] * 10)
+        assert point == lo == hi == 4.0
+
+
+class TestCompetitiveSummary:
+    def test_rows_structure(self):
+        rows = competitive_summary([2.0, 3.0, 4.0], label="r")
+        quantities = [r["quantity"] for r in rows]
+        assert quantities == ["r mean", "r median", "r max"]
+        for r in rows[:2]:
+            assert r["ci_low"] <= r["estimate"] <= r["ci_high"]
+        assert rows[2]["estimate"] == 4.0
+
+
+class TestPairedWinProbability:
+    def test_clear_win(self):
+        base = [100.0] * 20
+        cand = [10.0] * 20
+        assert paired_win_probability(base, cand, factor=5.0) == 1.0
+
+    def test_clear_loss(self):
+        assert paired_win_probability([1.0] * 20, [10.0] * 20) == 0.0
+
+    def test_borderline_uncertain(self):
+        rng = np.random.default_rng(5)
+        base = rng.normal(10, 3, size=30)
+        cand = rng.normal(10, 3, size=30)
+        p = paired_win_probability(base, cand)
+        assert 0.05 < p < 0.95
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            paired_win_probability([1.0], [1.0, 2.0])
+
+    def test_real_experiment_wins_significantly(self):
+        """Partitioned vs single-appearance over random pipelines: the win
+        should be statistically decisive at factor 4."""
+        from repro.cache.base import CacheGeometry
+        from repro.core.baselines import single_appearance_schedule
+        from repro.core.partition_sched import (
+            component_layout_order,
+            pipeline_dynamic_schedule,
+        )
+        from repro.core.pipeline import optimal_pipeline_partition
+        from repro.core.tuning import required_geometry
+        from repro.graphs.topologies import random_pipeline
+        from repro.runtime.executor import Executor
+
+        M = 96
+        geom = CacheGeometry(size=M, block=8)
+        base_costs, cand_costs = [], []
+        for seed in range(6):
+            g = random_pipeline(16, 50, seed=seed, min_state=20)
+            part = optimal_pipeline_partition(g, M, c=2.0)
+            sched = pipeline_dynamic_schedule(g, part, geom, target_outputs=200)
+            rg = required_geometry(part, geom)
+            res = Executor.measure(g, rg, sched, layout_order=component_layout_order(part))
+            cand_costs.append(res.misses_per_source_fire)
+            base = Executor.measure(g, rg, single_appearance_schedule(g, n_iterations=200))
+            base_costs.append(base.misses_per_source_fire)
+        assert paired_win_probability(base_costs, cand_costs, factor=4.0) > 0.95

@@ -1,0 +1,148 @@
+"""Tests for cyclo-static dataflow support (phase expansion to SDF)."""
+
+import pytest
+
+from repro.cache.base import CacheGeometry
+from repro.core.dagpart import interval_dp_partition
+from repro.core.partition_sched import (
+    component_layout_order,
+    inhomogeneous_partition_schedule,
+)
+from repro.core.tuning import required_geometry
+from repro.errors import GraphError
+from repro.graphs.csdf import CsdfGraph, expand_csdf, phase_name
+from repro.graphs.repetition import repetition_vector
+from repro.graphs.validate import validate_graph
+from repro.runtime.executor import Executor
+from repro.runtime.schedule import validate_schedule
+
+
+def distributor_graph() -> CsdfGraph:
+    """src -> 2-phase distributor -> two workers -> 2-phase joiner -> snk."""
+    g = CsdfGraph("distrib")
+    g.add_module("src", phases=1, state=8)
+    g.add_module("dist", phases=2, state=4)
+    g.add_module("w0", phases=1, state=16)
+    g.add_module("w1", phases=1, state=16)
+    g.add_module("join", phases=2, state=4)
+    g.add_module("snk", phases=1, state=8)
+    g.add_channel("src", "dist", out_seq=[1], in_seq=[1, 1])
+    g.add_channel("dist", "w0", out_seq=[1, 0], in_seq=[1])
+    g.add_channel("dist", "w1", out_seq=[0, 1], in_seq=[1])
+    g.add_channel("w0", "join", out_seq=[1], in_seq=[1, 0])
+    g.add_channel("w1", "join", out_seq=[1], in_seq=[0, 1])
+    g.add_channel("join", "snk", out_seq=[1, 1], in_seq=[2])
+    return g
+
+
+class TestCsdfModel:
+    def test_phase_count_validation(self):
+        g = CsdfGraph()
+        with pytest.raises(GraphError):
+            g.add_module("a", phases=0)
+
+    def test_hash_reserved(self):
+        g = CsdfGraph()
+        with pytest.raises(GraphError):
+            g.add_module("a#b")
+
+    def test_rate_sequence_length_checked(self):
+        g = CsdfGraph()
+        g.add_module("a", phases=2)
+        g.add_module("b", phases=1)
+        with pytest.raises(GraphError):
+            g.add_channel("a", "b", out_seq=[1], in_seq=[1])  # needs 2 entries
+
+    def test_zero_cycle_total_rejected(self):
+        g = CsdfGraph()
+        g.add_module("a", phases=2)
+        g.add_module("b", phases=1)
+        with pytest.raises(GraphError):
+            g.add_channel("a", "b", out_seq=[0, 0], in_seq=[1])
+
+    def test_negative_rate_rejected(self):
+        g = CsdfGraph()
+        g.add_module("a", phases=1)
+        g.add_module("b", phases=1)
+        with pytest.raises(GraphError):
+            g.add_channel("a", "b", out_seq=[-1], in_seq=[1])
+
+    def test_duplicate_module_rejected(self):
+        g = CsdfGraph()
+        g.add_module("a")
+        with pytest.raises(GraphError):
+            g.add_module("a")
+
+
+class TestExpansion:
+    def test_distributor_expands_valid(self):
+        sdf, pm = expand_csdf(distributor_graph())
+        report = validate_graph(sdf)
+        assert report.ok, report.errors
+        assert pm["dist"] == [phase_name("dist", 0), phase_name("dist", 1)]
+        assert pm["src"] == ["src"]  # single-phase modules keep their name
+
+    def test_phases_fire_equally(self):
+        sdf, pm = expand_csdf(distributor_graph())
+        reps = repetition_vector(sdf)
+        assert reps["dist#0"] == reps["dist#1"]
+        assert reps["join#0"] == reps["join#1"]
+
+    def test_source_rate_reflects_cycle_totals(self):
+        sdf, _ = expand_csdf(distributor_graph())
+        reps = repetition_vector(sdf)
+        # dist consumes 2 per cycle; src produces 1 per firing
+        assert reps["src"] == 2 * reps["dist#0"]
+
+    def test_phase_state_replicated(self):
+        g = CsdfGraph()
+        g.add_module("a", phases=3, state=10)
+        g.add_module("b", phases=1, state=1)
+        g.add_channel("a", "b", out_seq=[1, 1, 1], in_seq=[3])
+        sdf, pm = expand_csdf(g)
+        for p in pm["a"]:
+            assert sdf.state(p) == 10
+
+    def test_collector_direction(self):
+        # dst cycle total (2) larger than src's (1): I % O == 0 path
+        g = CsdfGraph()
+        g.add_module("a", phases=1, state=2)
+        g.add_module("b", phases=2, state=2)
+        g.add_channel("a", "b", out_seq=[1], in_seq=[1, 1])
+        sdf, _ = expand_csdf(g)
+        assert validate_graph(sdf).ok
+
+    def test_non_dividing_totals_rejected(self):
+        g = CsdfGraph()
+        g.add_module("a", phases=2)
+        g.add_module("b", phases=3)
+        g.add_channel("a", "b", out_seq=[1, 1], in_seq=[1, 1, 1])  # O=2, I=3
+        with pytest.raises(GraphError, match="divide"):
+            expand_csdf(g)
+
+    def test_delay_carried_to_expansion(self):
+        g = CsdfGraph()
+        g.add_module("a", phases=1)
+        g.add_module("b", phases=1)
+        g.add_channel("a", "b", out_seq=[2], in_seq=[2], delay=2)
+        sdf, _ = expand_csdf(g)
+        total_delay = sum(ch.delay for ch in sdf.channels())
+        assert total_delay == 2
+
+
+class TestCsdfEndToEnd:
+    def test_partition_and_schedule_expanded_graph(self):
+        sdf, _ = expand_csdf(distributor_graph())
+        M = 32
+        geom = CacheGeometry(size=M, block=4)
+        part = interval_dp_partition(sdf, M, c=2.0)
+        sched = inhomogeneous_partition_schedule(sdf, part, geom, n_batches=2)
+        validate_schedule(sdf, sched, require_drained=True)
+        res = Executor.measure(
+            sdf,
+            required_geometry(part, geom),
+            sched,
+            layout_order=component_layout_order(part),
+        )
+        assert res.misses > 0
+        assert res.source_fires > 0

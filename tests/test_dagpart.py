@@ -1,0 +1,170 @@
+"""Tests for dag partitioning: exact B&B, interval DP, greedy, refinement."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.dagpart import (
+    exact_min_bandwidth_partition,
+    greedy_topological_partition,
+    interval_dp_partition,
+    min_bandwidth,
+    refine_partition,
+)
+from repro.core.partition import Partition
+from repro.errors import PartitionError
+from repro.graphs.topologies import (
+    diamond,
+    layered_random_dag,
+    pipeline,
+    random_pipeline,
+    split_join_tree,
+)
+
+
+class TestExactSearch:
+    def test_whole_graph_when_it_fits(self, simple_diamond):
+        p = exact_min_bandwidth_partition(simple_diamond, cache_size=1000, c=1.0)
+        assert p.k == 1 and p.bandwidth() == 0
+
+    def test_respects_state_bound(self, simple_diamond):
+        p = exact_min_bandwidth_partition(simple_diamond, cache_size=16, c=2.0)
+        assert p.max_component_state() <= 32
+        assert p.is_well_ordered()
+
+    def test_diamond_optimal_cuts_branches(self):
+        # diamond with 2 branches of 2 modules, state 16 each; bound fits
+        # exactly half the graph: optimal must cut >= 2 edges (bandwidth 2
+        # is achievable by splitting at the branch midpoints... verify the
+        # optimum against the known value 2)
+        g = diamond(branch_len=2, ways=2, state=16)
+        M = 16
+        p = exact_min_bandwidth_partition(g, M, c=3.0)  # bound = 48 = 3 modules
+        assert p.bandwidth() == 2
+        assert p.is_well_ordered() and p.is_c_bounded(M, 3.0)
+
+    def test_well_ordered_constraint_binds(self):
+        # without well-orderedness the optimizer can sometimes do better;
+        # at minimum it can never do worse
+        g = diamond(branch_len=3, ways=2, state=10)
+        M = 10
+        with_wo = exact_min_bandwidth_partition(g, M, c=3.0)
+        without = exact_min_bandwidth_partition(g, M, c=3.0, require_well_ordered=False)
+        assert without.bandwidth() <= with_wo.bandwidth()
+
+    def test_matches_pipeline_dp(self):
+        for seed in range(3):
+            g = random_pipeline(8, 12, seed=seed, rate_choices=[(1, 1), (2, 1), (1, 2)])
+            M = 15
+            exact = exact_min_bandwidth_partition(g, M, c=2.0)
+            from repro.core.pipeline import optimal_pipeline_partition
+
+            dp = optimal_pipeline_partition(g, M, c=2.0)
+            assert exact.bandwidth() == dp.bandwidth()
+
+    def test_too_large_graph_rejected(self):
+        g = pipeline([1] * 20)
+        with pytest.raises(PartitionError):
+            exact_min_bandwidth_partition(g, 5, max_modules=10)
+
+    def test_oversized_module_rejected(self):
+        g = pipeline([100, 1])
+        with pytest.raises(PartitionError):
+            exact_min_bandwidth_partition(g, 10, c=1.0)
+
+    def test_min_bandwidth_helper(self, simple_diamond):
+        assert min_bandwidth(simple_diamond, 1000) == 0
+
+
+class TestIntervalDP:
+    def test_always_well_ordered(self):
+        for seed in range(4):
+            g = layered_random_dag(4, 3, 12, seed=seed)
+            p = interval_dp_partition(g, cache_size=40, c=1.0)
+            assert p.is_well_ordered()
+            assert p.max_component_state() <= 40
+
+    def test_equals_pipeline_dp_on_chains(self):
+        from repro.core.pipeline import optimal_pipeline_partition
+
+        for seed in range(3):
+            g = random_pipeline(15, 20, seed=seed, rate_choices=[(1, 1), (3, 1), (1, 3)])
+            M = 40
+            assert (
+                interval_dp_partition(g, M, c=1.5).bandwidth()
+                == optimal_pipeline_partition(g, M, c=1.5).bandwidth()
+            )
+
+    def test_never_better_than_exact(self):
+        g = diamond(branch_len=2, ways=2, state=8)
+        M = 8
+        exact = exact_min_bandwidth_partition(g, M, c=3.0)
+        dp = interval_dp_partition(g, M, c=3.0)
+        assert dp.bandwidth() >= exact.bandwidth()
+
+    def test_custom_order(self, simple_diamond):
+        order = simple_diamond.topological_order()
+        p = interval_dp_partition(simple_diamond, 1000, c=10.0, order=order)
+        assert p.k == 1
+
+    def test_bad_order_rejected(self, simple_diamond):
+        with pytest.raises(PartitionError):
+            interval_dp_partition(simple_diamond, 100, order=["src"])
+
+    def test_oversized_module_rejected(self):
+        g = pipeline([100, 1])
+        with pytest.raises(PartitionError):
+            interval_dp_partition(g, 10, c=1.0)
+
+
+class TestGreedy:
+    def test_respects_bound_and_order(self):
+        g = layered_random_dag(3, 4, 10, seed=11)
+        p = greedy_topological_partition(g, cache_size=30, c=1.0)
+        assert p.is_well_ordered()
+        assert p.max_component_state() <= 30
+
+    def test_single_component_when_fits(self, simple_diamond):
+        p = greedy_topological_partition(simple_diamond, 1000)
+        assert p.k == 1
+
+    def test_oversized_module_rejected(self):
+        g = pipeline([100])
+        with pytest.raises(PartitionError):
+            greedy_topological_partition(g, 10)
+
+    def test_never_beats_interval_dp(self):
+        for seed in range(4):
+            g = layered_random_dag(4, 3, 10, seed=seed)
+            M = 35
+            assert (
+                greedy_topological_partition(g, M, c=1.0).bandwidth()
+                >= interval_dp_partition(g, M, c=1.0).bandwidth()
+            )
+
+
+class TestRefine:
+    def test_never_worse(self):
+        for seed in range(4):
+            g = layered_random_dag(4, 3, 10, seed=seed)
+            M = 35
+            base = greedy_topological_partition(g, M, c=1.0)
+            refined = refine_partition(base, M, c=1.0)
+            assert refined.bandwidth() <= base.bandwidth()
+            assert refined.is_well_ordered()
+            assert refined.is_c_bounded(M, 1.0)
+
+    def test_improves_a_bad_split(self):
+        # split a branch across components; refinement should pull it back
+        g = diamond(branch_len=2, ways=2, state=4)
+        bad = Partition(
+            g, [["src", "b0_0", "b1_0"], ["b0_1", "b1_1", "snk"]], label="bad"
+        )
+        refined = refine_partition(bad, cache_size=100, c=1.0)
+        assert refined.bandwidth() <= bad.bandwidth()
+
+    def test_fixed_point(self):
+        g = diamond(branch_len=2, ways=2, state=4)
+        p1 = refine_partition(greedy_topological_partition(g, 16, c=1.0), 16, c=1.0)
+        p2 = refine_partition(p1, 16, c=1.0)
+        assert p2.bandwidth() == p1.bandwidth()

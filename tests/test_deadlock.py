@@ -1,0 +1,114 @@
+"""Tests for deadlock analysis and demand-driven scheduling."""
+
+import pytest
+
+from repro.errors import DeadlockError
+from repro.graphs.minbuf import min_buffers
+from repro.graphs.repetition import repetition_vector
+from repro.graphs.sdf import StreamGraph
+from repro.graphs.topologies import diamond, pipeline
+from repro.runtime.deadlock import can_fire, demand_driven_schedule, fireable_modules
+from repro.runtime.schedule import Schedule, validate_schedule
+
+
+class TestCanFire:
+    def test_source_always_fireable_without_caps(self):
+        g = pipeline([1, 1])
+        assert can_fire(g, "m0", {0: 0})
+
+    def test_source_excluded_when_disallowed(self):
+        g = pipeline([1, 1])
+        assert not can_fire(g, "m0", {0: 0}, allow_source=False)
+
+    def test_input_requirement(self):
+        g = pipeline([1, 1], rates=[(1, 3)])
+        assert not can_fire(g, "m1", {0: 2})
+        assert can_fire(g, "m1", {0: 3})
+
+    def test_output_space_requirement(self):
+        g = pipeline([1, 1], rates=[(2, 1)])
+        assert not can_fire(g, "m0", {0: 3}, capacities={0: 4})
+        assert can_fire(g, "m0", {0: 2}, capacities={0: 4})
+
+    def test_fireable_modules_filter(self):
+        g = pipeline([1, 1, 1])
+        ready = fireable_modules(g, {0: 1, 1: 0}, among=["m1", "m2"])
+        assert ready == ["m1"]
+
+
+class TestDemandDriven:
+    def test_single_iteration_chain(self):
+        g = pipeline([1, 1, 1])
+        firings = demand_driven_schedule(g, {"m0": 1, "m1": 1, "m2": 1}, min_buffers(g))
+        assert firings == ["m0", "m1", "m2"]
+        validate_schedule(g, Schedule(firings, capacities=min_buffers(g)))
+
+    def test_downstream_preference_minimizes_occupancy(self):
+        g = pipeline([1, 1, 1])
+        firings = demand_driven_schedule(
+            g, {n: 3 for n in ("m0", "m1", "m2")}, min_buffers(g)
+        )
+        # each item is carried to the sink before the next enters
+        assert firings == ["m0", "m1", "m2"] * 3
+
+    def test_upstream_preference_changes_order(self):
+        g = pipeline([1, 1, 1])
+        caps = {cid: 100 for cid in min_buffers(g)}
+        firings = demand_driven_schedule(
+            g, {n: 2 for n in ("m0", "m1", "m2")}, caps, prefer_downstream=False
+        )
+        assert firings[:2] == ["m0", "m0"]
+
+    def test_rate_changing_chain(self):
+        g = pipeline([1, 1, 1], rates=[(1, 2), (3, 1)])
+        reps = repetition_vector(g)
+        firings = demand_driven_schedule(
+            g, {n: reps[n] for n in reps}, min_buffers(g)
+        )
+        validate_schedule(
+            g,
+            Schedule(firings, capacities=min_buffers(g)),
+            require_drained=True,
+        )
+
+    def test_diamond_iteration(self):
+        g = diamond(branch_len=2, ways=2)
+        reps = repetition_vector(g)
+        firings = demand_driven_schedule(g, reps, min_buffers(g))
+        validate_schedule(
+            g, Schedule(firings, capacities=min_buffers(g)), require_drained=True
+        )
+
+    def test_deadlock_reported_on_undersized_buffers(self):
+        g = pipeline([1, 1], rates=[(4, 4)])
+        # capacity 3 < producer burst of 4: guaranteed stuck
+        with pytest.raises(DeadlockError):
+            demand_driven_schedule(g, {"m0": 1, "m1": 1}, {0: 3})
+
+    def test_inconsistent_targets_deadlock(self):
+        g = pipeline([1, 1])
+        # m1 wants 2 firings but m0 only supplies 1 token
+        with pytest.raises(DeadlockError):
+            demand_driven_schedule(g, {"m0": 1, "m1": 2}, min_buffers(g))
+
+    def test_zero_targets_empty_schedule(self):
+        g = pipeline([1, 1])
+        assert demand_driven_schedule(g, {"m0": 0}, min_buffers(g)) == []
+
+    def test_initial_tokens_honored(self):
+        g = pipeline([1, 1])
+        firings = demand_driven_schedule(
+            g, {"m1": 1}, min_buffers(g), initial_tokens={0: 1}
+        )
+        assert firings == ["m1"]
+
+    def test_multiple_iterations_drain(self):
+        g = pipeline([1, 1, 1], rates=[(2, 1), (1, 2)])
+        reps = repetition_vector(g)
+        k = 4
+        firings = demand_driven_schedule(
+            g, {n: k * reps[n] for n in reps}, min_buffers(g)
+        )
+        validate_schedule(
+            g, Schedule(firings, capacities=min_buffers(g)), require_drained=True
+        )

@@ -1,0 +1,123 @@
+"""Tests for SDF delays (initial channel tokens)."""
+
+import pytest
+
+from repro.cache.base import CacheGeometry
+from repro.errors import GraphError, ScheduleError
+from repro.graphs.minbuf import min_buffer, min_buffers
+from repro.graphs.repetition import compute_gains, repetition_vector
+from repro.graphs.sdf import Channel, StreamGraph
+from repro.mem.layout import Region
+from repro.runtime.buffers import ChannelBuffer
+from repro.runtime.deadlock import demand_driven_schedule
+from repro.runtime.executor import Executor
+from repro.runtime.schedule import Schedule, validate_schedule
+
+
+def delayed_chain(delay=2):
+    g = StreamGraph("delayed")
+    g.add_module("a", state=4)
+    g.add_module("b", state=4)
+    g.add_channel("a", "b", delay=delay)
+    return g
+
+
+class TestModel:
+    def test_delay_stored(self):
+        g = delayed_chain(3)
+        assert next(iter(g.channels())).delay == 3
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(GraphError):
+            Channel(cid=0, src="a", dst="b", delay=-1)
+
+    def test_copy_preserves_delay(self):
+        g = delayed_chain(5)
+        assert next(iter(g.copy().channels())).delay == 5
+
+    def test_delay_does_not_change_gains(self):
+        g = delayed_chain(4)
+        gains = compute_gains(g)
+        assert gains.gain("b") == 1
+        assert repetition_vector(g) == {"a": 1, "b": 1}
+
+    def test_minbuf_covers_delay(self):
+        g = delayed_chain(3)
+        ch = next(iter(g.channels()))
+        assert min_buffer(ch) == 1 + 1 + 3
+        assert min_buffer(ch, convention="tight") == 1 + 3
+
+
+class TestScheduling:
+    def test_consumer_can_fire_first(self):
+        g = delayed_chain(2)
+        validate_schedule(g, Schedule(["b", "b", "a", "a", "b"]))
+
+    def test_drained_means_back_to_delay(self):
+        g = delayed_chain(2)
+        # consume the two initial tokens and replace them
+        validate_schedule(g, Schedule(["b", "a", "b", "a"]), require_drained=True)
+        with pytest.raises(ScheduleError):
+            validate_schedule(g, Schedule(["b"]), require_drained=True)
+
+    def test_demand_driven_uses_delays(self):
+        g = delayed_chain(1)
+        firings = demand_driven_schedule(g, {"b": 1}, min_buffers(g))
+        assert firings == ["b"]
+
+    def test_software_pipelined_diamond(self):
+        """A delay on one branch lets the join run one step skewed."""
+        g = StreamGraph("skew")
+        for n in ("s", "x", "y", "t"):
+            g.add_module(n, state=2)
+        g.add_channel("s", "x")
+        g.add_channel("s", "y")
+        g.add_channel("x", "t")
+        g.add_channel("y", "t", delay=1)
+        # t can fire with x's token plus y's initial token, before y ever runs
+        validate_schedule(g, Schedule(["s", "x", "t", "y"]))
+
+
+class TestBufferPrefill:
+    def test_prefill_sets_tokens(self):
+        b = ChannelBuffer(0, Region(0, 8))
+        b.prefill(3)
+        assert b.tokens == 3
+        assert b.pop_ranges(3) == [(0, 3)]
+
+    def test_prefill_on_used_buffer_rejected(self):
+        b = ChannelBuffer(0, Region(0, 8))
+        b.push_ranges(1)
+        with pytest.raises(ScheduleError):
+            b.prefill(2)
+
+    def test_prefill_bounds(self):
+        b = ChannelBuffer(0, Region(0, 4))
+        with pytest.raises(ScheduleError):
+            b.prefill(5)
+        with pytest.raises(ScheduleError):
+            b.prefill(-1)
+
+
+class TestExecutorWithDelays:
+    def test_executor_prefills(self):
+        g = delayed_chain(2)
+        ex = Executor(g, CacheGeometry(size=64, block=8))
+        assert ex.tokens()[0] == 2
+        ex.fire("b")  # consumes an initial token
+        assert ex.tokens()[0] == 1
+
+    def test_full_run_with_delays(self):
+        g = delayed_chain(1)
+        geom = CacheGeometry(size=64, block=8)
+        sched = Schedule(["b"] + ["a", "b"] * 10)
+        res = Executor.measure(g, geom, sched)
+        assert res.firings == 21
+
+    def test_io_round_trip_keeps_delay(self, tmp_path):
+        from repro.graphs.io import load_graph, save_graph
+
+        g = delayed_chain(7)
+        path = str(tmp_path / "d.json")
+        save_graph(g, path)
+        assert next(iter(load_graph(path).channels())).delay == 7

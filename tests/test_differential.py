@@ -1,0 +1,131 @@
+"""Differential tests: production implementations vs independent oracles.
+
+These are the strongest correctness evidence in the suite — the oracle code
+shares no data structures with production code, so agreement on thousands
+of random cases rules out whole classes of bugs.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.cache.base import CacheGeometry
+from repro.cache.lru import LRUCache
+from repro.core.pipeline import optimal_pipeline_partition
+from repro.errors import PartitionError, ReproError
+from repro.graphs.minbuf import min_buffers
+from repro.graphs.repetition import repetition_vector
+from repro.runtime.deadlock import demand_driven_schedule
+from repro.runtime.schedule import Schedule, validate_schedule
+from repro.testing.oracles import (
+    NaiveLRU,
+    bruteforce_pipeline_partition,
+    reference_token_replay,
+)
+from repro.testing.strategies import rate_matched_pipelines, small_dags
+
+
+class TestLRUDifferential:
+    @given(
+        trace=st.lists(st.integers(0, 24), max_size=400),
+        capacity=st.integers(1, 10),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_lru_agrees_with_naive_per_access(self, trace, capacity):
+        fast = LRUCache(CacheGeometry(size=capacity * 4, block=4))
+        slow = NaiveLRU(capacity)
+        for b in trace:
+            assert fast.access_block(b) == slow.access(b)
+        assert fast.stats.misses == slow.misses
+
+    def test_lru_agrees_on_long_random_trace(self):
+        rng = np.random.default_rng(99)
+        trace = rng.integers(0, 64, size=20_000).tolist()
+        fast = LRUCache(CacheGeometry(size=16 * 8, block=8))
+        slow = NaiveLRU(16)
+        mismatches = sum(
+            1 for b in trace if fast.access_block(b) != slow.access(b)
+        )
+        assert mismatches == 0
+
+
+class TestPartitionDifferential:
+    @given(g=rate_matched_pipelines(max_n=9, max_state=25), m=st.integers(5, 50))
+    @settings(
+        max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+    )
+    def test_dp_matches_bruteforce(self, g, m):
+        c = 1.7
+        oracle = bruteforce_pipeline_partition(g, m, c)
+        if oracle is None:
+            with pytest.raises(PartitionError):
+                optimal_pipeline_partition(g, m, c=c)
+        else:
+            assert optimal_pipeline_partition(g, m, c=c).bandwidth() == oracle
+
+
+class TestScheduleValidatorDifferential:
+    @given(g=rate_matched_pipelines(max_n=8, with_delays=True), k=st.integers(1, 4))
+    @settings(
+        max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+    )
+    def test_demand_driven_feasible_under_both_validators(self, g, k):
+        reps = repetition_vector(g)
+        caps = min_buffers(g)
+        firings = demand_driven_schedule(g, {n: k * r for n, r in reps.items()}, caps)
+        # production validator: no raise
+        validate_schedule(g, Schedule(firings, capacities=caps))
+        # oracle replay: feasible, FIFO clean
+        ok, _ = reference_token_replay(g, firings, caps)
+        assert ok
+
+    @given(g=rate_matched_pipelines(max_n=6))
+    @settings(
+        max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+    )
+    def test_infeasible_schedules_rejected_by_both(self, g):
+        # fire the sink first: infeasible unless the sink is also the source
+        order = g.pipeline_order()
+        if len(order) < 2:
+            return
+        sched = [order[-1]]
+        ok, _ = reference_token_replay(g, sched, min_buffers(g))
+        raised = False
+        try:
+            validate_schedule(g, Schedule(sched, capacities=min_buffers(g)))
+        except ReproError:
+            raised = True
+        assert ok == (not raised)
+
+    @given(g=small_dags(), k=st.integers(1, 2))
+    @settings(
+        max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+    )
+    def test_dag_schedules_agree(self, g, k):
+        reps = repetition_vector(g)
+        caps = min_buffers(g)
+        firings = demand_driven_schedule(g, {n: k * r for n, r in reps.items()}, caps)
+        validate_schedule(g, Schedule(firings, capacities=caps), require_drained=True)
+        ok, final = reference_token_replay(g, firings, caps)
+        assert ok
+        assert all(v == graph_delay for v, graph_delay in zip(final.values(), (ch.delay for ch in g.channels())))
+
+
+class TestExecutorAgreesWithValidator:
+    @given(g=rate_matched_pipelines(max_n=7, max_state=16), k=st.integers(1, 3))
+    @settings(
+        max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+    )
+    def test_final_occupancies_match(self, g, k):
+        from repro.runtime.executor import Executor
+
+        reps = repetition_vector(g)
+        caps = min_buffers(g)
+        firings = demand_driven_schedule(g, {n: k * r for n, r in reps.items()}, caps)
+        sched = Schedule(firings, capacities=caps)
+        final_counts = validate_schedule(g, sched)
+        ex = Executor(g, CacheGeometry(size=64, block=4), capacities=caps)
+        for name in firings:
+            ex.fire(name)
+        assert ex.tokens() == final_counts

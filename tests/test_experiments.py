@@ -1,0 +1,112 @@
+"""Smoke + shape tests for the experiment drivers (E1-E10, A1-A4).
+
+Each driver must run, return uniform rows, and exhibit the paper-predicted
+shape recorded in EXPERIMENTS.md.  Sizes are the benches' defaults, so these
+tests double as a regression net for the benchmark harness.
+"""
+
+import pytest
+
+from repro.analysis import experiments as E
+
+
+def uniform(rows):
+    assert rows, "driver returned no rows"
+    keys = set(rows[0])
+    assert all(set(r) == keys for r in rows)
+    return rows
+
+
+class TestDriversRun:
+    def test_e1(self):
+        rows = uniform(E.experiment_e1_pipeline_optimality(n_outputs=400))
+        for r in rows:
+            assert r["measured_misses"] >= r["lb_misses"]
+            assert r["ratio_to_lb"] < 150  # bounded constant
+
+    def test_e2(self):
+        rows = uniform(E.experiment_e2_miss_model())
+        for r in rows:
+            assert 0.4 <= r["ratio"] <= 2.5
+
+    def test_e3(self):
+        rows = uniform(E.experiment_e3_lower_bound(n_outputs=400))
+        for r in rows:
+            assert r["measured_over_lb"] >= 1.0
+        part_row = min(rows, key=lambda r: r["measured_over_lb"])
+        assert "dynamic" in part_row["schedule"]  # partitioned is closest to LB
+
+    def test_e4(self):
+        rows = uniform(E.experiment_e4_partition_quality())
+        for r in rows:
+            if r["dp8_bw"]:
+                assert r["greedy_bw"] >= r["dp8_bw"]
+        # polynomial scaling sanity: 256-module DP in < 1 second
+        assert rows[-1]["dp_ms"] < 1000
+
+    def test_e5(self):
+        rows = uniform(E.experiment_e5_dag_optimality())
+        for r in rows:
+            assert r["heur_bw"] >= r["minBW3"]
+            assert r["measured"] >= r["lb"]
+
+    def test_e6(self):
+        rows = uniform(E.experiment_e6_inhomogeneous())
+        for r in rows:
+            assert r["improvement"] >= 1.0
+
+    def test_e7(self):
+        rows = uniform(E.experiment_e7_vs_baselines())
+        big = [r for r in rows if r["state_over_M"] > 1.5]
+        assert all(r["win_vs_single_app"] > 4 for r in big), big
+
+    def test_e8(self):
+        rows = uniform(E.experiment_e8_augmentation(n_outputs=400))
+        assert rows[0]["misses"] > rows[-1]["misses"]
+        # plateau: last two within 40%
+        assert rows[-2]["misses"] <= 1.4 * rows[-1]["misses"] + 1
+
+    def test_e9(self):
+        rows = uniform(E.experiment_e9_block_size(n_outputs=400))
+        # doubling B should cut misses substantially (at least 1.5x per step)
+        for a, b in zip(rows, rows[1:]):
+            assert b["misses"] < a["misses"]
+        assert rows[-1]["speedup_vs_B1"] > 8
+
+    def test_e10(self):
+        rows = uniform(E.experiment_e10_crossover(n_outputs=300))
+        small = [r for r in rows if r["state_over_M"] < 1]
+        big = [r for r in rows if r["state_over_M"] >= 3]
+        assert all(r["advantage"] <= 1.5 for r in small)
+        assert all(r["advantage"] > 10 for r in big)
+
+
+class TestAblations:
+    def test_a1_gain_min_wins(self):
+        rows = uniform(E.ablation_a1_cut_choice(n_outputs=400))
+        by_rule = {r["cut_rule"]: r for r in rows}
+        paper = by_rule["gain-min (paper)"]
+        ablated = by_rule["gain-max (ablated)"]
+        assert paper["bandwidth"] < ablated["bandwidth"]
+        assert paper["misses"] < ablated["misses"]
+
+    def test_a2_theta_m_buffers(self):
+        rows = uniform(E.ablation_a2_cross_buffer_size(n_outputs=400))
+        # tiny buffers are much worse than Theta(M)
+        assert rows[0]["misses"] > 3 * rows[3]["misses"]
+
+    def test_a3_lru_close_to_opt(self):
+        rows = E.ablation_a3_lru_vs_opt(n_outputs=300)
+        lru = next(r for r in rows if r["policy"] == "LRU")
+        opt = next(r for r in rows if "OPT" in r["policy"])
+        assert opt["misses"] <= lru["misses"] <= 3 * opt["misses"]
+
+    def test_a4_degree_limit(self):
+        rows = uniform(E.ablation_a4_degree_limits())
+        limited = [r for r in rows if r["degree_limited"]]
+        unlimited = [r for r in rows if not r["degree_limited"]]
+        assert limited, "need at least one degree-limited partitioner"
+        if unlimited:
+            assert min(r["misses_per_input"] for r in limited) <= min(
+                r["misses_per_input"] for r in unlimited
+            )

@@ -1,0 +1,180 @@
+"""Integration tests: end-to-end scenarios asserting the paper's predicted
+*shapes* (who wins, by how much, where behavior changes)."""
+
+import pytest
+
+from repro import (
+    CacheGeometry,
+    Executor,
+    GraphBuilder,
+    augmented_geometry,
+    component_layout_order,
+    dag_lower_bound,
+    exact_min_bandwidth_partition,
+    homogeneous_partition_schedule,
+    inhomogeneous_partition_schedule,
+    interleaved_schedule,
+    interval_dp_partition,
+    optimal_pipeline_partition,
+    pipeline_dynamic_schedule,
+    pipeline_lower_bound,
+    refine_partition,
+    required_geometry,
+    single_appearance_schedule,
+    validate_schedule,
+)
+from repro.graphs.apps import des_rounds, filter_bank, fm_radio
+from repro.graphs.topologies import diamond, pipeline, random_pipeline
+
+
+class TestPipelineStory:
+    """The full Section 4 pipeline: partition -> schedule -> measure -> bound."""
+
+    def test_partitioned_beats_naive_by_large_factor(self):
+        g = pipeline([32] * 12)  # 384 words of state
+        M = 128
+        geom = CacheGeometry(size=M, block=8)
+        part = optimal_pipeline_partition(g, M, c=1.0)
+        aug = required_geometry(part, geom)
+
+        sched = pipeline_dynamic_schedule(g, part, geom, target_outputs=1000)
+        partitioned = Executor.measure(
+            g, aug, sched, layout_order=component_layout_order(part)
+        )
+        naive = Executor.measure(g, aug, interleaved_schedule(g, n_iterations=1000))
+
+        assert partitioned.source_fires >= 1000
+        win = naive.misses_per_source_fire / partitioned.misses_per_source_fire
+        assert win > 10, f"partitioning should win big, got {win:.1f}x"
+
+    def test_measured_respects_lower_bound(self):
+        g = random_pipeline(20, 40, seed=42, rate_choices=[(1, 1), (2, 1), (1, 2)])
+        M = 96
+        geom = CacheGeometry(size=M, block=8)
+        part = optimal_pipeline_partition(g, M, c=1.0)
+        sched = pipeline_dynamic_schedule(g, part, geom, target_outputs=600)
+        res = Executor.measure(
+            g, required_geometry(part, geom), sched,
+            layout_order=component_layout_order(part),
+        )
+        lb = pipeline_lower_bound(g, M)
+        assert res.misses >= float(lb.misses(res.source_fires, geom))
+
+    def test_competitive_ratio_stays_bounded_as_n_grows(self):
+        """Cor 6: the measured/LB ratio must not grow with pipeline length."""
+        ratios = []
+        for n in (12, 24, 48):
+            g = pipeline([24] * n)
+            M = 96
+            geom = CacheGeometry(size=M, block=8)
+            part = optimal_pipeline_partition(g, M, c=3.0)
+            sched = pipeline_dynamic_schedule(g, part, geom, target_outputs=400)
+            res = Executor.measure(
+                g, required_geometry(part, geom), sched,
+                layout_order=component_layout_order(part),
+            )
+            lb = float(pipeline_lower_bound(g, M).misses(res.source_fires, geom))
+            ratios.append(res.misses / lb)
+        # ratio may fluctuate but must not scale with n (allow 3x headroom)
+        assert max(ratios) <= 3 * min(ratios) + 1e-9, ratios
+
+
+class TestDagStory:
+    def test_homogeneous_dag_partition_schedule(self):
+        # total state (480) must exceed even the augmented cache, otherwise
+        # the naive schedule is legitimately optimal (everything resident)
+        g = diamond(branch_len=6, ways=3, state=24)
+        M = 64
+        geom = CacheGeometry(size=M, block=8)
+        part = refine_partition(interval_dp_partition(g, M, c=3.0), M, c=3.0)
+        sched = homogeneous_partition_schedule(g, part, geom, n_batches=3)
+        validate_schedule(g, sched, require_drained=True)
+        res = Executor.measure(
+            g, required_geometry(part, geom), sched,
+            layout_order=component_layout_order(part),
+        )
+        lb = dag_lower_bound(g, M, c=3.0)
+        assert res.misses >= float(lb.misses(res.source_fires, geom))
+        naive = Executor.measure(
+            g,
+            required_geometry(part, geom),
+            interleaved_schedule(g, n_iterations=res.source_fires),
+        )
+        assert res.misses < naive.misses
+
+    def test_corollary9_alpha_competitive(self):
+        """A partition alpha times worse than optimal costs at most O(alpha)
+        more: verify the measured-cost ordering matches bandwidth ordering."""
+        g = diamond(branch_len=3, ways=3, state=16)
+        M = 48
+        geom = CacheGeometry(size=M, block=8)
+        good = exact_min_bandwidth_partition(g, M, c=3.0)
+        worse = interval_dp_partition(g, M, c=1.0)  # tighter bound => more cuts
+        assert worse.bandwidth() >= good.bandwidth()
+        run = lambda p: Executor.measure(
+            g,
+            required_geometry(p, geom),
+            homogeneous_partition_schedule(g, p, geom, n_batches=3),
+            layout_order=component_layout_order(p),
+        )
+        res_good, res_worse = run(good), run(worse)
+        # more bandwidth should not make things cheaper (allow 10% noise)
+        assert res_worse.misses >= 0.9 * res_good.misses
+
+
+class TestApplicationStory:
+    @pytest.mark.parametrize("app_ctor", [fm_radio, filter_bank, des_rounds])
+    def test_apps_schedule_validate_and_win(self, app_ctor):
+        g = app_ctor()
+        M = 256
+        geom = CacheGeometry(size=M, block=8)
+        part = interval_dp_partition(g, M, c=2.0)
+        sched = inhomogeneous_partition_schedule(g, part, geom, n_batches=2)
+        validate_schedule(g, sched, require_drained=True)
+        aug = required_geometry(part, geom)
+        res = Executor.measure(g, aug, sched, layout_order=component_layout_order(part))
+        from repro.graphs.repetition import repetition_vector
+
+        reps = repetition_vector(g)
+        iters = max(1, res.source_fires // reps[g.sources()[0]])
+        naive = Executor.measure(g, aug, single_appearance_schedule(g, n_iterations=iters))
+        assert (
+            res.misses_per_source_fire < naive.misses_per_source_fire
+        ), f"{g.name}: partitioned should win"
+
+
+class TestBuilderToMeasurementPath:
+    def test_quickstart_flow(self):
+        """The README quickstart, as a test."""
+        g = (
+            GraphBuilder("qs")
+            .source(state=8)
+            .chain(6, state=32)
+            .sink(state=8)
+            .build()
+        )
+        geom = CacheGeometry(size=128, block=8)
+        part = optimal_pipeline_partition(g, geom.size, c=1.0)
+        sched = pipeline_dynamic_schedule(g, part, geom, target_outputs=200)
+        res = Executor.measure(
+            g, required_geometry(part, geom), sched,
+            layout_order=component_layout_order(part),
+        )
+        assert res.sink_fires == 200
+        assert res.misses_per_source_fire < 5
+
+
+class TestAugmentationShape:
+    def test_misses_fall_then_plateau(self):
+        g = pipeline([32] * 12)
+        M = 128
+        geom = CacheGeometry(size=M, block=8)
+        part = optimal_pipeline_partition(g, M, c=1.0)
+        sched = pipeline_dynamic_schedule(g, part, geom, target_outputs=500)
+        order = component_layout_order(part)
+        misses = [
+            Executor.measure(g, augmented_geometry(geom, f), sched, layout_order=order).misses
+            for f in (1.0, 2.0, 4.0)
+        ]
+        assert misses[0] > 2 * misses[1]  # steep initial fall
+        assert misses[1] < 2 * misses[2] + 1  # then plateau (2x headroom)

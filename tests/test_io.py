@@ -1,0 +1,76 @@
+"""Tests for graph serialization (JSON round-trip, DOT export)."""
+
+import json
+
+import pytest
+
+from repro.core.dagpart import interval_dp_partition
+from repro.errors import GraphError
+from repro.graphs.apps import ALL_APPS, fm_radio
+from repro.graphs.io import graph_from_dict, graph_to_dict, load_graph, save_graph, to_dot
+from repro.graphs.topologies import pipeline
+
+
+class TestJsonRoundTrip:
+    def test_simple_round_trip(self, mixed_pipeline):
+        data = graph_to_dict(mixed_pipeline)
+        g2 = graph_from_dict(data)
+        assert g2.name == mixed_pipeline.name
+        assert g2.n_modules == mixed_pipeline.n_modules
+        assert g2.n_channels == mixed_pipeline.n_channels
+        for a, b in zip(mixed_pipeline.channels(), g2.channels()):
+            assert (a.src, a.dst, a.out_rate, a.in_rate) == (b.src, b.dst, b.out_rate, b.in_rate)
+            assert a.cid == b.cid  # ids reproduce in insertion order
+
+    @pytest.mark.parametrize("name,ctor", sorted(ALL_APPS.items()))
+    def test_all_apps_round_trip(self, name, ctor):
+        g = ctor()
+        g2 = graph_from_dict(graph_to_dict(g))
+        assert g2.total_state() == g.total_state()
+        assert [m.name for m in g2.modules()] == [m.name for m in g.modules()]
+
+    def test_file_round_trip(self, tmp_path, homog_pipeline):
+        path = str(tmp_path / "g.json")
+        save_graph(homog_pipeline, path)
+        g2 = load_graph(path)
+        assert g2.n_modules == homog_pipeline.n_modules
+        # file is valid, indented JSON
+        raw = json.loads(open(path).read())
+        assert raw["name"] == homog_pipeline.name
+
+    def test_defaults_filled(self):
+        g = graph_from_dict(
+            {"modules": [{"name": "a"}, {"name": "b"}], "channels": [{"src": "a", "dst": "b"}]}
+        )
+        assert g.state("a") == 0
+        ch = next(iter(g.channels()))
+        assert ch.out_rate == 1 and ch.in_rate == 1
+
+    def test_malformed_rejected(self):
+        with pytest.raises(GraphError):
+            graph_from_dict({"modules": [{"nom": "a"}], "channels": []})
+        with pytest.raises(GraphError):
+            graph_from_dict({"channels": []})  # type: ignore[arg-type]
+
+
+class TestDot:
+    def test_plain_dot(self, homog_pipeline):
+        dot = to_dot(homog_pipeline)
+        assert dot.startswith("digraph")
+        assert '"m0" -> "m1"' in dot
+        assert dot.rstrip().endswith("}")
+
+    def test_rates_annotated(self, mixed_pipeline):
+        dot = to_dot(mixed_pipeline)
+        assert '2:1' in dot
+
+    def test_partition_clusters_and_cross_edges(self):
+        g = fm_radio(taps=32, bands=4)
+        part = interval_dp_partition(g, 256, c=2.0)
+        dot = to_dot(g, part)
+        assert "cluster_0" in dot
+        assert "color=red" in dot  # cross edges highlighted
+        # every module is declared exactly once (node labels embed the name
+        # with a newline, which edge rate-labels never contain)
+        for m in g.modules():
+            assert dot.count(f'"{m.name}" [label="{m.name}\\n') == 1

@@ -1,0 +1,93 @@
+"""Tests for memory layout (address assignment)."""
+
+import pytest
+
+from repro.errors import LayoutError
+from repro.graphs.minbuf import min_buffers
+from repro.graphs.topologies import diamond, pipeline
+from repro.mem.layout import MemoryLayout, Region
+
+
+class TestRegion:
+    def test_end_and_overlap(self):
+        a = Region(0, 10)
+        b = Region(5, 10)
+        c = Region(10, 5)
+        assert a.end == 10
+        assert a.overlaps(b) and b.overlaps(a)
+        assert not a.overlaps(c)
+
+    def test_zero_length_never_overlaps(self):
+        assert not Region(5, 0).overlaps(Region(0, 100))
+
+
+class TestMemoryLayout:
+    def test_block_alignment(self):
+        lay = MemoryLayout(block=8)
+        g = pipeline([5, 3])
+        lay.place_graph(g, min_buffers(g))
+        r0 = lay.state_region("m0")
+        r1 = lay.state_region("m1")
+        assert r0.start % 8 == 0 and r1.start % 8 == 0
+        assert r1.start >= r0.end
+
+    def test_all_regions_disjoint(self):
+        g = diamond(branch_len=3, ways=2, state=7)
+        lay = MemoryLayout(block=4)
+        lay.place_graph(g, min_buffers(g))
+        lay.check_disjoint()  # no raise
+
+    def test_custom_order_respected(self):
+        g = pipeline([8, 8, 8])
+        lay = MemoryLayout(block=8)
+        lay.place_graph(g, min_buffers(g), order=["m2", "m0", "m1"])
+        assert lay.state_region("m2").start < lay.state_region("m0").start
+
+    def test_bad_order_rejected(self):
+        g = pipeline([8, 8])
+        lay = MemoryLayout(block=8)
+        with pytest.raises(LayoutError):
+            lay.place_graph(g, min_buffers(g), order=["m0"])
+
+    def test_missing_buffer_size_rejected(self):
+        g = pipeline([8, 8])
+        lay = MemoryLayout(block=8)
+        with pytest.raises(LayoutError):
+            lay.place_graph(g, {})
+
+    def test_non_positive_capacity_rejected(self):
+        g = pipeline([8, 8])
+        lay = MemoryLayout(block=8)
+        with pytest.raises(LayoutError):
+            lay.place_graph(g, {0: 0})
+
+    def test_double_place_rejected(self):
+        g = pipeline([8, 8])
+        lay = MemoryLayout(block=8)
+        lay.place_graph(g, min_buffers(g))
+        with pytest.raises(LayoutError):
+            lay.place_graph(g, min_buffers(g))
+
+    def test_unplaced_lookup_raises(self):
+        lay = MemoryLayout(block=8)
+        with pytest.raises(LayoutError):
+            lay.state_region("nope")
+        with pytest.raises(LayoutError):
+            lay.buffer_region(0)
+
+    def test_footprint_accounts_padding(self):
+        g = pipeline([1, 1])
+        lay = MemoryLayout(block=8)
+        lay.place_graph(g, {0: 1})
+        # three 1-word objects, each block-aligned: footprint spans 2 blocks + 1
+        assert lay.footprint == 17
+
+    def test_invalid_block_rejected(self):
+        with pytest.raises(LayoutError):
+            MemoryLayout(block=0)
+
+    def test_zero_state_module_gets_empty_region(self):
+        g = pipeline([0, 4])
+        lay = MemoryLayout(block=8)
+        lay.place_graph(g, min_buffers(g))
+        assert lay.state_region("m0").length == 0

@@ -1,0 +1,120 @@
+"""Tests for Theorem 3 / Theorem 7 lower bounds."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.cache.base import CacheGeometry
+from repro.core.lower_bound import (
+    DAG_LB_CONSTANT,
+    PIPELINE_LB_CONSTANT,
+    dag_lower_bound,
+    pipeline_lower_bound,
+)
+from repro.graphs.topologies import diamond, pipeline, random_pipeline
+
+
+class TestPipelineLB:
+    def test_zero_for_cache_resident_graph(self):
+        g = pipeline([4] * 4)
+        lb = pipeline_lower_bound(g, cache_size=100)
+        assert lb.bandwidth == 0
+        assert lb.misses(1000, CacheGeometry(64, 8)) == 0
+
+    def test_homogeneous_counts_segments(self):
+        g = pipeline([10] * 30)
+        M = 25  # blocks of >50 state -> 6 modules each -> 5 segments
+        lb = pipeline_lower_bound(g, M)
+        assert len(lb.segments) == 5
+        assert lb.bandwidth == 5  # all gains 1
+
+    def test_min_gain_picked_per_segment(self):
+        # compressor halves token rate after m2: second segment's min gain is 1/2
+        g = pipeline([10] * 6, rates=[(1, 1), (1, 1), (1, 2), (1, 1), (1, 1)])
+        lb = pipeline_lower_bound(g, cache_size=12)
+        assert lb.min_gains == (Fraction(1), Fraction(1, 2))
+
+    def test_misses_formula(self):
+        g = pipeline([10] * 10)
+        M = 12
+        geom = CacheGeometry(size=M * 8, block=8)  # B=8 (size irrelevant here)
+        lb = pipeline_lower_bound(g, M)
+        T = 800
+        assert lb.misses(T, geom) == PIPELINE_LB_CONSTANT * Fraction(T, 8) * lb.bandwidth
+        assert lb.misses_per_input(geom) * T == lb.misses(T, geom)
+
+    def test_segments_are_disjoint_and_large(self):
+        g = random_pipeline(40, 20, seed=3)
+        M = 20
+        order = g.pipeline_order()
+        lb = pipeline_lower_bound(g, M)
+        seen = set()
+        for lo, hi in lb.segments:
+            assert g.total_state(order[lo:hi]) >= 2 * M
+            span = set(range(lo, hi))
+            assert not span & seen
+            seen |= span
+
+    def test_single_module_graph(self):
+        g = pipeline([5])
+        lb = pipeline_lower_bound(g, 2)
+        assert lb.bandwidth == 0
+
+
+class TestDagLB:
+    def test_zero_when_graph_fits_3m(self, simple_diamond):
+        lb = dag_lower_bound(simple_diamond, cache_size=1000)
+        assert lb.min_bandwidth == 0 and lb.exact
+
+    def test_exact_on_small_graph(self):
+        g = diamond(branch_len=2, ways=2, state=16)
+        lb = dag_lower_bound(g, cache_size=16, c=3.0)
+        assert lb.exact
+        assert lb.min_bandwidth == 2
+
+    def test_trivial_on_large_graph(self):
+        g = pipeline([10] * 30)
+        lb = dag_lower_bound(g, cache_size=5, exact_limit=10)
+        assert not lb.exact and lb.min_bandwidth == 0
+
+    def test_miss_formula(self):
+        g = diamond(branch_len=2, ways=2, state=16)
+        geom = CacheGeometry(size=48, block=8)
+        lb = dag_lower_bound(g, cache_size=16, c=3.0)
+        assert lb.misses(160, geom) == DAG_LB_CONSTANT * Fraction(160, 8) * 2
+
+
+class TestLowerBoundIsRespected:
+    """The theorems say NO schedule beats the bound; execute several and check."""
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_all_schedulers_respect_pipeline_lb(self, seed):
+        from repro.core.baselines import interleaved_schedule, single_appearance_schedule
+        from repro.core.partition_sched import (
+            component_layout_order,
+            pipeline_dynamic_schedule,
+        )
+        from repro.core.pipeline import optimal_pipeline_partition
+        from repro.core.tuning import required_geometry
+        from repro.runtime.executor import Executor
+
+        g = random_pipeline(15, 30, seed=seed, rate_choices=[(1, 1), (2, 1), (1, 2)])
+        M = 48
+        geom = CacheGeometry(size=M, block=8)
+        lb = pipeline_lower_bound(g, M)
+        part = optimal_pipeline_partition(g, M, c=1.0)
+        aug = required_geometry(part, geom)
+
+        runs = [
+            Executor.measure(
+                g,
+                aug,
+                pipeline_dynamic_schedule(g, part, geom, target_outputs=300),
+                layout_order=component_layout_order(part),
+            ),
+            Executor.measure(g, aug, single_appearance_schedule(g, n_iterations=50)),
+            Executor.measure(g, aug, interleaved_schedule(g, n_iterations=50)),
+        ]
+        for res in runs:
+            bound = float(lb.misses(res.source_fires, geom))
+            assert res.misses >= bound, f"{res.label}: {res.misses} < {bound}"

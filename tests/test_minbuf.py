@@ -1,0 +1,56 @@
+"""Tests for minimum buffer sizes, with the simulation oracle."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graphs.minbuf import min_buffer, min_buffers, verify_min_buffer
+from repro.graphs.sdf import Channel, StreamGraph
+from repro.graphs.topologies import pipeline
+
+
+def ch(out_rate: int, in_rate: int) -> Channel:
+    return Channel(cid=0, src="a", dst="b", out_rate=out_rate, in_rate=in_rate)
+
+
+class TestMinBuffer:
+    def test_homogeneous_paper_convention(self):
+        assert min_buffer(ch(1, 1)) == 2
+
+    def test_homogeneous_tight_convention(self):
+        assert min_buffer(ch(1, 1), convention="tight") == 1
+
+    def test_coprime_rates(self):
+        assert min_buffer(ch(3, 2), convention="tight") == 4  # 3+2-1
+        assert min_buffer(ch(3, 2)) == 5
+
+    def test_equal_rates(self):
+        assert min_buffer(ch(4, 4), convention="tight") == 4  # 4+4-4
+
+    def test_unknown_convention_rejected(self):
+        with pytest.raises(GraphError):
+            min_buffer(ch(1, 1), convention="bogus")  # type: ignore[arg-type]
+
+    def test_min_buffers_covers_all_channels(self, mixed_pipeline):
+        bufs = min_buffers(mixed_pipeline)
+        assert set(bufs) == {c.cid for c in mixed_pipeline.channels()}
+        for c in mixed_pipeline.channels():
+            assert bufs[c.cid] == c.out_rate + c.in_rate
+
+
+class TestVerifyOracle:
+    @pytest.mark.parametrize("p,c", [(1, 1), (2, 3), (3, 2), (4, 6), (5, 7), (8, 8)])
+    def test_tight_bound_is_feasible(self, p, c):
+        assert verify_min_buffer(ch(p, c), min_buffer(ch(p, c), convention="tight"))
+
+    @pytest.mark.parametrize("p,c", [(2, 3), (3, 2), (4, 6), (5, 7), (8, 8)])
+    def test_below_tight_bound_deadlocks(self, p, c):
+        tight = min_buffer(ch(p, c), convention="tight")
+        assert not verify_min_buffer(ch(p, c), tight - 1)
+
+    def test_paper_convention_always_feasible(self):
+        for p in range(1, 7):
+            for c in range(1, 7):
+                assert verify_min_buffer(ch(p, c), min_buffer(ch(p, c)))
+
+    def test_multiple_iterations(self):
+        assert verify_min_buffer(ch(3, 5), min_buffer(ch(3, 5), convention="tight"), iterations=4)

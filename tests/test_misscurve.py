@@ -1,0 +1,91 @@
+"""Tests for Mattson stack distances and miss curves."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.misscurve import (
+    experiment_e15_miss_curves,
+    miss_curve,
+    misses_at,
+    stack_distances,
+)
+from repro.cache.base import CacheGeometry
+from repro.cache.lru import LRUCache
+
+
+def lru_misses(trace, blocks):
+    c = LRUCache(CacheGeometry(size=blocks * 4, block=4))
+    for b in trace:
+        c.access_block(b)
+    return c.stats.misses
+
+
+class TestStackDistances:
+    def test_cold_accesses_are_none(self):
+        assert stack_distances([1, 2, 3]) == [None, None, None]
+
+    def test_immediate_reuse_distance_one(self):
+        assert stack_distances([5, 5]) == [None, 1]
+
+    def test_textbook_example(self):
+        # a b c a : the second 'a' has seen {b, c, a} distinct -> distance 3
+        d = stack_distances([1, 2, 3, 1])
+        assert d == [None, None, None, 3]
+
+    def test_repeat_pattern(self):
+        d = stack_distances([1, 2, 1, 2])
+        assert d == [None, None, 2, 2]
+
+    def test_empty(self):
+        assert stack_distances([]) == []
+
+
+class TestMissCurve:
+    def test_monotone_non_increasing(self):
+        rng = np.random.default_rng(1)
+        trace = rng.integers(0, 20, size=500).tolist()
+        curve = miss_curve(trace)
+        assert all(a >= b for a, b in zip(curve, curve[1:]))
+
+    def test_floor_is_compulsory(self):
+        rng = np.random.default_rng(2)
+        trace = rng.integers(0, 15, size=400).tolist()
+        curve = miss_curve(trace)
+        assert curve[-1] == len(set(trace))
+
+    def test_zero_cache_misses_everything(self):
+        trace = [1, 1, 1]
+        curve = miss_curve(trace)
+        assert curve[0] == 3
+
+    @pytest.mark.parametrize("blocks", [1, 2, 3, 5, 8, 13])
+    def test_matches_lru_simulation(self, blocks):
+        rng = np.random.default_rng(blocks)
+        trace = rng.integers(0, 16, size=800).tolist()
+        assert misses_at(trace, blocks) == lru_misses(trace, blocks)
+
+    @given(trace=st.lists(st.integers(0, 10), max_size=200), blocks=st.integers(1, 12))
+    @settings(max_examples=50, deadline=None)
+    def test_matches_lru_property(self, trace, blocks):
+        assert misses_at(trace, blocks) == lru_misses(trace, blocks)
+
+    def test_max_blocks_truncation(self):
+        trace = list(range(50)) * 2
+        curve = miss_curve(trace, max_blocks=10)
+        assert len(curve) == 11  # indices 0..max_blocks inclusive
+
+
+class TestE15:
+    def test_partitioned_collapses_before_naive(self):
+        rows = experiment_e15_miss_curves(n_outputs=200)
+        by = {r["cache_over_M"]: r for r in rows}
+        # in the regime where one component fits but the whole graph doesn't,
+        # partitioning wins by an order of magnitude
+        mid = [r for r in rows if 1.5 <= r["cache_over_M"] <= 3.0]
+        assert mid and all(r["naive_over_partitioned"] > 10 for r in mid)
+        # once the whole graph is resident the naive schedule is optimal
+        # (smaller footprint: no Theta(M) cross buffers)
+        big = [r for r in rows if r["cache_over_M"] >= 4.0]
+        assert big and all(r["naive_over_partitioned"] <= 1.0 for r in big)

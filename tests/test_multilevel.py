@@ -1,0 +1,106 @@
+"""Tests for the multilevel partitioner."""
+
+import pytest
+
+from repro.core.dagpart import (
+    exact_min_bandwidth_partition,
+    greedy_topological_partition,
+    interval_dp_partition,
+)
+from repro.core.multilevel import _initial_coarse, coarsen_once, multilevel_partition
+from repro.errors import PartitionError
+from repro.graphs.apps import beamformer, des_rounds
+from repro.graphs.topologies import (
+    diamond,
+    layered_random_dag,
+    pipeline,
+    random_pipeline,
+)
+
+
+class TestCoarsening:
+    def test_initial_coarse_mirrors_graph(self, simple_diamond):
+        c = _initial_coarse(simple_diamond)
+        assert c.n == simple_diamond.n_modules
+        assert sum(c.state) == simple_diamond.total_state()
+
+    def test_coarsen_reduces_size(self):
+        g = pipeline([4] * 16)
+        c = _initial_coarse(g)
+        c2, progressed = coarsen_once(c, bound=1000)
+        assert progressed
+        assert c2.n < c.n
+        assert sum(c2.state) == sum(c.state)  # state conserved
+
+    def test_coarsen_respects_bound(self):
+        g = pipeline([10] * 8)
+        c = _initial_coarse(g)
+        c2, _ = coarsen_once(c, bound=15)
+        assert max(c2.state) <= 15
+
+    def test_coarsen_preserves_acyclicity(self):
+        for seed in range(4):
+            g = layered_random_dag(5, 4, 8, seed=seed)
+            c = _initial_coarse(g)
+            for _ in range(6):
+                c, progressed = coarsen_once(c, bound=64)
+                c.topological_order()  # raises if cyclic
+                if not progressed:
+                    break
+
+    def test_members_partition_modules(self):
+        g = diamond(branch_len=3, ways=2, state=4)
+        c = _initial_coarse(g)
+        for _ in range(4):
+            c, progressed = coarsen_once(c, bound=24)
+            if not progressed:
+                break
+        names = sorted(n for group in c.members for n in group)
+        assert names == sorted(g.module_names())
+
+
+class TestMultilevelPartition:
+    def test_valid_partition(self):
+        g = beamformer(channels=6, beams=3, taps=24)
+        M = 192
+        p = multilevel_partition(g, M, c=2.0)
+        assert p.is_well_ordered()
+        assert p.is_c_bounded(M, 2.0)
+
+    def test_never_worse_than_greedy_with_refinement(self):
+        for seed in range(3):
+            g = layered_random_dag(5, 3, 12, seed=seed)
+            M = 48
+            ml = multilevel_partition(g, M, c=2.0)
+            greedy = greedy_topological_partition(g, M, c=2.0)
+            assert ml.bandwidth() <= greedy.bandwidth() * 1.5 + 1
+
+    def test_close_to_exact_on_small_graphs(self):
+        g = diamond(branch_len=3, ways=2, state=12)
+        M = 24
+        exact = exact_min_bandwidth_partition(g, M, c=3.0)
+        ml = multilevel_partition(g, M, c=3.0)
+        assert ml.bandwidth() <= 3 * exact.bandwidth() + 1
+
+    def test_long_pipeline(self):
+        g = random_pipeline(120, 16, seed=9)
+        M = 48
+        p = multilevel_partition(g, M, c=2.0)
+        assert p.is_well_ordered()
+        assert p.max_component_state() <= 2 * M
+
+    def test_oversized_module_rejected(self):
+        g = pipeline([100, 1])
+        with pytest.raises(PartitionError):
+            multilevel_partition(g, 10, c=1.0)
+
+    def test_refinement_flag(self):
+        g = des_rounds(rounds=8, sbox_state=32)
+        M = 128
+        raw = multilevel_partition(g, M, c=2.0, refine_each_level=False)
+        refined = multilevel_partition(g, M, c=2.0, refine_each_level=True)
+        assert refined.bandwidth() <= raw.bandwidth()
+
+    def test_single_component_when_fits(self, simple_diamond):
+        p = multilevel_partition(simple_diamond, 10_000, c=1.0)
+        assert p.k == 1

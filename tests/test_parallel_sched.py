@@ -1,0 +1,88 @@
+"""Tests for the parallel dynamic scheduling simulation."""
+
+import pytest
+
+from repro.cache.base import CacheGeometry
+from repro.core.dagpart import interval_dp_partition, refine_partition
+from repro.core.parallel_sched import parallel_dynamic_simulation
+from repro.core.partition import whole_graph_partition
+from repro.errors import GraphError, ScheduleError
+from repro.graphs.topologies import diamond, pipeline
+
+
+@pytest.fixture
+def wide_dag():
+    return diamond(branch_len=4, ways=4, state=16)
+
+
+@pytest.fixture
+def pgeom():
+    return CacheGeometry(size=64, block=8)
+
+
+def make_partition(g, geom, c=2.0):
+    return refine_partition(interval_dp_partition(g, geom.size, c=c), geom.size, c=c)
+
+
+class TestParallelSimulation:
+    def test_single_worker_baseline(self, wide_dag, pgeom):
+        part = make_partition(wide_dag, pgeom)
+        res = parallel_dynamic_simulation(wide_dag, part, pgeom, n_workers=1, target_outputs=256)
+        assert res.p == 1
+        assert res.speedup == pytest.approx(1.0)
+        assert res.load_balance == pytest.approx(1.0)
+        assert res.total_misses > 0
+        assert res.source_fires >= 256
+
+    def test_two_workers_speedup(self, wide_dag, pgeom):
+        part = make_partition(wide_dag, pgeom)
+        one = parallel_dynamic_simulation(wide_dag, part, pgeom, 1, target_outputs=512)
+        two = parallel_dynamic_simulation(wide_dag, part, pgeom, 2, target_outputs=512)
+        assert two.makespan < one.makespan
+        assert two.speedup > 1.3
+
+    def test_misses_do_not_explode_with_parallelism(self, wide_dag, pgeom):
+        part = make_partition(wide_dag, pgeom)
+        one = parallel_dynamic_simulation(wide_dag, part, pgeom, 1, target_outputs=512)
+        four = parallel_dynamic_simulation(wide_dag, part, pgeom, 4, target_outputs=512)
+        assert four.total_misses <= 2 * one.total_misses
+
+    def test_speedup_saturates_at_graph_width(self, wide_dag, pgeom):
+        part = make_partition(wide_dag, pgeom)
+        r4 = parallel_dynamic_simulation(wide_dag, part, pgeom, 4, target_outputs=512)
+        r16 = parallel_dynamic_simulation(wide_dag, part, pgeom, 16, target_outputs=512)
+        assert r16.speedup <= r4.speedup * 1.25 + 0.1
+
+    def test_work_conservation(self, wide_dag, pgeom):
+        part = make_partition(wide_dag, pgeom)
+        res = parallel_dynamic_simulation(wide_dag, part, pgeom, 3, target_outputs=256)
+        assert res.total_work == sum(w.busy_time for w in res.workers)
+        assert sum(w.components_run for w in res.workers) == res.batches_run
+
+    def test_single_component_serializes(self, pgeom):
+        g = diamond(branch_len=1, ways=2, state=4)
+        part = whole_graph_partition(g)
+        res = parallel_dynamic_simulation(g, part, pgeom, 4, target_outputs=128)
+        # only one component: exactly one worker ever busy
+        busy = [w for w in res.workers if w.busy_time > 0]
+        assert len(busy) == 1
+        assert res.speedup == pytest.approx(1.0)
+
+    def test_rejects_inhomogeneous(self, pgeom):
+        g = pipeline([4, 4], rates=[(3, 1)])
+        part = whole_graph_partition(g)
+        with pytest.raises(GraphError):
+            parallel_dynamic_simulation(g, part, pgeom, 2, target_outputs=8)
+
+    def test_rejects_bad_params(self, wide_dag, pgeom):
+        part = whole_graph_partition(wide_dag)
+        with pytest.raises(ScheduleError):
+            parallel_dynamic_simulation(wide_dag, part, pgeom, 0, target_outputs=8)
+        with pytest.raises(ScheduleError):
+            parallel_dynamic_simulation(wide_dag, part, pgeom, 2, target_outputs=0)
+
+    def test_summary_format(self, wide_dag, pgeom):
+        part = make_partition(wide_dag, pgeom)
+        res = parallel_dynamic_simulation(wide_dag, part, pgeom, 2, target_outputs=128)
+        s = res.summary()
+        assert "P=2" in s and "speedup" in s

@@ -1,0 +1,127 @@
+"""Tests for the Partition type (Definitions 2 and 3)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.partition import Partition, singleton_partition, whole_graph_partition
+from repro.errors import NotWellOrderedError, PartitionError
+from repro.graphs.topologies import diamond, pipeline
+
+
+class TestConstruction:
+    def test_valid(self, homog_pipeline):
+        p = Partition(homog_pipeline, [[f"m{i}" for i in range(5)], [f"m{i}" for i in range(5, 10)]])
+        assert p.k == 2
+        assert p.component_of("m0") == 0 and p.component_of("m7") == 1
+
+    def test_missing_module_rejected(self, homog_pipeline):
+        with pytest.raises(PartitionError):
+            Partition(homog_pipeline, [["m0"]])
+
+    def test_duplicate_rejected(self, homog_pipeline):
+        comps = [["m0", "m1"], ["m1"] + [f"m{i}" for i in range(2, 10)]]
+        with pytest.raises(PartitionError):
+            Partition(homog_pipeline, comps)
+
+    def test_empty_component_rejected(self, homog_pipeline):
+        with pytest.raises(PartitionError):
+            Partition(homog_pipeline, [[], [f"m{i}" for i in range(10)]])
+
+    def test_no_components_rejected(self, homog_pipeline):
+        with pytest.raises(PartitionError):
+            Partition(homog_pipeline, [])
+
+    def test_unknown_module_rejected(self, homog_pipeline):
+        with pytest.raises(Exception):
+            Partition(homog_pipeline, [["zz"] + [f"m{i}" for i in range(10)]])
+
+
+class TestMetrics:
+    def test_cross_and_internal_channels(self, homog_pipeline):
+        p = Partition(homog_pipeline, [[f"m{i}" for i in range(5)], [f"m{i}" for i in range(5, 10)]])
+        assert len(p.cross_channels()) == 1
+        assert len(p.internal_channels()) == 8
+        assert len(p.internal_channels(0)) == 4
+
+    def test_bandwidth_homogeneous_counts_edges(self, simple_diamond):
+        p = singleton_partition(simple_diamond)
+        assert p.bandwidth() == simple_diamond.n_channels
+
+    def test_bandwidth_weighs_gains(self):
+        g = pipeline([4, 4, 4], rates=[(4, 1), (1, 1)])
+        p = Partition(g, [["m0"], ["m1", "m2"]])
+        assert p.bandwidth() == 4  # edge m0->m1 carries 4 tokens/input
+        p2 = Partition(g, [["m0", "m1"], ["m2"]])
+        assert p2.bandwidth() == 4  # m1 fires 4x emitting 1 each
+
+    def test_component_state(self, homog_pipeline):
+        p = Partition(homog_pipeline, [[f"m{i}" for i in range(3)], [f"m{i}" for i in range(3, 10)]])
+        assert p.component_state(0) == 3 * 24
+        assert p.max_component_state() == 7 * 24
+
+    def test_component_degree(self, simple_diamond):
+        p = Partition(
+            simple_diamond,
+            [["src"], ["b0_0", "b0_1", "b1_0", "b1_1", "snk"]],
+        )
+        assert p.component_degree(0) == 2
+        assert p.component_degree(1) == 2
+
+    def test_whole_graph_zero_bandwidth(self, simple_diamond):
+        assert whole_graph_partition(simple_diamond).bandwidth() == 0
+
+
+class TestWellOrdered:
+    def test_chain_segments_well_ordered(self, homog_pipeline):
+        p = Partition(homog_pipeline, [[f"m{i}" for i in range(5)], [f"m{i}" for i in range(5, 10)]])
+        assert p.is_well_ordered()
+        assert p.component_order() == [0, 1]
+
+    def test_interleaved_branches_not_well_ordered(self, simple_diamond):
+        p = Partition(
+            simple_diamond,
+            [["src", "b0_0", "b1_1"], ["b1_0", "b0_1", "snk"]],
+        )
+        assert not p.is_well_ordered()
+        with pytest.raises(NotWellOrderedError):
+            p.component_order()
+
+    def test_branch_split_well_ordered(self, simple_diamond):
+        p = Partition(
+            simple_diamond,
+            [["src"], ["b0_0", "b0_1"], ["b1_0", "b1_1"], ["snk"]],
+        )
+        assert p.is_well_ordered()
+        order = p.component_order()
+        assert order[0] == 0 and order[-1] == 3
+
+    def test_singletons_always_well_ordered(self, simple_diamond):
+        assert singleton_partition(simple_diamond).is_well_ordered()
+
+
+class TestBounds:
+    def test_c_bounded(self, homog_pipeline):
+        p = Partition(homog_pipeline, [[f"m{i}" for i in range(5)], [f"m{i}" for i in range(5, 10)]])
+        assert p.is_c_bounded(cache_size=120)  # 5*24 == 120
+        assert not p.is_c_bounded(cache_size=119)
+        assert p.is_c_bounded(cache_size=60, c=2.0)
+
+    def test_degree_limited(self, simple_diamond):
+        p = Partition(simple_diamond, [["src"], ["b0_0", "b0_1", "b1_0", "b1_1", "snk"]])
+        assert p.is_degree_limited(cache_size=16, block=8)  # limit 2 >= 2
+        assert not p.is_degree_limited(cache_size=8, block=8)  # limit 1 < 2
+
+    def test_validate_raises_appropriately(self, simple_diamond):
+        good = Partition(simple_diamond, [["src"], ["b0_0", "b0_1", "b1_0", "b1_1", "snk"]])
+        good.validate(cache_size=1000)
+        with pytest.raises(PartitionError):
+            good.validate(cache_size=10)
+        bad = Partition(simple_diamond, [["src", "b0_0", "b1_1"], ["b1_0", "b0_1", "snk"]])
+        with pytest.raises(NotWellOrderedError):
+            bad.validate(cache_size=1000)
+
+    def test_describe_and_repr(self, homog_pipeline):
+        p = Partition(homog_pipeline, [[f"m{i}" for i in range(10)]], label="all")
+        assert "all" in repr(p)
+        assert "C0" in p.describe()

@@ -1,0 +1,196 @@
+"""Tests for pipeline partitioning: Theorem 5 construction and the DP."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.pipeline import (
+    gain_min_edge,
+    greedy_state_blocks,
+    optimal_pipeline_partition,
+    pipeline_chain,
+    theorem5_partition,
+)
+from repro.errors import GraphError, PartitionError
+from repro.graphs.repetition import compute_gains
+from repro.graphs.topologies import pipeline, random_pipeline
+
+
+class TestChainHelpers:
+    def test_pipeline_chain(self, homog_pipeline):
+        order, chans = pipeline_chain(homog_pipeline)
+        assert len(order) == 10 and len(chans) == 9
+        for ch, (a, b) in zip(chans, zip(order, order[1:])):
+            assert (ch.src, ch.dst) == (a, b)
+
+    def test_gain_min_edge_finds_minimum(self):
+        g = pipeline([1] * 4, rates=[(2, 1), (1, 4), (1, 1)])
+        order, chans = pipeline_chain(g)
+        gains = compute_gains(g)
+        # edge gains: m0->m1: 2; m1->m2: 2; m2->m3: 1/2
+        idx, gmin = gain_min_edge(chans, gains, 0, 3)
+        assert idx == 2 and gmin == Fraction(1, 2)
+
+    def test_gain_min_tie_breaks_early(self):
+        g = pipeline([1] * 3)
+        order, chans = pipeline_chain(g)
+        gains = compute_gains(g)
+        idx, _ = gain_min_edge(chans, gains, 0, 2)
+        assert idx == 0
+
+    def test_gain_min_empty_segment_rejected(self):
+        g = pipeline([1] * 3)
+        _, chans = pipeline_chain(g)
+        with pytest.raises(PartitionError):
+            gain_min_edge(chans, compute_gains(g), 1, 1)
+
+
+class TestGreedyStateBlocks:
+    def test_blocks_partition_indices(self):
+        g = pipeline([10] * 20)
+        blocks = greedy_state_blocks(g, cache_size=25)
+        assert blocks[0][0] == 0
+        assert blocks[-1][1] == 20
+        for (a, b), (c, d) in zip(blocks, blocks[1:]):
+            assert b == c
+
+    def test_closed_blocks_exceed_2m(self):
+        g = pipeline([10] * 20)
+        M = 25
+        order = g.pipeline_order()
+        blocks = greedy_state_blocks(g, M)
+        for lo, hi in blocks:
+            assert g.total_state(order[lo:hi]) > 2 * M
+
+    def test_blocks_bounded_by_5m(self):
+        # each module <= M, so closed <= 3M and absorbed tail <= 5M
+        g = random_pipeline(30, 25, seed=2)
+        M = 25
+        order = g.pipeline_order()
+        for lo, hi in greedy_state_blocks(g, M):
+            assert g.total_state(order[lo:hi]) <= 5 * M
+
+    def test_small_graph_single_block(self):
+        g = pipeline([4, 4])
+        assert greedy_state_blocks(g, cache_size=100) == [(0, 2)]
+
+
+class TestTheorem5Partition:
+    def test_small_graph_no_cuts(self):
+        g = pipeline([4] * 4)
+        p = theorem5_partition(g, cache_size=100)
+        assert p.k == 1 and p.bandwidth() == 0
+
+    def test_components_contiguous_and_well_ordered(self):
+        g = random_pipeline(25, 30, seed=5)
+        p = theorem5_partition(g, cache_size=30)
+        assert p.is_well_ordered()
+        order = g.pipeline_order()
+        flat = [n for i in p.component_order() for n in p.components[i]]
+        assert flat == order
+
+    def test_8m_bounded(self):
+        for seed in range(5):
+            g = random_pipeline(40, 20, seed=seed)
+            M = 20
+            p = theorem5_partition(g, M)
+            assert p.max_component_state() <= 8 * M
+
+    def test_bandwidth_is_sum_of_block_min_gains(self):
+        g = pipeline([10] * 9, rates=[(1, 1), (2, 1), (1, 2), (1, 1), (4, 1), (1, 4), (1, 1), (1, 1)])
+        M = 12  # blocks of ~3 modules
+        p = theorem5_partition(g, M)
+        gains = compute_gains(g)
+        _, chans = pipeline_chain(g)
+        blocks = greedy_state_blocks(g, M)
+        expected = Fraction(0)
+        order = g.pipeline_order()
+        for lo, hi in blocks:
+            if g.total_state(order[lo:hi]) <= 2 * M or hi - lo < 2:
+                continue
+            _, gmin = gain_min_edge(chans, gains, lo, hi - 1)
+            expected += gmin
+        assert p.bandwidth() == expected
+
+    def test_cuts_prefer_low_gain_edges(self):
+        # m3 is a 2:1 compressor, so edges after it carry half the tokens;
+        # the second state block (modules 3-5) must cut at the first
+        # half-gain edge m3->m4 rather than anywhere else.
+        g = pipeline([10] * 6, rates=[(1, 1), (1, 1), (1, 2), (1, 1), (1, 1)])
+        p = theorem5_partition(g, cache_size=12)
+        assert any(
+            ch.src == "m3" and ch.dst == "m4" for ch in p.cross_channels()
+        )
+
+    def test_single_module_graph(self):
+        g = pipeline([5])
+        p = theorem5_partition(g, cache_size=2)
+        assert p.k == 1
+
+    def test_non_pipeline_rejected(self, simple_diamond):
+        with pytest.raises(GraphError):
+            theorem5_partition(simple_diamond, 10)
+
+
+class TestOptimalDP:
+    def test_respects_bound(self):
+        g = random_pipeline(20, 30, seed=9)
+        M = 60
+        p = optimal_pipeline_partition(g, M, c=1.0)
+        assert p.max_component_state() <= M
+        assert p.is_well_ordered()
+
+    def test_oversized_module_rejected(self):
+        g = pipeline([10, 300, 10])
+        with pytest.raises(PartitionError):
+            optimal_pipeline_partition(g, 100, c=1.0)
+
+    def test_single_component_when_everything_fits(self):
+        g = pipeline([4] * 5)
+        p = optimal_pipeline_partition(g, 100, c=1.0)
+        assert p.k == 1 and p.bandwidth() == 0
+
+    def test_optimal_vs_exhaustive_small(self):
+        """Brute-force all 2^(n-1) segmentations and compare."""
+        from itertools import product
+
+        g = pipeline([7, 9, 5, 8, 6], rates=[(2, 1), (1, 3), (3, 1), (1, 2)])
+        M, c = 12, 1.5
+        gains = compute_gains(g)
+        order, chans = pipeline_chain(g)
+        states = [g.state(n) for n in order]
+        best = None
+        for cuts in product([0, 1], repeat=4):
+            segs, cur = [], [0]
+            for i, cut in enumerate(cuts):
+                if cut:
+                    segs.append(cur)
+                    cur = []
+                cur.append(i + 1)
+            segs.append(cur)
+            if any(sum(states[i] for i in seg) > c * M for seg in segs):
+                continue
+            bw = sum(
+                (gains.edge_gain(chans[seg[0] - 1].cid) for seg in segs[1:]),
+                Fraction(0),
+            )
+            if best is None or bw < best:
+                best = bw
+        p = optimal_pipeline_partition(g, M, c=c)
+        assert p.bandwidth() == best
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_never_worse_than_theorem5_at_c8(self, seed):
+        g = random_pipeline(30, 20, seed=seed, rate_choices=[(1, 1), (2, 1), (1, 2)])
+        M = 20
+        assert (
+            optimal_pipeline_partition(g, M, c=8.0).bandwidth()
+            <= theorem5_partition(g, M).bandwidth()
+        )
+
+    def test_components_in_chain_order(self):
+        g = random_pipeline(15, 10, seed=1)
+        p = optimal_pipeline_partition(g, 25, c=2.0)
+        order = g.pipeline_order()
+        flat = [n for comp in p.components for n in comp]
+        assert flat == order

@@ -1,0 +1,275 @@
+"""Property-based tests (hypothesis) for core data structures and invariants.
+
+These cover the invariants the correctness of every experiment rests on:
+LRU residency bounds, OPT dominance, FIFO buffer semantics, gain/repetition
+balance on random rate-matched pipelines, DP optimality versus brute force,
+and schedule feasibility of every scheduler on random workloads.
+"""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.cache.base import CacheGeometry
+from repro.cache.lru import LRUCache
+from repro.cache.opt import simulate_opt
+from repro.graphs.minbuf import min_buffer, verify_min_buffer
+from repro.graphs.repetition import compute_gains, iteration_tokens, repetition_vector
+from repro.graphs.sdf import Channel
+from repro.graphs.topologies import pipeline
+from repro.mem.layout import MemoryLayout, Region
+from repro.runtime.buffers import ChannelBuffer
+
+# ----------------------------------------------------------------------
+# strategies
+# ----------------------------------------------------------------------
+rates = st.tuples(st.integers(1, 5), st.integers(1, 5))
+
+
+@st.composite
+def pipelines(draw, max_n=10, max_state=30):
+    n = draw(st.integers(2, max_n))
+    states = draw(st.lists(st.integers(0, max_state), min_size=n, max_size=n))
+    rs = draw(st.lists(rates, min_size=n - 1, max_size=n - 1))
+    return pipeline(states, rs)
+
+
+block_traces = st.lists(st.integers(0, 20), min_size=0, max_size=300)
+
+
+# ----------------------------------------------------------------------
+# cache properties
+# ----------------------------------------------------------------------
+class TestCacheProperties:
+    @given(trace=block_traces, blocks=st.integers(1, 8))
+    @settings(max_examples=60, deadline=None)
+    def test_lru_never_exceeds_capacity(self, trace, blocks):
+        c = LRUCache(CacheGeometry(size=blocks * 4, block=4))
+        for b in trace:
+            c.access_block(b)
+            assert c.resident_blocks() <= blocks
+
+    @given(trace=block_traces, blocks=st.integers(1, 8))
+    @settings(max_examples=60, deadline=None)
+    def test_opt_dominates_lru(self, trace, blocks):
+        geo = CacheGeometry(size=blocks * 4, block=4)
+        lru = LRUCache(geo)
+        for b in trace:
+            lru.access_block(b)
+        assert simulate_opt(trace, geo).misses <= lru.stats.misses
+
+    @given(trace=block_traces, blocks=st.integers(1, 8))
+    @settings(max_examples=60, deadline=None)
+    def test_misses_at_least_distinct_blocks_capped(self, trace, blocks):
+        geo = CacheGeometry(size=blocks * 4, block=4)
+        lru = LRUCache(geo)
+        for b in trace:
+            lru.access_block(b)
+        assert lru.stats.misses >= len(set(trace)) - 0  # cold misses mandatory
+        assert lru.stats.accesses == len(trace)
+
+    @given(trace=block_traces)
+    @settings(max_examples=40, deadline=None)
+    def test_bigger_lru_never_misses_more(self, trace):
+        small = LRUCache(CacheGeometry(size=8, block=4))
+        big = LRUCache(CacheGeometry(size=32, block=4))
+        for b in trace:
+            small.access_block(b)
+            big.access_block(b)
+        # LRU is a stack algorithm: inclusion property => monotone misses
+        assert big.stats.misses <= small.stats.misses
+
+
+# ----------------------------------------------------------------------
+# buffer properties
+# ----------------------------------------------------------------------
+class TestBufferProperties:
+    @given(
+        cap=st.integers(1, 32),
+        ops=st.lists(st.integers(1, 8), min_size=1, max_size=40),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_fifo_conservation(self, cap, ops):
+        """Push/pop in lockstep: occupancy accounting always consistent and
+        addresses stay within the region."""
+        b = ChannelBuffer(0, Region(100, cap))
+        for k in ops:
+            k = min(k, cap)
+            ranges = b.push_ranges(k)
+            assert sum(length for _, length in ranges) == k
+            for start, length in ranges:
+                assert 100 <= start and start + length <= 100 + cap
+            ranges = b.pop_ranges(k)
+            assert sum(length for _, length in ranges) == k
+            assert b.tokens == 0
+
+    @given(cap=st.integers(2, 16), seed=st.integers(0, 10_000))
+    @settings(max_examples=40, deadline=None)
+    def test_interleaved_push_pop_never_corrupts(self, cap, seed):
+        import numpy as np
+
+        rng = np.random.default_rng(seed)
+        b = ChannelBuffer(0, Region(0, cap))
+        model = 0  # reference occupancy
+        for _ in range(60):
+            if rng.random() < 0.5 and model < cap:
+                k = int(rng.integers(1, cap - model + 1))
+                b.push_ranges(k)
+                model += k
+            elif model > 0:
+                k = int(rng.integers(1, model + 1))
+                b.pop_ranges(k)
+                model -= k
+            assert b.tokens == model
+
+
+# ----------------------------------------------------------------------
+# SDF properties
+# ----------------------------------------------------------------------
+class TestSdfProperties:
+    @given(g=pipelines())
+    @settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_pipelines_always_rate_matched(self, g):
+        gains = compute_gains(g)
+        # balance equation holds on every channel
+        for ch in g.channels():
+            assert gains.edge_gain(ch.cid) == gains.gain(ch.dst) * ch.in_rate
+
+    @given(g=pipelines())
+    @settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_repetition_vector_balances_every_channel(self, g):
+        reps = repetition_vector(g)
+        for ch in g.channels():
+            assert reps[ch.src] * ch.out_rate == reps[ch.dst] * ch.in_rate
+
+    @given(g=pipelines())
+    @settings(max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_repetition_vector_minimal(self, g):
+        from math import gcd
+
+        reps = repetition_vector(g)
+        acc = 0
+        for r in reps.values():
+            acc = gcd(acc, r)
+        assert acc == 1
+
+    @given(p=st.integers(1, 9), c=st.integers(1, 9))
+    @settings(max_examples=60, deadline=None)
+    def test_tight_minbuf_is_exactly_minimal(self, p, c):
+        ch = Channel(cid=0, src="a", dst="b", out_rate=p, in_rate=c)
+        tight = min_buffer(ch, convention="tight")
+        assert verify_min_buffer(ch, tight)
+        if tight > max(p, c):
+            assert not verify_min_buffer(ch, tight - 1)
+
+
+# ----------------------------------------------------------------------
+# partitioning properties
+# ----------------------------------------------------------------------
+class TestPartitionProperties:
+    @given(g=pipelines(max_n=8, max_state=20), m=st.integers(5, 40))
+    @settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_dp_matches_bruteforce(self, g, m):
+        """O(n^2) DP equals exhaustive search over all segmentations."""
+        from itertools import product
+
+        from repro.core.pipeline import optimal_pipeline_partition, pipeline_chain
+        from repro.errors import PartitionError
+
+        c = 2.0
+        order = g.pipeline_order()
+        states = [g.state(n) for n in order]
+        if max(states) > c * m:
+            with pytest.raises(PartitionError):
+                optimal_pipeline_partition(g, m, c=c)
+            return
+        _, chans = pipeline_chain(g)
+        gains = compute_gains(g)
+        n = len(order)
+        best = None
+        for cuts in product([0, 1], repeat=n - 1):
+            seg_start = 0
+            ok = True
+            bw = Fraction(0)
+            acc = states[0]
+            for i, cut in enumerate(cuts):
+                if cut:
+                    bw += gains.edge_gain(chans[i].cid)
+                    acc = 0
+                acc += states[i + 1]
+                if acc > c * m:
+                    ok = False
+                    break
+            if ok and (best is None or bw < best):
+                best = bw
+        p = optimal_pipeline_partition(g, m, c=c)
+        assert p.bandwidth() == best
+
+    @given(g=pipelines(max_n=10, max_state=15), m=st.integers(15, 40))
+    @settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_theorem5_partition_invariants(self, g, m):
+        from repro.core.pipeline import theorem5_partition
+
+        p = theorem5_partition(g, m)
+        assert p.is_well_ordered()
+        assert p.max_component_state() <= 8 * m
+        # segments contiguous in chain order
+        flat = [n for comp in p.components for n in comp]
+        assert flat == g.pipeline_order()
+
+
+# ----------------------------------------------------------------------
+# scheduler feasibility properties
+# ----------------------------------------------------------------------
+class TestSchedulerProperties:
+    @given(g=pipelines(max_n=8, max_state=20), outs=st.integers(1, 60))
+    @settings(max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_dynamic_pipeline_schedule_always_feasible(self, g, outs):
+        from repro.core.pipeline import optimal_pipeline_partition
+        from repro.core.partition_sched import pipeline_dynamic_schedule
+        from repro.errors import PartitionError
+        from repro.runtime.schedule import validate_schedule
+
+        geom = CacheGeometry(size=32, block=4)
+        try:
+            part = optimal_pipeline_partition(g, geom.size, c=1.0)
+        except PartitionError:
+            return  # some module exceeds M: paper precondition violated
+        sched = pipeline_dynamic_schedule(g, part, geom, target_outputs=outs)
+        validate_schedule(g, sched)
+        sink = g.pipeline_order()[-1]
+        assert sched.count(sink) == outs
+
+    @given(g=pipelines(max_n=7, max_state=20), batches=st.integers(1, 3))
+    @settings(max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_inhomogeneous_schedule_always_drains(self, g, batches):
+        from repro.core.dagpart import interval_dp_partition
+        from repro.core.partition_sched import inhomogeneous_partition_schedule
+        from repro.errors import PartitionError
+        from repro.runtime.schedule import validate_schedule
+
+        geom = CacheGeometry(size=32, block=4)
+        try:
+            part = interval_dp_partition(g, geom.size, c=2.0)
+        except PartitionError:
+            return
+        sched = inhomogeneous_partition_schedule(g, part, geom, n_batches=batches)
+        validate_schedule(g, sched, require_drained=True)
+
+
+# ----------------------------------------------------------------------
+# layout properties
+# ----------------------------------------------------------------------
+class TestLayoutProperties:
+    @given(g=pipelines(max_n=10, max_state=20), block=st.sampled_from([1, 2, 4, 8]))
+    @settings(max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_layout_always_disjoint_and_aligned(self, g, block):
+        from repro.graphs.minbuf import min_buffers
+
+        lay = MemoryLayout(block=block)
+        lay.place_graph(g, min_buffers(g))
+        lay.check_disjoint()
+        for m in g.modules():
+            assert lay.state_region(m.name).start % block == 0

@@ -1,0 +1,123 @@
+"""Tests for gains and repetition vectors (Definition 1, balance equations)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.errors import GraphError, RateMismatchError
+from repro.graphs.repetition import compute_gains, iteration_tokens, repetition_vector
+from repro.graphs.sdf import StreamGraph
+from repro.graphs.topologies import pipeline
+
+
+class TestComputeGains:
+    def test_homogeneous_chain_all_ones(self):
+        g = pipeline([1] * 5)
+        gains = compute_gains(g)
+        assert all(v == 1 for v in gains.node.values())
+        assert all(v == 1 for v in gains.edge.values())
+
+    def test_upsampler_gain(self):
+        # a emits 3 per firing, b consumes 1 -> b fires 3x per a firing
+        g = StreamGraph()
+        g.add_module("a")
+        g.add_module("b")
+        g.add_channel("a", "b", out_rate=3, in_rate=1)
+        gains = compute_gains(g)
+        assert gains.gain("b") == 3
+        assert gains.edge_gain(0) == 3
+
+    def test_downsampler_gain(self):
+        g = StreamGraph()
+        g.add_module("a")
+        g.add_module("b")
+        g.add_channel("a", "b", out_rate=1, in_rate=4)
+        gains = compute_gains(g)
+        assert gains.gain("b") == Fraction(1, 4)
+        assert gains.edge_gain(0) == 1  # one token per source firing
+
+    def test_edge_gain_is_gain_u_times_out(self):
+        g = pipeline([1, 1, 1], rates=[(2, 1), (3, 2)])
+        gains = compute_gains(g)
+        # gain(m1) = 2; edge m1->m2 carries gain(m1)*3 = 6 per source firing
+        assert gains.gain("m1") == 2
+        assert gains.edge_gain(1) == 6
+
+    def test_rate_matched_diamond_ok(self):
+        g = StreamGraph()
+        for n in "sabt":
+            g.add_module(n)
+        g.add_channel("s", "a", out_rate=2, in_rate=1)
+        g.add_channel("s", "b", out_rate=1, in_rate=1)
+        g.add_channel("a", "t", out_rate=1, in_rate=2)
+        g.add_channel("b", "t", out_rate=1, in_rate=1)
+        gains = compute_gains(g)
+        assert gains.gain("t") == 1
+
+    def test_rate_mismatch_detected(self):
+        g = StreamGraph()
+        for n in "sabt":
+            g.add_module(n)
+        g.add_channel("s", "a", out_rate=2, in_rate=1)  # a fires 2x
+        g.add_channel("s", "b", out_rate=1, in_rate=1)  # b fires 1x
+        g.add_channel("a", "t")  # t fires 2x via a
+        g.add_channel("b", "t")  # t fires 1x via b -> mismatch
+        with pytest.raises(RateMismatchError):
+            compute_gains(g)
+
+    def test_reference_rescaling(self):
+        g = pipeline([1, 1], rates=[(2, 1)])
+        gains = compute_gains(g, reference="m1")
+        assert gains.gain("m1") == 1
+        assert gains.gain("m0") == Fraction(1, 2)
+
+    def test_rescale_method(self):
+        g = pipeline([1, 1], rates=[(2, 1)])
+        gains = compute_gains(g).rescale("m1")
+        assert gains.gain("m1") == 1
+
+    def test_unknown_reference_rejected(self):
+        g = pipeline([1, 1])
+        with pytest.raises(GraphError):
+            compute_gains(g, reference="zz")
+
+    def test_empty_graph_rejected(self):
+        with pytest.raises(GraphError):
+            compute_gains(StreamGraph())
+
+    def test_bandwidth_of_edges(self):
+        g = pipeline([1, 1, 1], rates=[(2, 1), (1, 1)])
+        gains = compute_gains(g)
+        assert gains.bandwidth_of_edges([0, 1]) == 2 + 2
+
+
+class TestRepetitionVector:
+    def test_homogeneous_all_ones(self):
+        g = pipeline([1] * 4)
+        assert repetition_vector(g) == {f"m{i}": 1 for i in range(4)}
+
+    def test_up_down_sampler(self, upsample_downsample):
+        reps = repetition_vector(upsample_downsample)
+        assert reps == {"a": 1, "b": 3, "c": 1}
+
+    def test_fractional_gains_scaled_integral(self):
+        g = pipeline([1, 1, 1], rates=[(1, 2), (1, 3)])
+        reps = repetition_vector(g)
+        # gains: m0=1, m1=1/2, m2=1/6 -> reps (6, 3, 1)
+        assert reps == {"m0": 6, "m1": 3, "m2": 1}
+
+    def test_minimality_gcd_one(self):
+        g = pipeline([1, 1], rates=[(2, 2)])
+        reps = repetition_vector(g)
+        assert reps == {"m0": 1, "m1": 1}
+
+    def test_iteration_tokens_balance(self, mixed_pipeline):
+        reps = repetition_vector(mixed_pipeline)
+        toks = iteration_tokens(mixed_pipeline, reps)
+        for ch in mixed_pipeline.channels():
+            assert toks[ch.cid] == reps[ch.src] * ch.out_rate
+            assert toks[ch.cid] == reps[ch.dst] * ch.in_rate
+
+    def test_iteration_tokens_computes_reps_if_missing(self, homog_pipeline):
+        toks = iteration_tokens(homog_pipeline)
+        assert all(t == 1 for t in toks.values())

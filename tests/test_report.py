@@ -1,0 +1,41 @@
+"""Tests for table/series formatting."""
+
+from repro.analysis.report import format_series, format_table, rows_to_table
+
+
+class TestFormatTable:
+    def test_alignment_and_header(self):
+        out = format_table(["name", "value"], [["a", 1], ["bb", 22]])
+        lines = out.splitlines()
+        assert lines[0].startswith("name")
+        assert "-+-" in lines[1]
+        assert len(lines) == 4
+
+    def test_title(self):
+        out = format_table(["x"], [[1]], title="T")
+        assert out.splitlines()[0] == "T"
+
+    def test_float_formatting(self):
+        out = format_table(["v"], [[3.14159], [12345.6], [0.0]])
+        assert "3.142" in out
+        assert "12,346" in out
+
+    def test_rows_to_table_uses_first_row_keys(self):
+        rows = [{"a": 1, "b": 2}, {"a": 3, "b": 4}]
+        out = rows_to_table(rows)
+        assert "a" in out.splitlines()[0]
+
+    def test_rows_to_table_empty(self):
+        assert "(no rows)" in rows_to_table([])
+
+    def test_missing_keys_blank(self):
+        rows = [{"a": 1, "b": 2}, {"a": 3}]
+        out = rows_to_table(rows)
+        assert out  # no exception
+
+
+class TestFormatSeries:
+    def test_pairs(self):
+        out = format_series("s", [1, 2], [10, 20])
+        assert "series s:" in out
+        assert "1 -> 10" in out

@@ -1,0 +1,94 @@
+"""Tests for schedule representation and token-level validation."""
+
+import pytest
+
+from repro.errors import BufferOverflowError, ScheduleError
+from repro.graphs.topologies import pipeline
+from repro.runtime.schedule import Schedule, validate_schedule
+
+
+class TestSchedule:
+    def test_fire_counts(self):
+        s = Schedule(["a", "b", "a", "a"])
+        assert s.fire_counts() == {"a": 3, "b": 1}
+        assert s.count("a") == 3
+        assert len(s) == 4
+        assert list(s) == ["a", "b", "a", "a"]
+
+    def test_extended(self):
+        s = Schedule(["a"], capacities={0: 5}, label="x")
+        s2 = s.extended(["b", "c"])
+        assert s2.firings == ["a", "b", "c"]
+        assert s2.capacities == {0: 5}
+        assert s.firings == ["a"]  # original untouched
+
+    def test_summary(self):
+        s = Schedule(["a", "a", "b"], label="demo")
+        assert "demo" in s.summary() and "a" in s.summary()
+
+
+class TestValidateSchedule:
+    def test_valid_homogeneous_chain(self):
+        g = pipeline([1, 1, 1])
+        s = Schedule(["m0", "m1", "m2"] * 3)
+        final = validate_schedule(g, s)
+        assert all(t == 0 for t in final.values())
+
+    def test_firing_without_input_rejected(self):
+        g = pipeline([1, 1])
+        with pytest.raises(ScheduleError):
+            validate_schedule(g, Schedule(["m1"]))
+
+    def test_position_reported_in_error(self):
+        g = pipeline([1, 1])
+        with pytest.raises(ScheduleError, match="#2"):
+            validate_schedule(g, Schedule(["m0", "m1", "m1"]))
+
+    def test_capacity_overflow_rejected(self):
+        g = pipeline([1, 1])
+        s = Schedule(["m0", "m0", "m0"], capacities={0: 2})
+        with pytest.raises(BufferOverflowError):
+            validate_schedule(g, s)
+
+    def test_unbounded_when_capacity_missing(self):
+        g = pipeline([1, 1])
+        s = Schedule(["m0"] * 100, capacities={})
+        final = validate_schedule(g, s)
+        assert final[0] == 100
+
+    def test_rates_respected(self):
+        g = pipeline([1, 1], rates=[(2, 3)])
+        # m0 produces 2/firing; m1 needs 3: two m0 firings then one m1 works
+        validate_schedule(g, Schedule(["m0", "m0", "m1"]))
+        with pytest.raises(ScheduleError):
+            validate_schedule(g, Schedule(["m0", "m1"]))
+
+    def test_initial_tokens(self):
+        g = pipeline([1, 1])
+        final = validate_schedule(g, Schedule(["m1"]), initial_tokens={0: 1})
+        assert final[0] == 0
+
+    def test_negative_initial_tokens_rejected(self):
+        g = pipeline([1, 1])
+        with pytest.raises(ScheduleError):
+            validate_schedule(g, Schedule([]), initial_tokens={0: -1})
+
+    def test_require_drained(self):
+        g = pipeline([1, 1])
+        validate_schedule(g, Schedule(["m0", "m1"]), require_drained=True)
+        with pytest.raises(ScheduleError):
+            validate_schedule(g, Schedule(["m0"]), require_drained=True)
+
+    def test_require_drained_respects_initial(self):
+        g = pipeline([1, 1])
+        validate_schedule(
+            g,
+            Schedule(["m1", "m0"]),
+            initial_tokens={0: 1},
+            require_drained=True,
+        )
+
+    def test_returns_final_occupancy(self):
+        g = pipeline([1, 1], rates=[(4, 1)])
+        final = validate_schedule(g, Schedule(["m0", "m1"]))
+        assert final[0] == 3

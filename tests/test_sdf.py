@@ -1,0 +1,183 @@
+"""Unit tests for the SDF graph model (repro.graphs.sdf)."""
+
+import pytest
+
+from repro.errors import CycleError, GraphError
+from repro.graphs.sdf import Channel, Module, StreamGraph
+
+
+class TestModule:
+    def test_basic_construction(self):
+        m = Module("f", state=10, work=3)
+        assert m.name == "f" and m.state == 10 and m.work == 3
+
+    def test_default_state_zero(self):
+        assert Module("f").state == 0
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(GraphError):
+            Module("")
+
+    def test_negative_state_rejected(self):
+        with pytest.raises(GraphError):
+            Module("f", state=-1)
+
+    def test_negative_work_rejected(self):
+        with pytest.raises(GraphError):
+            Module("f", work=-2)
+
+    def test_frozen(self):
+        m = Module("f")
+        with pytest.raises(Exception):
+            m.state = 5  # type: ignore[misc]
+
+
+class TestChannel:
+    def test_basic(self):
+        ch = Channel(cid=0, src="a", dst="b", out_rate=2, in_rate=3)
+        assert ch.endpoints == ("a", "b")
+        assert not ch.is_homogeneous()
+
+    def test_homogeneous_detection(self):
+        assert Channel(cid=0, src="a", dst="b").is_homogeneous()
+
+    def test_zero_rate_rejected(self):
+        with pytest.raises(GraphError):
+            Channel(cid=0, src="a", dst="b", out_rate=0)
+        with pytest.raises(GraphError):
+            Channel(cid=0, src="a", dst="b", in_rate=0)
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(GraphError):
+            Channel(cid=0, src="a", dst="a")
+
+
+class TestStreamGraph:
+    def _chain(self, n=3) -> StreamGraph:
+        g = StreamGraph("chain")
+        for i in range(n):
+            g.add_module(f"m{i}", state=i + 1)
+        for i in range(n - 1):
+            g.add_channel(f"m{i}", f"m{i + 1}")
+        return g
+
+    def test_counts(self):
+        g = self._chain(4)
+        assert g.n_modules == 4 and g.n_channels == 3
+
+    def test_duplicate_module_rejected(self):
+        g = StreamGraph()
+        g.add_module("a")
+        with pytest.raises(GraphError):
+            g.add_module("a")
+
+    def test_channel_unknown_endpoint_rejected(self):
+        g = StreamGraph()
+        g.add_module("a")
+        with pytest.raises(GraphError):
+            g.add_channel("a", "b")
+        with pytest.raises(GraphError):
+            g.add_channel("b", "a")
+
+    def test_multigraph_parallel_channels(self):
+        g = StreamGraph()
+        g.add_module("a")
+        g.add_module("b")
+        c1 = g.add_channel("a", "b", out_rate=1, in_rate=1)
+        c2 = g.add_channel("a", "b", out_rate=2, in_rate=2)
+        assert c1.cid != c2.cid
+        assert len(g.channels_between("a", "b")) == 2
+
+    def test_total_state(self):
+        g = self._chain(4)
+        assert g.total_state() == 1 + 2 + 3 + 4
+        assert g.total_state(["m0", "m3"]) == 1 + 4
+
+    def test_successors_predecessors_distinct(self):
+        g = StreamGraph()
+        for n in "abc":
+            g.add_module(n)
+        g.add_channel("a", "b")
+        g.add_channel("a", "b")  # parallel
+        g.add_channel("a", "c")
+        assert g.successors("a") == ["b", "c"]
+        assert g.predecessors("b") == ["a"]
+
+    def test_degree_counts_channels_not_neighbors(self):
+        g = StreamGraph()
+        for n in "ab":
+            g.add_module(n)
+        g.add_channel("a", "b")
+        g.add_channel("a", "b")
+        assert g.degree("a") == 2 and g.degree("b") == 2
+
+    def test_sources_sinks(self):
+        g = self._chain(3)
+        assert g.sources() == ["m0"]
+        assert g.sinks() == ["m2"]
+
+    def test_topological_order_is_valid(self):
+        g = StreamGraph()
+        for n in "abcd":
+            g.add_module(n)
+        g.add_channel("a", "b")
+        g.add_channel("a", "c")
+        g.add_channel("b", "d")
+        g.add_channel("c", "d")
+        order = g.topological_order()
+        pos = {n: i for i, n in enumerate(order)}
+        for ch in g.channels():
+            assert pos[ch.src] < pos[ch.dst]
+
+    def test_cycle_detected(self):
+        g = StreamGraph()
+        for n in "abc":
+            g.add_module(n)
+        g.add_channel("a", "b")
+        g.add_channel("b", "c")
+        g.add_channel("c", "a")
+        with pytest.raises(CycleError):
+            g.topological_order()
+        assert not g.is_dag()
+
+    def test_is_pipeline(self):
+        assert self._chain(5).is_pipeline()
+        g = self._chain(3)
+        g.add_module("x")
+        g.add_channel("m0", "x")
+        assert not g.is_pipeline()
+
+    def test_single_module_is_pipeline(self):
+        g = StreamGraph()
+        g.add_module("only")
+        assert g.is_pipeline()
+        assert g.pipeline_order() == ["only"]
+
+    def test_empty_graph_not_pipeline(self):
+        assert not StreamGraph().is_pipeline()
+
+    def test_is_homogeneous(self):
+        g = self._chain(3)
+        assert g.is_homogeneous()
+        g.add_channel("m0", "m2", out_rate=2, in_rate=1)
+        assert not g.is_homogeneous()
+
+    def test_copy_independent(self):
+        g = self._chain(3)
+        h = g.copy()
+        h.add_module("extra")
+        assert g.n_modules == 3 and h.n_modules == 4
+        assert [c.cid for c in g.channels()] == [c.cid for c in h.channels()]
+
+    def test_unknown_module_raises(self):
+        g = self._chain(2)
+        with pytest.raises(GraphError):
+            g.module("zz")
+        with pytest.raises(GraphError):
+            g.channel(999)
+
+    def test_contains_and_repr(self):
+        g = self._chain(2)
+        assert "m0" in g and "zz" not in g
+        assert "chain" in repr(g)
+        assert "m0" in g.describe()

@@ -1,0 +1,141 @@
+"""Tests for synthetic topology generators."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graphs.topologies import (
+    butterfly,
+    diamond,
+    layered_random_dag,
+    pipeline,
+    random_pipeline,
+    rate_matched_random_dag,
+    split_join_tree,
+)
+from repro.graphs.validate import validate_graph
+
+
+class TestPipeline:
+    def test_shape(self):
+        g = pipeline([1, 2, 3])
+        assert g.is_pipeline()
+        assert g.pipeline_order() == ["m0", "m1", "m2"]
+        assert [g.state(n) for n in g.pipeline_order()] == [1, 2, 3]
+
+    def test_rates_applied(self):
+        g = pipeline([1, 1], rates=[(3, 2)])
+        ch = next(iter(g.channels()))
+        assert (ch.out_rate, ch.in_rate) == (3, 2)
+
+    def test_wrong_rate_count_rejected(self):
+        with pytest.raises(GraphError):
+            pipeline([1, 1, 1], rates=[(1, 1)])
+
+    def test_empty_rejected(self):
+        with pytest.raises(GraphError):
+            pipeline([])
+
+    def test_validates(self):
+        assert validate_graph(pipeline([4] * 8)).ok
+
+
+class TestRandomPipeline:
+    def test_deterministic_with_seed(self):
+        a = random_pipeline(10, 50, seed=42)
+        b = random_pipeline(10, 50, seed=42)
+        assert [m.state for m in a.modules()] == [m.state for m in b.modules()]
+
+    def test_states_within_bounds(self):
+        g = random_pipeline(30, 20, seed=1, min_state=5)
+        assert all(5 <= m.state <= 20 for m in g.modules())
+
+    def test_mixed_rates_rate_matched(self):
+        g = random_pipeline(20, 10, seed=3, rate_choices=[(1, 1), (2, 1), (1, 2), (3, 2)])
+        assert validate_graph(g).ok
+
+    def test_zero_modules_rejected(self):
+        with pytest.raises(GraphError):
+            random_pipeline(0, 10)
+
+
+class TestDiamond:
+    def test_structure(self):
+        g = diamond(branch_len=2, ways=3, state=5)
+        assert g.n_modules == 2 + 3 * 2
+        assert len(g.sources()) == 1 and len(g.sinks()) == 1
+        assert g.is_homogeneous()
+        assert validate_graph(g).ok
+
+    def test_zero_branch_len(self):
+        g = diamond(branch_len=0, ways=2)
+        # src connects directly to snk twice (parallel channels)
+        assert g.n_channels == 2
+
+
+class TestSplitJoinTree:
+    @pytest.mark.parametrize("depth", [0, 1, 2, 3])
+    def test_structure(self, depth):
+        g = split_join_tree(depth, state=3)
+        expected = 2 * (2 ** (depth + 1) - 1)
+        assert g.n_modules == expected
+        assert len(g.sources()) == 1 and len(g.sinks()) == 1
+        assert validate_graph(g).ok
+
+    def test_negative_depth_rejected(self):
+        with pytest.raises(GraphError):
+            split_join_tree(-1)
+
+
+class TestButterfly:
+    @pytest.mark.parametrize("stages", [1, 2, 3])
+    def test_structure(self, stages):
+        g = butterfly(stages, state=2)
+        lanes = 1 << stages
+        assert g.n_modules == 2 + lanes * (stages + 1)
+        assert validate_graph(g).ok
+        assert g.is_homogeneous()
+
+    def test_each_inner_node_has_two_inputs(self):
+        g = butterfly(2, state=2)
+        for k in range(1, 3):
+            for lane in range(4):
+                assert len(g.in_channels(f"n{k}_{lane}")) == 2
+
+    def test_bad_stages_rejected(self):
+        with pytest.raises(GraphError):
+            butterfly(0)
+
+
+class TestLayeredRandomDag:
+    def test_connected_and_valid(self):
+        g = layered_random_dag(4, 3, 10, seed=7)
+        report = validate_graph(g)
+        assert report.ok, report.errors
+
+    def test_deterministic(self):
+        a = layered_random_dag(3, 3, 10, seed=5)
+        b = layered_random_dag(3, 3, 10, seed=5)
+        assert a.n_channels == b.n_channels
+
+    def test_homogeneous(self):
+        assert layered_random_dag(3, 2, 5, seed=1).is_homogeneous()
+
+    def test_bad_dims_rejected(self):
+        with pytest.raises(GraphError):
+            layered_random_dag(0, 3, 10)
+
+
+class TestRateMatchedRandomDag:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
+    def test_always_rate_matched(self, seed):
+        g = rate_matched_random_dag(4, 3, 12, seed=seed, rate_choices=(1, 2, 3))
+        report = validate_graph(g)
+        assert report.rate_matched, report.errors
+
+    def test_has_nonunit_rates(self):
+        # with several layers at least one channel should be inhomogeneous
+        for seed in range(10):
+            g = rate_matched_random_dag(5, 2, 8, seed=seed, rate_choices=(2, 3))
+            if not g.is_homogeneous():
+                return
+        pytest.fail("no inhomogeneous channel generated in 10 seeds")

@@ -1,0 +1,66 @@
+"""Tests for trace recording."""
+
+import pytest
+
+from repro.cache.base import CacheGeometry
+from repro.cache.lru import LRUCache
+from repro.cache.opt import simulate_opt
+from repro.mem.trace import TraceRecorder, TracingCache
+
+
+class TestTraceRecorder:
+    def test_records_in_order(self):
+        r = TraceRecorder()
+        for b in (3, 1, 2):
+            r.record(b)
+        assert r.blocks == [3, 1, 2]
+        assert len(r) == 3
+
+    def test_marks_and_slices(self):
+        r = TraceRecorder()
+        r.mark("start")
+        r.record(1)
+        r.record(2)
+        r.mark("end")
+        r.record(3)
+        assert r.slice_between("start", "end") == [1, 2]
+
+    def test_missing_marks_raise(self):
+        r = TraceRecorder()
+        with pytest.raises(ValueError):
+            r.slice_between("a", "b")
+
+
+class TestTracingCache:
+    def test_decorates_without_changing_behavior(self):
+        geo = CacheGeometry(size=32, block=8)
+        plain = LRUCache(geo)
+        traced = TracingCache(LRUCache(geo))
+        trace_in = [0, 1, 2, 0, 3, 4, 0]
+        for b in trace_in:
+            plain.access_block(b)
+            traced.access_block(b)
+        assert traced.stats.misses == plain.stats.misses
+        assert traced.recorder.blocks == trace_in
+
+    def test_recorded_trace_replays_under_opt(self):
+        geo = CacheGeometry(size=16, block=8)
+        traced = TracingCache(LRUCache(geo))
+        for b in [0, 1, 2, 0, 1, 2, 0]:
+            traced.access_block(b)
+        opt = simulate_opt(traced.recorder.blocks, geo)
+        assert opt.misses <= traced.stats.misses
+
+    def test_access_range_traced_per_block(self):
+        geo = CacheGeometry(size=32, block=8)
+        traced = TracingCache(LRUCache(geo))
+        traced.access_range(0, 20)  # blocks 0,1,2
+        assert traced.recorder.blocks == [0, 1, 2]
+
+    def test_flush_and_resident_delegate(self):
+        geo = CacheGeometry(size=32, block=8)
+        traced = TracingCache(LRUCache(geo))
+        traced.access_block(0)
+        assert traced.resident_blocks() == 1
+        traced.flush()
+        assert traced.resident_blocks() == 0

@@ -1,0 +1,136 @@
+"""Tests for graph transforms: normalization, induced subgraphs, contraction."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graphs.repetition import compute_gains
+from repro.graphs.sdf import StreamGraph
+from repro.graphs.topologies import diamond, pipeline
+from repro.graphs.transforms import (
+    SUPER_SINK,
+    SUPER_SOURCE,
+    as_networkx,
+    contract_partition,
+    induced_subgraph,
+    normalize_source_sink,
+)
+from repro.graphs.validate import validate_graph
+
+
+class TestNormalize:
+    def test_already_normal_copies(self, homog_pipeline):
+        g = normalize_source_sink(homog_pipeline)
+        assert g.n_modules == homog_pipeline.n_modules
+        assert SUPER_SOURCE not in g
+
+    def test_multi_source_gets_super_source(self):
+        g = StreamGraph()
+        for n in "abt":
+            g.add_module(n, state=4)
+        g.add_channel("a", "t")
+        g.add_channel("b", "t")
+        norm = normalize_source_sink(g)
+        assert SUPER_SOURCE in norm
+        assert norm.sources() == [SUPER_SOURCE]
+        assert validate_graph(norm).ok
+
+    def test_multi_sink_gets_super_sink(self):
+        g = StreamGraph()
+        for n in "sab":
+            g.add_module(n, state=4)
+        g.add_channel("s", "a")
+        g.add_channel("s", "b")
+        norm = normalize_source_sink(g)
+        assert norm.sinks() == [SUPER_SINK]
+        assert validate_graph(norm).ok
+
+    def test_super_nodes_have_zero_state(self):
+        g = StreamGraph()
+        for n in "abt":
+            g.add_module(n, state=9)
+        g.add_channel("a", "t")
+        g.add_channel("b", "t")
+        norm = normalize_source_sink(g)
+        assert norm.state(SUPER_SOURCE) == 0
+
+    def test_unequal_source_gains_stay_rate_matched(self):
+        # source b fires twice per firing of a (t consumes 1 from a, 2 from b)
+        g = StreamGraph()
+        for n in "abt":
+            g.add_module(n)
+        g.add_channel("a", "t", out_rate=1, in_rate=1)
+        g.add_channel("b", "t", out_rate=1, in_rate=2)
+        norm = normalize_source_sink(g)
+        gains = compute_gains(norm)
+        assert gains.gain("b") == 2 * gains.gain("a")
+
+
+class TestInducedSubgraph:
+    def test_keeps_internal_edges_only(self, simple_diamond):
+        names = ["src", "b0_0", "b0_1"]
+        sub = induced_subgraph(simple_diamond, names)
+        assert sub.n_modules == 3
+        assert sub.n_channels == 2  # src->b0_0->b0_1; edges to b1_* dropped
+
+    def test_preserves_state_and_rates(self, mixed_pipeline):
+        sub = induced_subgraph(mixed_pipeline, ["m1", "m2"])
+        assert sub.state("m1") == mixed_pipeline.state("m1")
+        ch = next(iter(sub.channels()))
+        orig = mixed_pipeline.channels_between("m1", "m2")[0]
+        assert (ch.out_rate, ch.in_rate) == (orig.out_rate, orig.in_rate)
+
+    def test_unknown_name_rejected(self, homog_pipeline):
+        with pytest.raises(GraphError):
+            induced_subgraph(homog_pipeline, ["m0", "nope"])
+
+
+class TestContractPartition:
+    def test_chain_contraction(self, homog_pipeline):
+        comps = [[f"m{i}" for i in range(5)], [f"m{i}" for i in range(5, 10)]]
+        contracted, assign = contract_partition(homog_pipeline, comps)
+        assert contracted.n_modules == 2
+        assert contracted.n_channels == 1  # only the cut edge survives
+        assert contracted.state("C0") == homog_pipeline.total_state(comps[0])
+        assert assign["m0"] == 0 and assign["m9"] == 1
+
+    def test_parallel_cross_edges_preserved(self, simple_diamond):
+        # put src alone: two cross edges src->branches
+        comps = [["src"], ["b0_0", "b0_1", "b1_0", "b1_1", "snk"]]
+        contracted, _ = contract_partition(simple_diamond, comps)
+        assert contracted.n_channels == 2
+
+    def test_cyclic_contraction_detected_via_is_dag(self, simple_diamond):
+        # interleave the two branches so contraction creates a 2-cycle
+        comps = [["src", "b0_0", "b1_1"], ["b1_0", "b0_1", "snk"]]
+        contracted, _ = contract_partition(simple_diamond, comps)
+        assert not contracted.is_dag()
+
+    def test_incomplete_partition_rejected(self, homog_pipeline):
+        with pytest.raises(GraphError):
+            contract_partition(homog_pipeline, [["m0"]])
+
+    def test_duplicate_rejected(self, homog_pipeline):
+        comps = [["m0", "m1"], ["m1"] + [f"m{i}" for i in range(2, 10)]]
+        with pytest.raises(GraphError):
+            contract_partition(homog_pipeline, comps)
+
+    def test_empty_component_rejected(self, homog_pipeline):
+        with pytest.raises(GraphError):
+            contract_partition(homog_pipeline, [[], [f"m{i}" for i in range(10)]])
+
+
+class TestNetworkxBridge:
+    def test_round_trip_structure(self, simple_diamond):
+        nx_graph = as_networkx(simple_diamond)
+        assert nx_graph.number_of_nodes() == simple_diamond.n_modules
+        assert nx_graph.number_of_edges() == simple_diamond.n_channels
+
+    def test_against_networkx_topological_oracle(self, simple_diamond):
+        import networkx as nx
+
+        nx_graph = as_networkx(simple_diamond)
+        assert nx.is_directed_acyclic_graph(nx_graph)
+        ours = simple_diamond.topological_order()
+        pos = {n: i for i, n in enumerate(ours)}
+        for u, v in nx_graph.edges():
+            assert pos[u] < pos[v]

@@ -1,0 +1,117 @@
+"""Tests for batch tuning and cache-geometry helpers."""
+
+import pytest
+
+from repro.cache.base import CacheGeometry
+from repro.core.dagpart import interval_dp_partition
+from repro.core.partition import whole_graph_partition
+from repro.core.tuning import (
+    augmented_geometry,
+    choose_batch,
+    cross_capacities,
+    required_geometry,
+)
+from repro.errors import GraphError
+from repro.graphs.repetition import iteration_tokens, repetition_vector
+from repro.graphs.topologies import pipeline, random_pipeline
+from repro.graphs.apps import filter_bank
+
+
+class TestChooseBatch:
+    def test_paper_conditions_hold(self, mixed_pipeline):
+        M = 64
+        plan = choose_batch(mixed_pipeline, M)
+        reps = repetition_vector(mixed_pipeline)
+        toks = iteration_tokens(mixed_pipeline, reps)
+        for ch in mixed_pipeline.channels():
+            traffic = plan.channel_tokens[ch.cid]
+            # integral, divisible by out and in, and >= M (Section 3)
+            assert traffic == plan.k * toks[ch.cid]
+            assert traffic % ch.out_rate == 0
+            assert traffic % ch.in_rate == 0
+            assert traffic >= M
+
+    def test_source_fires_multiple_of_reps(self, mixed_pipeline):
+        plan = choose_batch(mixed_pipeline, 64)
+        reps = repetition_vector(mixed_pipeline)
+        assert plan.source_fires == plan.k * reps["m0"]
+        assert plan.fires == {n: plan.k * r for n, r in reps.items()}
+
+    def test_cross_only_requirement_smaller_k(self):
+        g = filter_bank(branches=4, taps=16)
+        M = 128
+        part = interval_dp_partition(g, M, c=2.0)
+        cross = [c.cid for c in part.cross_channels()]
+        restricted = choose_batch(g, M, cross_cids=cross)
+        strict = choose_batch(g, M)
+        assert restricted.k <= strict.k
+
+    def test_no_cross_edges_single_iteration(self, mixed_pipeline):
+        plan = choose_batch(mixed_pipeline, 64, cross_cids=[])
+        assert plan.k == 1
+
+    def test_multi_source_rejected(self):
+        from repro.graphs.sdf import StreamGraph
+
+        g = StreamGraph()
+        for n in "abt":
+            g.add_module(n)
+        g.add_channel("a", "t")
+        g.add_channel("b", "t")
+        with pytest.raises(GraphError):
+            choose_batch(g, 10)
+
+
+class TestCrossCapacities:
+    def test_covers_exactly_cross_edges(self, mixed_pipeline):
+        M = 64
+        part = interval_dp_partition(mixed_pipeline, M, c=1.0)
+        plan = choose_batch(mixed_pipeline, M)
+        caps = cross_capacities(part, plan)
+        assert set(caps) == {c.cid for c in part.cross_channels()}
+        for cid, cap in caps.items():
+            assert cap == plan.channel_tokens[cid]
+
+
+class TestGeometryHelpers:
+    def test_augmented_rounds_to_blocks(self):
+        g = CacheGeometry(size=128, block=8)
+        a = augmented_geometry(g, 1.6)
+        assert a.size % 8 == 0 and a.size >= 204
+        assert a.block == 8
+
+    def test_augmented_factor_one_identity_size(self):
+        g = CacheGeometry(size=128, block=8)
+        assert augmented_geometry(g, 1.0).size == 128
+
+    def test_required_geometry_fits_worst_component(self, homog_pipeline):
+        geom = CacheGeometry(size=64, block=8)
+        part = interval_dp_partition(homog_pipeline, 64, c=1.0)
+        req = required_geometry(part, geom, slack=1.0)
+        worst = max(part.component_state(i) for i in range(part.k))
+        assert req.size >= worst
+
+    def test_required_geometry_never_below_input(self, homog_pipeline):
+        geom = CacheGeometry(size=10_000, block=8)
+        part = whole_graph_partition(homog_pipeline)
+        req = required_geometry(part, geom, slack=1.0)
+        assert req.size >= geom.size
+
+    def test_required_geometry_scales_with_degree(self):
+        # a hub component with many cross edges needs more cache
+        from repro.graphs.sdf import StreamGraph
+        from repro.core.partition import Partition
+
+        g = StreamGraph()
+        g.add_module("s", state=8)
+        for i in range(12):
+            g.add_module(f"w{i}", state=8)
+            g.add_channel("s", f"w{i}")
+        g.add_module("t", state=8)
+        for i in range(12):
+            g.add_channel(f"w{i}", "t")
+        hub = Partition(g, [["s"], [f"w{i}" for i in range(12)], ["t"]])
+        geom = CacheGeometry(size=16, block=8)
+        req = required_geometry(hub, geom, slack=1.0, cross_hot_blocks=2)
+        # middle component: 12 modules x 8 + 24 cross edges x 2 blocks x 8 + 2 blocks
+        assert req.size >= 12 * 8 + 24 * 2 * 8

@@ -1,0 +1,112 @@
+"""Tests for Section-2 assumption validation (repro.graphs.validate)."""
+
+import pytest
+
+from repro.errors import (
+    GraphError,
+    RateMismatchError,
+    SourceSinkError,
+    StateTooLargeError,
+)
+from repro.graphs.sdf import StreamGraph
+from repro.graphs.topologies import diamond, pipeline
+from repro.graphs.validate import (
+    check_buffer_state_condition,
+    check_rate_matched,
+    check_single_source_sink,
+    check_state_bound,
+    validate_graph,
+)
+
+
+class TestChecks:
+    def test_rate_matched_passes(self, mixed_pipeline):
+        check_rate_matched(mixed_pipeline)  # no raise
+
+    def test_rate_mismatch_raises(self):
+        g = StreamGraph()
+        for n in "sabt":
+            g.add_module(n)
+        g.add_channel("s", "a", out_rate=2, in_rate=1)
+        g.add_channel("s", "b")
+        g.add_channel("a", "t")
+        g.add_channel("b", "t")
+        with pytest.raises(RateMismatchError):
+            check_rate_matched(g)
+
+    def test_single_source_sink_ok(self, homog_pipeline):
+        check_single_source_sink(homog_pipeline)
+
+    def test_multi_source_rejected(self):
+        g = StreamGraph()
+        for n in "abt":
+            g.add_module(n)
+        g.add_channel("a", "t")
+        g.add_channel("b", "t")
+        with pytest.raises(SourceSinkError):
+            check_single_source_sink(g)
+
+    def test_multi_sink_rejected(self):
+        g = StreamGraph()
+        for n in "sab":
+            g.add_module(n)
+        g.add_channel("s", "a")
+        g.add_channel("s", "b")
+        with pytest.raises(SourceSinkError):
+            check_single_source_sink(g)
+
+    def test_state_bound(self):
+        g = pipeline([10, 200, 10])
+        check_state_bound(g, cache_size=200)
+        with pytest.raises(StateTooLargeError):
+            check_state_bound(g, cache_size=199)
+
+    def test_buffer_state_condition_holds_for_homogeneous(self, simple_diamond):
+        check_buffer_state_condition(simple_diamond)
+
+    def test_buffer_state_condition_violated_by_huge_rates(self):
+        # zero-state module with enormous rates: minBuf >> max(state, rates)?
+        # rates themselves bound minBuf (= in+out), so the paper's condition
+        # holds even here -- the check passes by design.
+        g = pipeline([0, 0], rates=[(1000, 1)])
+        check_buffer_state_condition(g)
+
+
+class TestValidateGraph:
+    def test_good_graph(self, homog_pipeline):
+        report = validate_graph(homog_pipeline, cache_size=64)
+        assert report.ok
+        report.raise_if_failed()
+
+    def test_cycle_fails_early(self):
+        g = StreamGraph()
+        g.add_module("a")
+        g.add_module("b")
+        g.add_channel("a", "b")
+        g.add_channel("b", "a")
+        report = validate_graph(g)
+        assert not report.ok and not report.is_dag
+        with pytest.raises(GraphError):
+            report.raise_if_failed()
+
+    def test_state_too_large_reported(self):
+        g = pipeline([10, 500])
+        report = validate_graph(g, cache_size=100)
+        assert not report.state_bounded
+        assert any("500" in e for e in report.errors)
+
+    def test_multi_endpoint_tolerated_when_not_required(self):
+        g = StreamGraph()
+        for n in "abt":
+            g.add_module(n)
+        g.add_channel("a", "t")
+        g.add_channel("b", "t")
+        strict = validate_graph(g)
+        lax = validate_graph(g, require_single_endpoints=False)
+        assert not strict.ok
+        # rate-matching across two 'sources' of equal gain passes; only the
+        # endpoint check differs
+        assert lax.single_source and lax.single_sink
+
+    def test_diamond_ok(self, simple_diamond):
+        assert validate_graph(simple_diamond).ok

@@ -1,0 +1,105 @@
+"""Trace-engine benchmark: compiled single-pass sweeps vs the stepwise
+Executor, on the geometry-sweep workload the engine was built for.
+
+Two measurements, both asserted and both recorded in
+``BENCH_trace_engine.json`` at the repo root so the perf trajectory is
+tracked from this PR onward:
+
+* **sweep**: answer N cache sizes for one partitioned schedule — the
+  executor pays N full simulations, the engine one compile plus one
+  vectorized stack-distance pass.  Acceptance: >= 5x.
+* **single**: one geometry, drop-in ``measure_compiled`` vs
+  ``Executor.measure`` — must not be slower than ~par (no regression for
+  non-sweep callers).
+
+Both paths must agree miss-for-miss at every size (the oracle property,
+re-checked here on the benchmark workload itself).
+"""
+
+import json
+import time
+from pathlib import Path
+
+from repro.cache.base import CacheGeometry
+from repro.core.partition_sched import component_layout_order, pipeline_dynamic_schedule
+from repro.core.pipeline import optimal_pipeline_partition
+from repro.graphs.topologies import random_pipeline
+from repro.runtime.compiled import compile_trace, measure_compiled, simulate_trace
+from repro.runtime.executor import Executor
+
+B = 8
+SWEEP_SIZES = (64, 96, 128, 192, 256, 384, 512, 768, 1024)
+JSON_PATH = Path(__file__).resolve().parent.parent / "BENCH_trace_engine.json"
+
+
+def _workload(n_outputs=800):
+    g = random_pipeline(18, 48, seed=11, rate_choices=((1, 1), (2, 1), (1, 2)))
+    M = 128
+    part = optimal_pipeline_partition(g, M, c=1.0)
+    sched = pipeline_dynamic_schedule(
+        g, part, CacheGeometry(size=M, block=B), target_outputs=n_outputs
+    )
+    return g, sched, component_layout_order(part)
+
+
+def test_trace_engine_speedup(show):
+    g, sched, order = _workload()
+    geoms = [CacheGeometry(size=s, block=B) for s in SWEEP_SIZES]
+
+    t0 = time.perf_counter()
+    ref = [
+        Executor.measure(g, geom, sched, layout_order=order).misses for geom in geoms
+    ]
+    t_executor_sweep = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    trace = compile_trace(g, sched, B, layout_order=order)
+    fast = [r.misses for r in simulate_trace(trace, geoms)]
+    t_compiled_sweep = time.perf_counter() - t0
+
+    assert fast == ref, "compiled sweep diverged from stepwise executor"
+    sweep_speedup = t_executor_sweep / t_compiled_sweep
+
+    one = geoms[len(geoms) // 2]
+    t0 = time.perf_counter()
+    ref_one = Executor.measure(g, one, sched, layout_order=order)
+    t_executor_one = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    fast_one = measure_compiled(g, one, sched, layout_order=order)
+    t_compiled_one = time.perf_counter() - t0
+    assert fast_one.misses == ref_one.misses
+    single_speedup = t_executor_one / t_compiled_one
+
+    record = {
+        "workload": {
+            "graph": "random_pipeline(18, 48, seed=11)",
+            "schedule": sched.label,
+            "firings": trace.firings,
+            "trace_accesses": trace.accesses,
+            "sweep_sizes": list(SWEEP_SIZES),
+            "block": B,
+        },
+        "sweep": {
+            "executor_s": round(t_executor_sweep, 4),
+            "compiled_s": round(t_compiled_sweep, 4),
+            "speedup": round(sweep_speedup, 2),
+        },
+        "single_geometry": {
+            "executor_s": round(t_executor_one, 4),
+            "compiled_s": round(t_compiled_one, 4),
+            "speedup": round(single_speedup, 2),
+        },
+    }
+    JSON_PATH.write_text(json.dumps(record, indent=2) + "\n")
+
+    show(
+        [
+            {"path": "sweep (9 sizes)", "executor_s": round(t_executor_sweep, 3),
+             "compiled_s": round(t_compiled_sweep, 3), "speedup": round(sweep_speedup, 1)},
+            {"path": "single geometry", "executor_s": round(t_executor_one, 3),
+             "compiled_s": round(t_compiled_one, 3), "speedup": round(single_speedup, 1)},
+        ],
+        "trace engine: compiled vs stepwise executor",
+    )
+    assert sweep_speedup >= 5.0, f"sweep speedup {sweep_speedup:.1f}x < 5x target"
+    assert single_speedup >= 0.5, "compiled path regressed the single-geometry case"

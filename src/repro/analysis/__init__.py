@@ -17,6 +17,7 @@ from repro.analysis.misscurve import (
     miss_curve,
     misses_at,
     stack_distances,
+    stack_distances_array,
 )
 from repro.analysis.latency import (
     LatencyStats,
@@ -38,6 +39,7 @@ __all__ = [
     "competitive_summary",
     "paired_win_probability",
     "stack_distances",
+    "stack_distances_array",
     "miss_curve",
     "misses_at",
     "experiment_e15_miss_curves",

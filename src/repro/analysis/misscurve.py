@@ -1,4 +1,4 @@
-"""Miss curves via Mattson stack distances.
+"""Miss curves via Mattson stack distances — vectorized.
 
 LRU is a *stack algorithm*: the content of a size-C cache is always a
 subset of a size-C' > C cache on the same trace (inclusion).  Mattson's
@@ -14,74 +14,124 @@ partitioned curve drops to the compulsory floor at C ≈ O(M) (its working
 set is one component), while the naive curve stays high until the *entire*
 graph fits, which is the paper's whole argument in one figure.
 
-Implementation: last-access positions in a dict plus a Fenwick (binary
-indexed) tree over trace positions marking which positions are "most recent
-for their block"; the stack distance of an access is the count of marked
-positions after the block's previous access — O(n log n) total, pure
-Python, linear memory.
+Implementation: fully vectorized in numpy.  Writing ``p_i`` for the
+previous occurrence of access ``i``'s block (``-1`` when cold), the stack
+distance satisfies
+
+    d_i = (i - p_i) - #{ j < i : p_j > p_i }
+
+because the distinct blocks in the window ``(p_i, i]`` are exactly the
+positions whose own previous occurrence falls at or before ``p_i`` (their
+first appearance inside the window), and every position ``j`` with
+``p_j > p_i`` necessarily lies inside the window (``p_j < j``).  The
+correction term is a per-element "count earlier, greater" query, computed
+by an iterative merge-sort style pass: at each level the array is sorted
+within width-``w`` blocks, per-block offsets turn it into one globally
+sorted key array, and a single batched :func:`numpy.searchsorted` ranks
+every right-half element against its partner left half.  O(n log^2 n)
+total with all per-element work inside numpy.
+
+The pure-Python Fenwick-tree formulation this replaces survives as
+:func:`repro.testing.oracles.reference_stack_distances` and backs the
+differential tests.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence
 
 import numpy as np
 
-__all__ = ["stack_distances", "miss_curve", "misses_at", "experiment_e15_miss_curves"]
+__all__ = [
+    "stack_distances",
+    "stack_distances_array",
+    "miss_curve",
+    "misses_at",
+    "experiment_e15_miss_curves",
+]
 
 
-class _Fenwick:
-    """Prefix-sum tree over trace positions (1-based internally)."""
+def _previous_occurrences(blocks: np.ndarray) -> np.ndarray:
+    """``prev[i]`` = last position before ``i`` touching ``blocks[i]``, else -1."""
+    n = blocks.shape[0]
+    prev = np.full(n, -1, dtype=np.int64)
+    if n < 2:
+        return prev
+    order = np.argsort(blocks, kind="stable")  # groups equal blocks, positions ascending
+    sb = blocks[order]
+    same = sb[1:] == sb[:-1]
+    prev[order[1:][same]] = order[:-1][same]
+    return prev
 
-    def __init__(self, n: int) -> None:
-        self.n = n
-        self.tree = [0] * (n + 1)
 
-    def add(self, i: int, delta: int) -> None:
-        i += 1
-        while i <= self.n:
-            self.tree[i] += delta
-            i += i & (-i)
+def _count_earlier_greater(values: np.ndarray) -> np.ndarray:
+    """``out[i]`` = #{ j < i : values[j] > values[i] }, fully vectorized.
 
-    def prefix(self, i: int) -> int:
-        """Sum of [0, i]."""
-        i += 1
-        s = 0
-        while i > 0:
-            s += self.tree[i]
-            i -= i & (-i)
-        return s
+    Iterative merge counting: pad to a power of two, keep the array sorted
+    within width-``w`` blocks, and at each level rank every element of an
+    odd (right) block against its even (left) partner block with one
+    batched searchsorted over a globally sorted, per-block-offset key
+    array.  Padded slots sit past every real index, so they are only ever
+    queries (discarded), never counted.
+    """
+    n = values.shape[0]
+    out = np.zeros(n, dtype=np.int64)
+    if n < 2:
+        return out
+    size = 1 << (n - 1).bit_length()
+    span = np.int64(n + 3)  # > spread of values (in [-1, n]) incl. the pad sentinel
+    a = np.full(size, n, dtype=np.int64)  # pad sentinel sorts last within a block
+    a[:n] = values
+    idx = np.arange(size, dtype=np.int64)
+    counts = np.zeros(size, dtype=np.int64)
+    slots = np.arange(size, dtype=np.int64)
+    w = 1
+    while w < size:
+        block = slots // w
+        keys = a + block * span
+        r_mask = (block & 1) == 1
+        l_block = block[r_mask] - 1
+        q = a[r_mask] + l_block * span
+        pos = np.searchsorted(keys, q, side="right")
+        counts[idx[r_mask]] += (l_block + 1) * w - pos
+        w *= 2
+        if w >= size:
+            break  # fully counted; the final full-width merge is never read
+        shaped = a.reshape(-1, w)
+        order = np.argsort(shaped, axis=1, kind="stable")
+        a = np.take_along_axis(shaped, order, axis=1).ravel()
+        idx = np.take_along_axis(idx.reshape(-1, w), order, axis=1).ravel()
+    out[:] = counts[:n]
+    return out
 
-    def range_sum(self, lo: int, hi: int) -> int:
-        """Sum of [lo, hi]."""
-        if hi < lo:
-            return 0
-        return self.prefix(hi) - (self.prefix(lo - 1) if lo > 0 else 0)
+
+def stack_distances_array(trace: Sequence[int]) -> np.ndarray:
+    """Per-access LRU stack distances as an int64 array; 0 marks cold accesses.
+
+    distance d >= 1 means: d distinct blocks (including this one) were
+    touched since the previous access to this block, so the access hits in
+    any fully-associative LRU cache holding >= d blocks.  Cold (first)
+    accesses miss at every size and are encoded as 0.
+    """
+    blocks = np.ascontiguousarray(trace, dtype=np.int64)
+    n = blocks.shape[0]
+    if n == 0:
+        return np.zeros(0, dtype=np.int64)
+    prev = _previous_occurrences(blocks)
+    d = np.arange(n, dtype=np.int64) - prev - _count_earlier_greater(prev)
+    d[prev < 0] = 0
+    return d
 
 
 def stack_distances(trace: Sequence[int]) -> List[Optional[int]]:
     """Per-access LRU stack distances; ``None`` marks cold (first) accesses.
 
-    distance d means: d distinct blocks (including this one) were touched
-    since the previous access to this block, so the access hits in any
-    fully-associative LRU cache holding >= d blocks.
+    Convenience list form of :func:`stack_distances_array` (the vectorized
+    kernel); kept for callers that want the historical ``Optional[int]``
+    convention.
     """
-    n = len(trace)
-    fen = _Fenwick(n)
-    last: Dict[int, int] = {}
-    out: List[Optional[int]] = [None] * n
-    for i, blk in enumerate(trace):
-        prev = last.get(blk)
-        if prev is None:
-            out[i] = None
-        else:
-            # distinct blocks touched in (prev, i) = marked positions there,
-            # plus this block itself
-            out[i] = fen.range_sum(prev + 1, i - 1) + 1
-            fen.add(prev, -1)
-        fen.add(i, 1)
-        last[blk] = i
-    return out
+    d = stack_distances_array(trace)
+    return [None if di == 0 else int(di) for di in d]
 
 
 def miss_curve(trace: Sequence[int], max_blocks: Optional[int] = None) -> np.ndarray:
@@ -91,20 +141,16 @@ def miss_curve(trace: Sequence[int], max_blocks: Optional[int] = None) -> np.nda
     at the compulsory-miss floor (number of distinct blocks).  ``max_blocks``
     truncates the returned array (default: enough to reach the floor).
     """
-    dists = stack_distances(trace)
-    n_cold = sum(1 for d in dists if d is None)
-    finite = [d for d in dists if d is not None]
-    max_d = max(finite, default=0)
+    d = stack_distances_array(trace)
+    finite = d[d > 0]
+    max_d = int(finite.max()) if finite.size else 0
     size = (max_blocks if max_blocks is not None else max_d) + 1
 
     # histogram of hit distances; an access with distance d misses at c < d
-    hist = np.zeros(size + 1, dtype=np.int64)
-    for d in finite:
-        hist[min(d, size)] += 1
+    hist = np.bincount(np.minimum(finite, size), minlength=size + 1)
     # hits(c) = # accesses with distance <= c;  misses(c) = n - hits(c)
-    hits_cum = np.cumsum(hist)[:size]
-    total = len(trace)
-    return total - hits_cum  # index c: misses with c blocks (c=0 .. size-1)
+    hits_cum = np.cumsum(hist[: size + 1])[:size]
+    return d.shape[0] - hits_cum  # index c: misses with c blocks (c=0 .. size-1)
 
 
 def misses_at(trace: Sequence[int], blocks: int) -> int:
@@ -117,15 +163,16 @@ def misses_at(trace: Sequence[int], blocks: int) -> int:
 def experiment_e15_miss_curves(seed: int = 53, n_outputs: int = 400):
     """E15 — whole miss curves for partitioned vs naive schedules.
 
-    Record each schedule's block trace once, then read misses at EVERY cache
-    size from the stack distances.  The paper's argument as a single figure:
-    the partitioned schedule's curve collapses to its compulsory floor once
-    the cache holds one component (~O(M)); the naive schedule's curve stays
-    high until the entire graph fits.  Rows sample the curves at
-    geometrically spaced sizes.
+    Compile each schedule to its block trace once
+    (:func:`repro.runtime.compiled.compile_trace` — no stepwise cache
+    simulation at all), then read misses at EVERY cache size from the stack
+    distances.  The paper's argument as a single figure: the partitioned
+    schedule's curve collapses to its compulsory floor once the cache holds
+    one component (~O(M)); the naive schedule's curve stays high until the
+    entire graph fits.  Rows sample the curves at geometrically spaced
+    sizes.
     """
     from repro.cache.base import CacheGeometry
-    from repro.cache.lru import LRUCache
     from repro.core.baselines import interleaved_schedule
     from repro.core.partition_sched import (
         component_layout_order,
@@ -133,20 +180,16 @@ def experiment_e15_miss_curves(seed: int = 53, n_outputs: int = 400):
     )
     from repro.core.pipeline import optimal_pipeline_partition
     from repro.graphs.topologies import pipeline as make_pipeline
-    from repro.mem.trace import TraceRecorder, TracingCache
-    from repro.runtime.executor import Executor
+    from repro.runtime.compiled import compile_trace
 
     g = make_pipeline([32] * 12)  # 384 words of state
     M = 128
     B = 8
-    geom = CacheGeometry(size=M, block=B)
     part = optimal_pipeline_partition(g, M, c=1.0)
-    big = CacheGeometry(size=4096, block=B)  # trace-recording geometry only
+    geom = CacheGeometry(size=M, block=B)  # partition granularity only; traces are size-independent
 
     def record(schedule, order=None):
-        rec = TraceRecorder()
-        Executor.measure(g, big, schedule, layout_order=order, cache=TracingCache(LRUCache(big), rec))
-        return rec.blocks
+        return compile_trace(g, schedule, B, layout_order=order).blocks
 
     part_trace = record(
         pipeline_dynamic_schedule(g, part, geom, target_outputs=n_outputs),

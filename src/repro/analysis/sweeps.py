@@ -37,6 +37,7 @@ from repro.core.tuning import choose_batch, required_geometry
 from repro.graphs.apps import fm_radio
 from repro.graphs.repetition import repetition_vector
 from repro.graphs.topologies import random_pipeline
+from repro.runtime.compiled import measure_compiled
 from repro.runtime.executor import Executor
 
 __all__ = ["experiment_e12_cache_models", "experiment_e13_seed_distribution", "ablation_a6_layout_order"]
@@ -103,7 +104,9 @@ def experiment_e13_seed_distribution(
     """Distribution of measured/LB competitive ratios over random pipelines.
 
     One summary row per statistic; per-seed ratios are recomputed
-    deterministically from the seed range, so the row set is stable.
+    deterministically from the seed range, so the row set is stable.  Every
+    measurement is the fully-associative LRU model, so the whole sweep runs
+    through the compiled-trace engine instead of stepwise simulation.
     """
     geom = CacheGeometry(size=M, block=8)
     ratios: List[float] = []
@@ -119,14 +122,14 @@ def experiment_e13_seed_distribution(
         part = optimal_pipeline_partition(g, M, c=3.0)
         sched = pipeline_dynamic_schedule(g, part, geom, target_outputs=n_outputs)
         run_geom = required_geometry(part, geom)
-        res = Executor.measure(
+        res = measure_compiled(
             g, run_geom, sched, layout_order=component_layout_order(part)
         )
         lb = pipeline_lower_bound(g, M)
         lbm = float(lb.misses(res.source_fires, geom))
         if lbm > 0:
             ratios.append(res.misses / lbm)
-        base = Executor.measure(
+        base = measure_compiled(
             g, run_geom, single_appearance_schedule(g, n_iterations=n_outputs)
         )
         if res.misses_per_source_fire > 0:
@@ -209,7 +212,9 @@ def ablation_a6_layout_order(M: int = 256, B: int = 8) -> List[Dict[str, Any]]:
 
     rows: List[Dict[str, Any]] = []
     for label, order in (("component-grouped", grouped), ("topological", topo), ("strided", strided)):
-        lru = Executor.measure(g, run_geom, sched, layout_order=order)
+        # LRU is a stack algorithm -> compiled path; direct-mapped is not,
+        # so its column stays on the stepwise executor.
+        lru = measure_compiled(g, run_geom, sched, layout_order=order)
         dm = Executor.measure(
             g, run_geom, sched, layout_order=order, cache=DirectMappedCache(run_geom)
         )

@@ -32,20 +32,37 @@ class TwoLevelCache(CacheModel):
             raise CacheConfigError(
                 f"L2 ({l2.size}) must be at least as large as L1 ({l1.size})"
             )
+        if l2.block % l1.block != 0:
+            # both entry points map each L1 block to a single containing L2
+            # block, which only exists when L1 blocks tile L2 blocks exactly
+            raise CacheConfigError(
+                f"L1 block ({l1.block}) must divide L2 block ({l2.block})"
+            )
         super().__init__(l2)
         self.l1 = LRUCache(l1)
         self.l2 = LRUCache(l2)
 
     def access_block(self, block: int) -> bool:
-        # L1 and L2 use their own block sizes; translate through addresses.
         # `block` is in units of the *hierarchy* geometry, i.e. L2 blocks.
-        miss_l1 = self.l1.access_block(block * self.geometry.block // self.l1.geometry.block)
-        if not miss_l1:
-            self.stats.record(False)
-            return False
-        miss_l2 = self.l2.access_block(block)
-        self.stats.record(miss_l2)
-        return miss_l2
+        # When L1 blocks are smaller, one L2 block covers several L1 blocks
+        # and touching it must touch all of them — the same accounting
+        # access_range produces for the equivalent word range.
+        start = block * self.geometry.block
+        missed = False
+        for l1_blk in self.l1.geometry.blocks_spanned(start, self.geometry.block):
+            if self.l1.access_block(l1_blk):
+                miss = self.l2.access_block(block)
+                self.stats.record(miss)
+                missed = missed or miss
+            else:
+                self.stats.record(False)
+        return missed
+
+    def access(self, address: int) -> bool:
+        # A single word fills one L1 line (plus its containing L2 block),
+        # not every L1 line of the L2 block — the range path is the
+        # faithful one, so both word entry points go through it.
+        return self.access_range(address, 1) > 0
 
     def access_range(self, start: int, length: int) -> int:
         """Touch a word range at L1 granularity, filtering through to L2."""

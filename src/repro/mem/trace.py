@@ -4,11 +4,20 @@
 appends every block touch to a :class:`TraceRecorder` before forwarding, so
 the identical access sequence can later be replayed under Belady's OPT
 (:func:`repro.cache.opt.simulate_opt`) or inspected in tests.
+
+Recorded traces interoperate with the trace-compilation engine: schedules
+the compiler can reach directly should use
+:func:`repro.runtime.compiled.compile_trace` (no stepwise simulation at
+all), while traces that can only be *observed* — e.g. from a non-LRU cache
+model or a hand-driven executor — convert via :meth:`TraceRecorder.to_compiled`
+and reuse the same vectorized single-pass geometry sweep.
 """
 
 from __future__ import annotations
 
 from typing import List, Optional
+
+import numpy as np
 
 from repro.cache.base import CacheGeometry, CacheModel
 
@@ -27,6 +36,20 @@ class TraceRecorder:
 
     def mark(self, label: str) -> None:
         self.marks.append((len(self.blocks), label))
+
+    def as_array(self) -> np.ndarray:
+        """The recorded trace as an int64 array (for the vectorized kernels)."""
+        return np.asarray(self.blocks, dtype=np.int64)
+
+    def to_compiled(self, block: int, label: str = "recorded"):
+        """Wrap the recording as a :class:`repro.runtime.compiled.CompiledTrace`
+        so :func:`repro.runtime.compiled.simulate_trace` can answer every
+        LRU geometry of this block size in one pass.  Phase attribution and
+        firing counts are unknown for an observed trace and left empty.
+        """
+        from repro.runtime.compiled import CompiledTrace
+
+        return CompiledTrace(label=label, block=block, blocks=self.as_array())
 
     def __len__(self) -> int:
         return len(self.blocks)

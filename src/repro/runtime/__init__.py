@@ -1,15 +1,33 @@
 """Execution substrate: FIFO channel buffers bound to memory addresses, the
-firing engine that moves tokens through the cache simulator, schedule
+firing engine that moves tokens through the cache simulator, the trace
+compiler that answers whole geometry families in one pass, schedule
 representation/validation, and deadlock analysis."""
 
 from repro.runtime.buffers import ChannelBuffer
+from repro.runtime.compiled import (
+    CompiledTrace,
+    TraceCompiler,
+    compile_trace,
+    measure_compiled,
+    simulate_trace,
+)
 from repro.runtime.looped import Loop, LoopedSchedule, compress_schedule
 from repro.runtime.schedule import Schedule, validate_schedule
-from repro.runtime.executor import ExecutionResult, Executor
+from repro.runtime.executor import (
+    ExecutionResult,
+    Executor,
+    sink_stream_words,
+    source_stream_words,
+)
 from repro.runtime.deadlock import fireable_modules, demand_driven_schedule
 
 __all__ = [
     "ChannelBuffer",
+    "CompiledTrace",
+    "TraceCompiler",
+    "compile_trace",
+    "measure_compiled",
+    "simulate_trace",
     "Loop",
     "LoopedSchedule",
     "compress_schedule",
@@ -17,6 +35,8 @@ __all__ = [
     "validate_schedule",
     "ExecutionResult",
     "Executor",
+    "source_stream_words",
+    "sink_stream_words",
     "fireable_modules",
     "demand_driven_schedule",
 ]

@@ -1,0 +1,394 @@
+"""Trace compilation: schedules -> flat block traces -> every geometry at once.
+
+The :class:`~repro.runtime.executor.Executor` simulates one (schedule,
+cache geometry) pair at a time, paying an OrderedDict operation per block
+touch.  But the *block trace* a schedule generates does not depend on the
+cache size at all — only on the memory layout (hence the block size ``B``)
+— and fully-associative LRU is a stack algorithm, so one trace answers
+every cache size in a single Mattson stack-distance pass
+(:mod:`repro.analysis.misscurve`).  This module exploits both facts:
+
+* :class:`TraceCompiler` compiles a schedule (flat
+  :class:`~repro.runtime.schedule.Schedule` or lazy
+  :class:`~repro.runtime.looped.LoopedSchedule`) against the same
+  :class:`~repro.mem.layout.MemoryLayout` the executor would build, into a
+  flat numpy array of block ids.  Each module's per-firing touch list is
+  precomputed: its state blocks are a fixed array, and every circular-buffer
+  window's block expansion is memoized by its address ranges (a buffer of
+  capacity ``c`` only ever exposes ``c`` distinct windows per rate), so the
+  per-firing work is a few dict lookups and array appends instead of
+  per-block simulation.
+* :func:`simulate_trace` answers a whole family of cache geometries from
+  one compiled trace with one vectorized stack-distance pass, returning
+  :class:`~repro.runtime.executor.ExecutionResult` rows identical — misses,
+  accesses, and per-phase attribution — to running the executor with a
+  fresh LRU per geometry.
+* :func:`measure_compiled` is the drop-in replacement for
+  ``Executor.measure`` on the fully-associative LRU model.
+
+The executor remains the validating reference path (and the only path for
+non-stack cache models: direct-mapped, two-level);
+:func:`repro.testing.oracles.assert_trace_equivalent` checks the two agree
+block-for-block.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.cache.base import CacheGeometry
+from repro.errors import CacheConfigError
+from repro.graphs.sdf import StreamGraph
+from repro.runtime.buffers import ChannelBuffer
+from repro.runtime.executor import (
+    ExecutionResult,
+    build_memory_plan,
+    require_input_tokens,
+    require_output_space,
+    sink_stream_words,
+    source_stream_words,
+)
+
+__all__ = [
+    "CompiledTrace",
+    "TraceCompiler",
+    "compile_trace",
+    "simulate_trace",
+    "measure_compiled",
+]
+
+#: Phase codes stored per block touch; index into ``PHASE_NAMES`` (0 = none).
+PHASE_NAMES = ("", "state", "data", "stream")
+_STATE, _DATA, _STREAM = 1, 2, 3
+
+
+@dataclass
+class CompiledTrace:
+    """A schedule lowered to its cache-size-independent block trace.
+
+    ``blocks[i]`` is the i-th block id touched (exactly the sequence a
+    :class:`~repro.mem.trace.TracingCache` would record from the executor);
+    ``phases[i]`` attributes the touch to state/data/stream.  ``phases`` may
+    be ``None`` for traces recorded without attribution.
+    """
+
+    label: str
+    block: int
+    blocks: np.ndarray
+    phases: Optional[np.ndarray] = None
+    firings: int = 0
+    fire_counts: Dict[str, int] = field(default_factory=dict)
+    source_fires: int = 0
+    sink_fires: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return int(self.blocks.shape[0])
+
+    def distinct_blocks(self) -> int:
+        """Compulsory-miss floor of the trace."""
+        return int(np.unique(self.blocks).shape[0])
+
+    def __len__(self) -> int:
+        return self.accesses
+
+
+class _ChannelPlan:
+    """A real :class:`~repro.runtime.buffers.ChannelBuffer` plus a memoized
+    range→block-id expansion.
+
+    The buffer owns all circular-FIFO semantics (the same object the
+    executor uses), so the compiled trace cannot drift from the stepwise
+    path; compilation only adds a cache from the buffer's returned address
+    ranges to the block-id array they span.  A buffer of capacity ``c``
+    exposes at most ``c`` distinct windows per direction, so the cache
+    stays small and hits on every steady-state firing.
+    """
+
+    __slots__ = ("buf", "src", "dst", "in_rate", "out_rate", "_block", "_cache")
+
+    def __init__(self, ch, buf: ChannelBuffer, block: int) -> None:
+        self.buf = buf
+        self.src = ch.src
+        self.dst = ch.dst
+        self.in_rate = ch.in_rate
+        self.out_rate = ch.out_rate
+        self._block = block
+        self._cache: Dict[tuple, np.ndarray] = {}
+
+    def _blocks(self, ranges) -> np.ndarray:
+        key = tuple(ranges)
+        arr = self._cache.get(key)
+        if arr is None:
+            B = self._block
+            ids: List[int] = []
+            for start, length in ranges:
+                ids.extend(range(start // B, (start + length - 1) // B + 1))
+            arr = self._cache[key] = np.asarray(ids, dtype=np.int64)
+        return arr
+
+    def pop_blocks(self) -> np.ndarray:
+        return self._blocks(self.buf.pop_ranges(self.in_rate))
+
+    def push_blocks(self) -> np.ndarray:
+        return self._blocks(self.buf.push_ranges(self.out_rate))
+
+
+class _ModulePlan:
+    """Precomputed per-firing touch template for one module."""
+
+    __slots__ = ("name", "state_blocks", "ins", "outs", "in_words", "out_words")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.state_blocks: Optional[np.ndarray] = None
+        self.ins: List[_ChannelPlan] = []
+        self.outs: List[_ChannelPlan] = []
+        self.in_words = 0   # external input words per firing (sources)
+        self.out_words = 0  # external output words per firing (sinks)
+
+
+class TraceCompiler:
+    """Compiles schedules for one (graph, block size, capacities, layout).
+
+    Shares the executor's memory setup
+    (:func:`~repro.runtime.executor.build_memory_plan`) and its actual
+    :class:`~repro.runtime.buffers.ChannelBuffer` objects, so the compiled
+    trace is bit-identical to what a tracing cache would record.  The cache
+    *size* is deliberately absent: one compiled trace serves every size via
+    :func:`simulate_trace`.
+    """
+
+    def __init__(
+        self,
+        graph: StreamGraph,
+        block: int,
+        capacities: Optional[Dict[int, int]] = None,
+        layout_order: Optional[Iterable[str]] = None,
+        count_external: bool = True,
+    ) -> None:
+        self.graph = graph
+        self.block = block
+        caps, self.layout, self._ext_in_base, self._ext_out_base = build_memory_plan(
+            graph, block, capacities=capacities, layout_order=layout_order
+        )
+        self.capacities = caps
+        self.count_external = count_external
+
+        buffers = {
+            cid: ChannelBuffer(cid, self.layout.buffer_region(cid)) for cid in caps
+        }
+        for ch in graph.channels():
+            if ch.delay:
+                buffers[ch.cid].prefill(ch.delay)
+        plans_by_cid = {
+            cid: _ChannelPlan(graph.channel(cid), buf, block)
+            for cid, buf in buffers.items()
+        }
+        source_set = set(graph.sources())
+        sink_set = set(graph.sinks())
+        self._plans: Dict[str, _ModulePlan] = {}
+        for mod in graph.modules():
+            plan = _ModulePlan(mod.name)
+            region = self.layout.state_region(mod.name)
+            if region.length:
+                spanned = range(region.start // block, (region.end - 1) // block + 1)
+                plan.state_blocks = np.asarray(spanned, dtype=np.int64)
+            plan.ins = [plans_by_cid[ch.cid] for ch in graph.in_channels(mod.name)]
+            plan.outs = [plans_by_cid[ch.cid] for ch in graph.out_channels(mod.name)]
+            if mod.name in source_set:
+                plan.in_words = source_stream_words(graph, mod.name)
+            if mod.name in sink_set:
+                plan.out_words = sink_stream_words(graph, mod.name)
+            self._plans[mod.name] = plan
+        self._buffers = buffers
+
+    def compile(self, schedule) -> CompiledTrace:
+        """Compile every firing of ``schedule`` (flat or looped) to a trace.
+
+        Validates feasibility exactly like ``Executor.fire`` and raises
+        :class:`~repro.errors.ScheduleError` on the first violation.  The
+        compiler mutates its buffer states, so each call continues where the
+        previous one stopped — build a fresh compiler per run (as
+        :func:`compile_trace` does) for independent measurements.
+        """
+        plans = self._plans
+        block = self.block
+        count_external = self.count_external
+        chunks: List[np.ndarray] = []
+        codes: List[int] = []
+        lens: List[int] = []
+        fire_counts: Dict[str, int] = {}
+        firings = 0
+        source_fires = 0
+        sink_fires = 0
+        ext_in_pos = 0
+        ext_out_pos = 0
+
+        it = (
+            schedule.firings_iter()
+            if hasattr(schedule, "firings_iter")
+            else schedule.firings
+        )
+        for name in it:
+            try:
+                plan = plans[name]
+            except KeyError:
+                self.graph.module(name)  # raises GraphError with the usual message
+                raise
+            for cs in plan.ins:
+                require_input_tokens(name, cs.src, cs.dst, cs.buf.tokens, cs.in_rate)
+            for cs in plan.outs:
+                require_output_space(name, cs.src, cs.dst, cs.buf.free, cs.out_rate)
+
+            if plan.state_blocks is not None:
+                chunks.append(plan.state_blocks)
+                codes.append(_STATE)
+                lens.append(plan.state_blocks.shape[0])
+            for cs in plan.ins:
+                arr = cs.pop_blocks()
+                chunks.append(arr)
+                codes.append(_DATA)
+                lens.append(arr.shape[0])
+            for cs in plan.outs:
+                arr = cs.push_blocks()
+                chunks.append(arr)
+                codes.append(_DATA)
+                lens.append(arr.shape[0])
+            if count_external:
+                if plan.in_words:
+                    start = self._ext_in_base + ext_in_pos
+                    lo, hi = start // block, (start + plan.in_words - 1) // block
+                    chunks.append(np.arange(lo, hi + 1, dtype=np.int64))
+                    codes.append(_STREAM)
+                    lens.append(hi - lo + 1)
+                    ext_in_pos += plan.in_words
+                if plan.out_words:
+                    start = self._ext_out_base + ext_out_pos
+                    lo, hi = start // block, (start + plan.out_words - 1) // block
+                    chunks.append(np.arange(lo, hi + 1, dtype=np.int64))
+                    codes.append(_STREAM)
+                    lens.append(hi - lo + 1)
+                    ext_out_pos += plan.out_words
+
+            fire_counts[name] = fire_counts.get(name, 0) + 1
+            firings += 1
+            if plan.in_words:
+                source_fires += 1
+            if plan.out_words:
+                sink_fires += 1
+
+        blocks = (
+            np.concatenate(chunks) if chunks else np.zeros(0, dtype=np.int64)
+        )
+        phases = np.repeat(
+            np.asarray(codes, dtype=np.uint8), np.asarray(lens, dtype=np.int64)
+        )
+        label = getattr(schedule, "label", "schedule")
+        return CompiledTrace(
+            label=label,
+            block=block,
+            blocks=blocks,
+            phases=phases,
+            firings=firings,
+            fire_counts=fire_counts,
+            source_fires=source_fires,
+            sink_fires=sink_fires,
+        )
+
+
+def compile_trace(
+    graph: StreamGraph,
+    schedule,
+    block: int,
+    capacities: Optional[Dict[int, int]] = None,
+    layout_order: Optional[Iterable[str]] = None,
+    count_external: bool = True,
+) -> CompiledTrace:
+    """One-shot convenience: compile ``schedule`` against a fresh layout.
+
+    ``capacities`` defaults to the schedule's own (the ``Executor.measure``
+    convention), overlaid on minBuf.
+    """
+    if capacities is None:
+        capacities = getattr(schedule, "capacities", None)
+    compiler = TraceCompiler(
+        graph,
+        block,
+        capacities=capacities,
+        layout_order=layout_order,
+        count_external=count_external,
+    )
+    return compiler.compile(schedule)
+
+
+def simulate_trace(
+    trace: CompiledTrace, geometries: Sequence[CacheGeometry]
+) -> List[ExecutionResult]:
+    """Miss counts of a fully-associative LRU of every geometry, one pass.
+
+    One vectorized stack-distance computation answers all ``geometries``
+    (which must share the trace's block size — the trace's addresses were
+    laid out for it).  Each result is identical to running the executor
+    with a fresh ``LRUCache(geometry)``: same misses, same accesses, same
+    per-phase miss attribution.
+    """
+    from repro.analysis.misscurve import stack_distances_array
+
+    for geom in geometries:
+        if geom.block != trace.block:
+            raise CacheConfigError(
+                f"geometry block {geom.block} does not match trace block "
+                f"{trace.block}; recompile the trace for this block size"
+            )
+    d = stack_distances_array(trace.blocks)
+    results: List[ExecutionResult] = []
+    for geom in geometries:
+        miss_mask = (d == 0) | (d > geom.n_blocks)
+        misses = int(np.count_nonzero(miss_mask))
+        phase_misses: Dict[str, int] = {}
+        if trace.phases is not None and misses:
+            counts = np.bincount(trace.phases[miss_mask], minlength=len(PHASE_NAMES))
+            phase_misses = {
+                PHASE_NAMES[code]: int(c)
+                for code, c in enumerate(counts)
+                if c and PHASE_NAMES[code]
+            }
+        results.append(
+            ExecutionResult(
+                label=trace.label,
+                firings=trace.firings,
+                misses=misses,
+                accesses=trace.accesses,
+                phase_misses=phase_misses,
+                fire_counts=dict(trace.fire_counts),
+                source_fires=trace.source_fires,
+                sink_fires=trace.sink_fires,
+            )
+        )
+    return results
+
+
+def measure_compiled(
+    graph: StreamGraph,
+    geometry: CacheGeometry,
+    schedule,
+    layout_order: Optional[Iterable[str]] = None,
+    count_external: bool = True,
+) -> ExecutionResult:
+    """Drop-in for ``Executor.measure`` on the LRU model, via compilation.
+
+    Compiles the schedule once and evaluates the single geometry with the
+    vectorized kernel — exact same result, no stepwise cache simulation.
+    """
+    trace = compile_trace(
+        graph,
+        schedule,
+        geometry.block,
+        layout_order=layout_order,
+        count_external=count_external,
+    )
+    return simulate_trace(trace, [geometry])[0]

@@ -12,11 +12,14 @@ of module ``v`` does exactly what Section 2 prescribes:
 
 Sources additionally read fresh words from an unbounded external input
 stream and sinks write to an external output stream (monotonically
-increasing addresses ⇒ one compulsory miss per ``B`` tokens).  This keeps
-the accounting identical across schedulers — every schedule pays the same
-Θ(T/B) stream cost, matching the paper's "per data item that enters the
-graph" normalization — and can be disabled for experiments that charge only
-internal traffic.
+increasing addresses ⇒ one compulsory miss per ``B`` tokens).  A source
+firing reads one external word per token it produces and a sink firing
+writes one word per token it consumes (:func:`source_stream_words` /
+:func:`sink_stream_words`), so multi-rate graphs pay the stream cost per
+*data item*, not per firing.  This keeps the accounting identical across
+schedulers — every schedule pays the same Θ(T/B) stream cost, matching the
+paper's "per data item that enters the graph" normalization — and can be
+disabled for experiments that charge only internal traffic.
 
 Misses are attributed to phases (``state`` / ``data`` / ``stream``) so
 experiments can decompose cost the way Lemma 4 and Lemma 8 do.
@@ -36,7 +39,87 @@ from repro.mem.layout import MemoryLayout
 from repro.runtime.buffers import ChannelBuffer
 from repro.runtime.schedule import Schedule
 
-__all__ = ["Executor", "ExecutionResult"]
+__all__ = [
+    "Executor",
+    "ExecutionResult",
+    "build_memory_plan",
+    "require_input_tokens",
+    "require_output_space",
+    "source_stream_words",
+    "sink_stream_words",
+]
+
+
+def require_input_tokens(name: str, src: str, dst: str, have: int, need: int) -> None:
+    """Section 2 schedulability: a firing must find its input tokens.
+
+    Shared by the executor and the trace compiler so the rule (and its
+    diagnostic) cannot drift between the two paths.
+    """
+    if have < need:
+        raise ScheduleError(
+            f"firing {name!r}: channel {src}->{dst} has {have} tokens, needs {need}"
+        )
+
+
+def require_output_space(name: str, src: str, dst: str, free: int, need: int) -> None:
+    """Section 2 schedulability: a firing must find room for its outputs."""
+    if free < need:
+        raise ScheduleError(
+            f"firing {name!r}: channel {src}->{dst} lacks space "
+            f"({free} free, needs {need})"
+        )
+
+
+def build_memory_plan(
+    graph: StreamGraph,
+    block: int,
+    capacities: Optional[Dict[int, int]] = None,
+    layout_order: Optional[Iterable[str]] = None,
+):
+    """Shared Executor / TraceCompiler memory setup.
+
+    Returns ``(caps, layout, ext_in_base, ext_out_base)``: the minBuf-overlaid
+    buffer capacities, the placed :class:`~repro.mem.layout.MemoryLayout`,
+    and the block-aligned external stream arena bases.  Both execution paths
+    build from this one function so their address spaces — and therefore
+    their block traces — can never drift apart.
+    """
+    # Start from minBuf everywhere and overlay the caller's sizes, so a
+    # scheduler may specify only the channels it enlarges (cross edges).
+    caps = dict(min_buffers(graph))
+    if capacities:
+        caps.update(capacities)
+    layout = MemoryLayout(block=block)
+    layout.place_graph(graph, caps, order=layout_order)
+    layout.check_disjoint()
+    # External streams live beyond the layout footprint, in disjoint
+    # half-open arenas that only ever grow forward.  Block-aligned so
+    # stream traffic costs exactly one miss per B tokens.
+    ext_in_base = (layout.footprint // block + 2) * block
+    # far beyond any input position, and itself block-aligned
+    ext_out_base = ext_in_base + ((1 << 40) // block) * block
+    return caps, layout, ext_in_base, ext_out_base
+
+
+def source_stream_words(graph: StreamGraph, name: str) -> int:
+    """External input words a source firing consumes.
+
+    A source emitting ``k`` tokens per firing on a channel reads ``k`` fresh
+    items; a source fanning out to several channels is treated as a
+    duplicate splitter (the StreamIt broadcast convention), reading each
+    item once however many branches receive it — hence the max over
+    channels, not the sum.  An isolated module (no channels at all) still
+    counts as one item per firing.
+    """
+    return max([ch.out_rate for ch in graph.out_channels(name)], default=1)
+
+
+def sink_stream_words(graph: StreamGraph, name: str) -> int:
+    """External output words a sink firing produces (mirror convention:
+    ``k`` tokens consumed from a channel emit ``k`` items; fan-in branches
+    are merged copies of one result stream, counted once)."""
+    return max([ch.in_rate for ch in graph.in_channels(name)], default=1)
 
 
 @dataclass
@@ -54,8 +137,15 @@ class ExecutionResult:
 
     @property
     def misses_per_source_fire(self) -> float:
-        """Amortized cache misses per input item — the paper's unit of cost."""
-        return self.misses / self.source_fires if self.source_fires else float("inf")
+        """Amortized cache misses per input item — the paper's unit of cost.
+
+        A run with zero misses costs 0.0 whether or not any source fired; a
+        sourceless run that did miss has no per-input normalization and
+        reports ``inf``.
+        """
+        if self.source_fires:
+            return self.misses / self.source_fires
+        return 0.0 if self.misses == 0 else float("inf")
 
     def summary(self) -> str:
         phases = ", ".join(f"{k}={v}" for k, v in sorted(self.phase_misses.items()))
@@ -102,16 +192,10 @@ class Executor:
         self.graph = graph
         self.geometry = geometry
         self.cache = cache if cache is not None else LRUCache(geometry)
-        # Start from minBuf everywhere and overlay the caller's sizes, so a
-        # scheduler may specify only the channels it enlarges (cross edges).
-        caps = dict(min_buffers(graph))
-        if capacities:
-            caps.update(capacities)
+        caps, self.layout, self._ext_in_base, self._ext_out_base = build_memory_plan(
+            graph, geometry.block, capacities=capacities, layout_order=layout_order
+        )
         self.capacities = caps
-
-        self.layout = MemoryLayout(block=geometry.block)
-        self.layout.place_graph(graph, caps, order=layout_order)
-        self.layout.check_disjoint()
         self.buffers: Dict[int, ChannelBuffer] = {
             cid: ChannelBuffer(cid, self.layout.buffer_region(cid)) for cid in caps
         }
@@ -124,15 +208,10 @@ class Executor:
         sinks = graph.sinks()
         self._source_set = set(sources)
         self._sink_set = set(sinks)
-        # External streams live beyond the layout footprint, in disjoint
-        # half-open arenas that only ever grow forward.  Block-aligned so
-        # stream traffic costs exactly one miss per B tokens.
-        base = (self.layout.footprint // geometry.block + 2) * geometry.block
-        self._ext_in_base = base
-        # far beyond any input position, and itself block-aligned
-        self._ext_out_base = base + ((1 << 40) // geometry.block) * geometry.block
         self._ext_in_pos = 0
         self._ext_out_pos = 0
+        self._source_words = {n: source_stream_words(graph, n) for n in sources}
+        self._sink_words = {n: sink_stream_words(graph, n) for n in sinks}
 
         self._fire_counts: Dict[str, int] = {}
         self._total_firings = 0
@@ -154,17 +233,9 @@ class Executor:
         in_chs = graph.in_channels(name)
         out_chs = graph.out_channels(name)
         for ch in in_chs:
-            if self.buffers[ch.cid].tokens < ch.in_rate:
-                raise ScheduleError(
-                    f"firing {name!r}: channel {ch.src}->{ch.dst} has "
-                    f"{self.buffers[ch.cid].tokens} tokens, needs {ch.in_rate}"
-                )
+            require_input_tokens(name, ch.src, ch.dst, self.buffers[ch.cid].tokens, ch.in_rate)
         for ch in out_chs:
-            if self.buffers[ch.cid].free < ch.out_rate:
-                raise ScheduleError(
-                    f"firing {name!r}: channel {ch.src}->{ch.dst} lacks space "
-                    f"({self.buffers[ch.cid].free} free, needs {ch.out_rate})"
-                )
+            require_output_space(name, ch.src, ch.dst, self.buffers[ch.cid].free, ch.out_rate)
 
         stats.set_phase("state")
         region = self.layout.state_region(name)
@@ -182,11 +253,13 @@ class Executor:
         if self.count_external:
             stats.set_phase("stream")
             if name in self._source_set:
-                cache.access_range(self._ext_in_base + self._ext_in_pos, 1)
-                self._ext_in_pos += 1
+                k = self._source_words[name]
+                cache.access_range(self._ext_in_base + self._ext_in_pos, k)
+                self._ext_in_pos += k
             if name in self._sink_set:
-                cache.access_range(self._ext_out_base + self._ext_out_pos, 1)
-                self._ext_out_pos += 1
+                k = self._sink_words[name]
+                cache.access_range(self._ext_out_base + self._ext_out_pos, k)
+                self._ext_out_pos += k
         stats.set_phase("")
 
         self._fire_counts[name] = self._fire_counts.get(name, 0) + 1

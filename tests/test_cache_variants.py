@@ -50,6 +50,14 @@ class TestTwoLevel:
         with pytest.raises(CacheConfigError):
             TwoLevelCache(big, small)
 
+    def test_l1_block_must_divide_l2_block(self):
+        # L1 blocks larger than (or not tiling) L2 blocks would make the two
+        # entry points disagree on which L2 block an L1 miss touches
+        with pytest.raises(CacheConfigError):
+            TwoLevelCache(CacheGeometry(size=16, block=8), CacheGeometry(size=64, block=4))
+        with pytest.raises(CacheConfigError):
+            TwoLevelCache(CacheGeometry(size=9, block=3), CacheGeometry(size=64, block=8))
+
     def test_l1_hit_no_l2_traffic(self):
         c = TwoLevelCache(CacheGeometry(16, 8), CacheGeometry(64, 8))
         c.access_range(0, 8)
@@ -82,3 +90,52 @@ class TestTwoLevel:
         assert c.resident_blocks() > 0
         c.flush()
         assert c.resident_blocks() == 0
+
+
+class TestTwoLevelMixedBlockSizes:
+    """access_block must agree with access_range when L1 blocks < L2 blocks."""
+
+    def _mk(self):
+        # L1: 4-word blocks (4 frames); L2: 16-word blocks (4 frames)
+        return TwoLevelCache(CacheGeometry(16, 4), CacheGeometry(64, 16))
+
+    def test_access_block_touches_all_spanned_l1_blocks(self):
+        c = self._mk()
+        c.access_block(0)  # L2 block 0 = words 0..16 = L1 blocks 0..3
+        assert c.l1.resident_blocks() == 4
+        assert c.l1.stats.accesses == 4
+        assert c.l2.stats.accesses == 4  # each cold L1 block filtered through
+
+    def test_entry_points_agree(self):
+        # identical access sequences through the two entry points must give
+        # identical stats at every level
+        seq = [0, 1, 0, 2, 3, 1, 0, 3, 2, 2]
+        a, b = self._mk(), self._mk()
+        for blk in seq:
+            a.access_block(blk)
+            b.access_range(blk * 16, 16)
+        assert a.stats.misses == b.stats.misses
+        assert a.stats.accesses == b.stats.accesses
+        assert a.l1.stats.misses == b.l1.stats.misses
+        assert a.l2.stats.misses == b.l2.stats.misses
+
+    def test_l1_hit_after_block_access(self):
+        c = self._mk()
+        c.access_block(0)
+        before = c.l2.stats.accesses
+        c.access_range(0, 16)  # all four L1 blocks now resident
+        assert c.l2.stats.accesses == before
+        assert c.stats.misses == c.l2.stats.misses
+
+    def test_word_access_fills_one_l1_line(self):
+        c = self._mk()
+        assert c.access(5) is True  # cold
+        # one word -> one L1 line plus the containing L2 block, matching
+        # access_range(5, 1); the whole-L2-block fill is access_block's job
+        assert c.l2.contains_block(0)
+        assert c.l1.resident_blocks() == 1
+        d = self._mk()
+        d.access_range(5, 1)
+        assert d.stats.accesses == 1
+        assert d.l1.stats.misses == c.l1.stats.misses
+        assert d.l2.stats.misses == c.l2.stats.misses

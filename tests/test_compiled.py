@@ -1,0 +1,215 @@
+"""Tests for the trace-compilation engine (repro.runtime.compiled).
+
+The load-bearing property is *exact* equivalence with the stepwise
+executor: same block trace, same misses at every geometry, same phase
+attribution.  The oracle suite exercises the seed graphs the acceptance
+criteria name (pipeline, fm_radio) plus the circular-buffer wrap-around
+case that makes window compilation nontrivial.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cache.base import CacheGeometry
+from repro.core.baselines import interleaved_schedule, single_appearance_schedule
+from repro.core.partition_sched import (
+    component_layout_order,
+    inhomogeneous_partition_schedule,
+    pipeline_dynamic_schedule,
+)
+from repro.core.dagpart import interval_dp_partition
+from repro.core.pipeline import optimal_pipeline_partition
+from repro.core.tuning import choose_batch
+from repro.errors import CacheConfigError, ScheduleError
+from repro.graphs.apps import fm_radio
+from repro.graphs.sdf import StreamGraph
+from repro.graphs.topologies import pipeline, random_pipeline
+from repro.mem.layout import Region
+from repro.runtime.buffers import ChannelBuffer
+from repro.runtime.compiled import (
+    TraceCompiler,
+    compile_trace,
+    measure_compiled,
+    simulate_trace,
+)
+from repro.runtime.executor import Executor
+from repro.runtime.looped import compress_schedule
+from repro.runtime.schedule import Schedule
+from repro.testing.oracles import assert_trace_equivalent
+
+
+B = 8
+
+
+class TestOracleSuite:
+    """simulate_trace / miss_curve vs step-by-step LRUCache across geometries."""
+
+    def test_pipeline_interleaved(self):
+        g = pipeline([16, 8, 24])
+        assert_trace_equivalent(g, interleaved_schedule(g, n_iterations=40), B, [32, 64, 128, 256])
+
+    def test_pipeline_partitioned_dynamic(self):
+        g = pipeline([32] * 8)
+        M = 96
+        geom = CacheGeometry(size=M, block=B)
+        part = optimal_pipeline_partition(g, M, c=1.0)
+        sched = pipeline_dynamic_schedule(g, part, geom, target_outputs=120)
+        assert_trace_equivalent(
+            g, sched, B, [64, 128, 256], layout_order=component_layout_order(part)
+        )
+
+    def test_fm_radio_partitioned(self):
+        g = fm_radio(taps=24, bands=3)
+        M = 128
+        geom = CacheGeometry(size=M, block=B)
+        part = interval_dp_partition(g, M, c=2.0)
+        plan = choose_batch(g, M, cross_cids=[c.cid for c in part.cross_channels()])
+        sched = inhomogeneous_partition_schedule(g, part, geom, n_batches=2, plan=plan)
+        trace = assert_trace_equivalent(
+            g, sched, B, [128, 256, 512], layout_order=component_layout_order(part)
+        )
+        assert trace.source_fires > 0 and trace.sink_fires > 0
+
+    def test_fm_radio_single_appearance(self):
+        g = fm_radio(taps=16, bands=3)
+        assert_trace_equivalent(
+            g, single_appearance_schedule(g, n_iterations=8), B, [64, 192, 384]
+        )
+
+    def test_multirate_pipeline(self):
+        g = random_pipeline(8, 24, seed=5, rate_choices=[(1, 1), (2, 1), (1, 2), (3, 2)])
+        assert_trace_equivalent(
+            g, single_appearance_schedule(g, n_iterations=10), B, [32, 96, 256]
+        )
+
+    def test_count_external_disabled(self):
+        g = pipeline([16, 16])
+        assert_trace_equivalent(
+            g, interleaved_schedule(g, n_iterations=20), B, [64], count_external=False
+        )
+
+    def test_unaligned_block_size(self):
+        # B=4 with odd state sizes exercises partial-block regions
+        g = pipeline([7, 13, 5])
+        assert_trace_equivalent(g, interleaved_schedule(g, n_iterations=15), 4, [16, 32, 64])
+
+
+class TestWrapAround:
+    """Circular-buffer windows that wrap the region end, feeding the compiler."""
+
+    def _wrap_graph(self):
+        g = StreamGraph("wrap")
+        g.add_module("m0", state=8)
+        g.add_module("m1", state=8)
+        g.add_channel("m0", "m1", out_rate=3, in_rate=3)
+        return g
+
+    def test_channelbuffer_wrap_ranges(self):
+        # capacity 7, rate 3: the third push starts at slot 6 and wraps
+        buf = ChannelBuffer(0, Region(0, 7))
+        assert buf.push_ranges(3) == [(0, 3)]
+        assert buf.push_ranges(3) == [(3, 3)]
+        assert buf.pop_ranges(3) == [(0, 3)]
+        ranges = buf.push_ranges(3)
+        assert ranges == [(6, 1), (0, 2)]  # two ranges: the window wrapped
+        assert buf.pop_ranges(3) == [(3, 3)]
+        assert buf.pop_ranges(3) == [(6, 1), (0, 2)]
+
+    def test_compiler_matches_executor_through_wraps(self):
+        g = self._wrap_graph()
+        # head walks 0,3,6,2,5,1,4 mod 7 — every wrap offset is exercised
+        firings = ["m0", "m0", "m1"] + ["m0", "m1"] * 20
+        sched = Schedule(firings, capacities={0: 7}, label="wrap")
+        trace = assert_trace_equivalent(g, sched, 4, [8, 16, 32])
+        assert trace.firings == len(firings)
+
+    def test_wrap_window_blocks_are_two_runs(self):
+        g = self._wrap_graph()
+        sched = Schedule(["m0", "m0", "m1", "m0"], capacities={0: 7}, label="wrap")
+        compiler = TraceCompiler(g, 4, capacities={0: 7})
+        trace = compiler.compile(sched)
+        # the final push wraps: its window touches the buffer's last block
+        # then its first block again (non-monotone block ids within a firing)
+        buf_region = compiler.layout.buffer_region(0)
+        first_block = buf_region.start // 4
+        last_block = (buf_region.end - 1) // 4
+        blocks = trace.blocks.tolist()
+        wrap_pos = [
+            i for i in range(1, len(blocks)) if blocks[i - 1] == last_block and blocks[i] == first_block
+        ]
+        assert wrap_pos, "expected a wrapped window touching last then first block"
+
+
+class TestCompiledTrace:
+    def test_trace_metadata(self):
+        g = pipeline([16, 8])
+        sched = interleaved_schedule(g, n_iterations=5)
+        trace = compile_trace(g, sched, B)
+        assert trace.accesses == len(trace) == trace.blocks.shape[0]
+        assert trace.phases is not None and trace.phases.shape == trace.blocks.shape
+        assert trace.firings == 10
+        assert trace.fire_counts == {"m0": 5, "m1": 5}
+        assert trace.source_fires == 5 and trace.sink_fires == 5
+        assert trace.distinct_blocks() <= trace.accesses
+
+    def test_looped_schedule_matches_flat(self):
+        g = pipeline([16, 8, 8])
+        flat = interleaved_schedule(g, n_iterations=30)
+        looped = compress_schedule(flat)
+        a = compile_trace(g, flat, B)
+        b = compile_trace(g, looped, B)
+        assert (a.blocks == b.blocks).all()
+        assert a.fire_counts == b.fire_counts
+
+    def test_infeasible_schedule_raises(self):
+        g = pipeline([8, 8])
+        with pytest.raises(ScheduleError):
+            compile_trace(g, Schedule(["m1"]), B)
+
+    def test_overflow_raises(self):
+        g = pipeline([8, 8])
+        with pytest.raises(ScheduleError):
+            compile_trace(g, Schedule(["m0"] * 100, capacities={0: 2}), B)
+
+    def test_block_mismatch_rejected(self):
+        g = pipeline([8, 8])
+        trace = compile_trace(g, interleaved_schedule(g, n_iterations=2), B)
+        with pytest.raises(CacheConfigError):
+            simulate_trace(trace, [CacheGeometry(size=32, block=4)])
+
+    def test_measure_compiled_is_drop_in(self):
+        g = random_pipeline(6, 20, seed=1, rate_choices=[(1, 1), (2, 1)])
+        sched = single_appearance_schedule(g, n_iterations=12)
+        geom = CacheGeometry(size=64, block=B)
+        fast = measure_compiled(g, geom, sched)
+        ref = Executor.measure(g, geom, sched)
+        assert fast.misses == ref.misses
+        assert fast.accesses == ref.accesses
+        assert fast.phase_misses == ref.phase_misses
+        assert fast.misses_per_source_fire == ref.misses_per_source_fire
+
+    def test_single_pass_is_monotone_in_size(self):
+        g = pipeline([32] * 6)
+        sched = interleaved_schedule(g, n_iterations=30)
+        trace = compile_trace(g, sched, B)
+        sizes = [8, 16, 32, 64, 128, 256, 512]
+        misses = [r.misses for r in simulate_trace(trace, [CacheGeometry(size=s, block=B) for s in sizes])]
+        assert misses == sorted(misses, reverse=True)  # LRU inclusion property
+
+    def test_recorded_trace_interop(self):
+        from repro.cache.lru import LRUCache
+        from repro.mem.trace import TraceRecorder, TracingCache
+
+        g = pipeline([16, 8])
+        sched = interleaved_schedule(g, n_iterations=10)
+        geom = CacheGeometry(size=512, block=B)
+        rec = TraceRecorder()
+        Executor.measure(g, geom, sched, cache=TracingCache(LRUCache(geom), rec))
+        observed = rec.to_compiled(B)
+        compiled = compile_trace(g, sched, B)
+        assert (observed.blocks == compiled.blocks).all()
+        small = CacheGeometry(size=32, block=B)
+        assert (
+            simulate_trace(observed, [small])[0].misses
+            == simulate_trace(compiled, [small])[0].misses
+        )

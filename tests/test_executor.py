@@ -6,9 +6,14 @@ from repro.cache.base import CacheGeometry
 from repro.cache.lru import LRUCache
 from repro.errors import ScheduleError
 from repro.graphs.minbuf import min_buffers
+from repro.graphs.sdf import StreamGraph
 from repro.graphs.topologies import pipeline
 from repro.mem.trace import TracingCache
-from repro.runtime.executor import Executor
+from repro.runtime.executor import (
+    Executor,
+    sink_stream_words,
+    source_stream_words,
+)
 from repro.runtime.schedule import Schedule
 
 
@@ -64,6 +69,67 @@ class TestFire:
         # 16 input words + 16 output words at 8 words/block = 2+2 misses
         assert ex.cache.stats.phase_misses["stream"] == 4
 
+    def test_multirate_source_advances_stream_per_token(self):
+        # source produces 4 tokens/firing: external input must advance by 4
+        # words per firing, not 1 — the paper's per-data-item normalization
+        g = StreamGraph("multirate")
+        g.add_module("m0", state=0)
+        g.add_module("m1", state=0)
+        g.add_channel("m0", "m1", out_rate=4, in_rate=1)
+        assert source_stream_words(g, "m0") == 4
+        assert sink_stream_words(g, "m1") == 1
+        ex = Executor(g, CacheGeometry(size=64, block=8))
+        for _ in range(8):
+            ex.fire("m0")
+            for _ in range(4):
+                ex.fire("m1")
+        # 8 source firings x 4 words = 32 input words = 4 blocks; the sink
+        # consumes 1/firing x 32 firings = 32 output words = 4 more blocks
+        assert ex._ext_in_pos == 32
+        assert ex._ext_out_pos == 32
+        assert ex.cache.stats.phase_misses["stream"] == 8
+
+    def test_multirate_sink_advances_stream_per_token(self):
+        g = StreamGraph("downrate")
+        g.add_module("m0", state=0)
+        g.add_module("m1", state=0)
+        g.add_channel("m0", "m1", out_rate=1, in_rate=4)
+        assert source_stream_words(g, "m0") == 1
+        assert sink_stream_words(g, "m1") == 4
+        ex = Executor(g, CacheGeometry(size=64, block=8))
+        for _ in range(4):
+            for _ in range(4):
+                ex.fire("m0")
+            ex.fire("m1")
+        assert ex._ext_in_pos == 16
+        assert ex._ext_out_pos == 16
+
+    def test_fanout_source_counts_broadcast_items_once(self):
+        # duplicate-splitter convention: one item feeds every branch, so a
+        # fan-out source reads max(out_rate), not the sum over channels
+        g = StreamGraph("fanout")
+        g.add_module("src", state=0)
+        g.add_module("a", state=0)
+        g.add_module("b", state=0)
+        g.add_module("c", state=0)
+        for branch in ("a", "b", "c"):
+            g.add_channel("src", branch, out_rate=1, in_rate=1)
+        assert source_stream_words(g, "src") == 1
+        # mirror for a fan-in sink
+        g2 = StreamGraph("fanin")
+        g2.add_module("a", state=0)
+        g2.add_module("b", state=0)
+        g2.add_module("snk", state=0)
+        g2.add_channel("a", "snk", out_rate=1, in_rate=2)
+        g2.add_channel("b", "snk", out_rate=1, in_rate=1)
+        assert sink_stream_words(g2, "snk") == 2
+
+    def test_isolated_module_still_charges_one_word(self):
+        g = StreamGraph("solo")
+        g.add_module("m0", state=0)
+        assert source_stream_words(g, "m0") == 1
+        assert sink_stream_words(g, "m0") == 1
+
     def test_external_stream_disabled(self):
         g = pipeline([0, 0])
         ex = make(g, count_external=False)
@@ -90,9 +156,20 @@ class TestRun:
         assert res.misses > 0
         assert res.misses_per_source_fire == res.misses / 5
 
-    def test_misses_per_input_inf_when_no_source_fires(self):
+    def test_misses_per_input_zero_when_nothing_happened(self):
+        # no firings at all: zero misses cost zero, not inf
         g = pipeline([8, 8])
         res = make(g).result()
+        assert res.misses_per_source_fire == 0.0
+
+    def test_misses_per_input_inf_when_sourceless_misses(self):
+        # misses without any source firing have no per-input normalization
+        g = pipeline([8, 8])
+        ex = make(g)
+        ex.fire("m0")
+        res = ex.result()
+        res.source_fires = 0
+        assert res.misses > 0
         assert res.misses_per_source_fire == float("inf")
 
     def test_summary_mentions_phases(self):

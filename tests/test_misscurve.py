@@ -10,9 +10,11 @@ from repro.analysis.misscurve import (
     miss_curve,
     misses_at,
     stack_distances,
+    stack_distances_array,
 )
 from repro.cache.base import CacheGeometry
 from repro.cache.lru import LRUCache
+from repro.testing.oracles import reference_stack_distances
 
 
 def lru_misses(trace, blocks):
@@ -40,6 +42,32 @@ class TestStackDistances:
 
     def test_empty(self):
         assert stack_distances([]) == []
+
+
+class TestVectorizedKernel:
+    """The numpy searchsorted kernel against the sequential Fenwick oracle."""
+
+    def test_matches_reference_on_randoms(self):
+        rng = np.random.default_rng(7)
+        for _ in range(30):
+            n = int(rng.integers(0, 300))
+            k = int(rng.integers(1, 25))
+            trace = rng.integers(0, k, size=n).tolist()
+            assert stack_distances(trace) == reference_stack_distances(trace)
+
+    def test_array_form_cold_sentinel(self):
+        d = stack_distances_array([4, 9, 4, 4])
+        assert d.tolist() == [0, 0, 2, 1]
+
+    def test_large_trace_matches_reference(self):
+        rng = np.random.default_rng(11)
+        trace = rng.integers(0, 64, size=20000).tolist()
+        assert stack_distances(trace) == reference_stack_distances(trace)
+
+    @given(trace=st.lists(st.integers(0, 12), max_size=120))
+    @settings(max_examples=60, deadline=None)
+    def test_matches_reference_property(self, trace):
+        assert stack_distances(trace) == reference_stack_distances(trace)
 
 
 class TestMissCurve:

@@ -1,6 +1,9 @@
-"""Micro-benchmarks of the substrates: cache-simulator throughput, executor
-firing rate, and partitioner scaling.  These guard the simulation's own
-performance (the whole harness rests on them being fast)."""
+"""Micro-benchmarks of the substrates: cache-simulator and vectorized-replay
+throughput, executor firing rate, and partitioner scaling.  These guard the
+simulation's own performance (the whole harness rests on them being fast).
+The stepwise-model benchmarks stay alongside the replay ones: the stepwise
+engines are the differential oracles, and their throughput bounds how long
+the oracle suites take."""
 
 import numpy as np
 
@@ -12,11 +15,27 @@ from repro.core.pipeline import optimal_pipeline_partition, theorem5_partition
 from repro.core.partition_sched import pipeline_dynamic_schedule
 from repro.graphs.topologies import diamond, random_pipeline
 from repro.runtime.executor import Executor
+from repro.runtime.replay import replay_misses
 from repro.runtime.schedule import Schedule
 
 
 def test_lru_touch_throughput(benchmark):
     geo = CacheGeometry(size=512, block=8)
+    rng = np.random.default_rng(0)
+    trace = rng.integers(0, 256, size=20_000).tolist()
+
+    def run():
+        c = LRUCache(geo)
+        for b in trace:
+            c.access_block(b)
+        return c.stats.misses
+
+    misses = benchmark(run)
+    assert misses > 0
+
+
+def test_set_assoc_lru_touch_throughput(benchmark):
+    geo = CacheGeometry(size=512, block=8, ways=4)
     rng = np.random.default_rng(0)
     trace = rng.integers(0, 256, size=20_000).tolist()
 
@@ -36,6 +55,34 @@ def test_opt_replay_throughput(benchmark):
     trace = rng.integers(0, 128, size=20_000).tolist()
     stats = benchmark(simulate_opt, trace, geo)
     assert stats.misses > 0
+
+
+def test_opt_vectorized_sweep_throughput(benchmark):
+    # one priority-stack pass answering a 6-size sweep; compare against
+    # test_opt_replay_throughput x 6 for the stepwise cost of the same sweep
+    rng = np.random.default_rng(1)
+    trace = rng.integers(0, 128, size=20_000)
+    geoms = [CacheGeometry(size=s, block=8) for s in (64, 128, 256, 512, 768, 1024)]
+    misses = benchmark(replay_misses, trace, geoms, "opt")
+    assert misses == sorted(misses, reverse=True)  # OPT inclusion
+
+
+def test_direct_vectorized_sweep_throughput(benchmark):
+    rng = np.random.default_rng(2)
+    trace = rng.integers(0, 256, size=20_000)
+    geoms = [CacheGeometry(size=s, block=8) for s in (64, 128, 256, 512, 768, 1024)]
+    misses = benchmark(replay_misses, trace, geoms, "direct")
+    assert all(m > 0 for m in misses)
+
+
+def test_set_assoc_vectorized_sweep_throughput(benchmark):
+    # ways sweep at a fixed set count: the whole sweep shares one
+    # set-grouped stack-distance pass
+    rng = np.random.default_rng(3)
+    trace = rng.integers(0, 256, size=20_000)
+    geoms = [CacheGeometry(size=16 * w * 8, block=8, ways=w) for w in (1, 2, 4, 8, 16)]
+    misses = benchmark(replay_misses, trace, geoms, "lru")
+    assert misses == sorted(misses, reverse=True)  # more ways never hurt LRU
 
 
 def test_executor_firing_rate(benchmark):

@@ -17,7 +17,10 @@ def test_e12_cache_models(benchmark, show):
 
 def test_e13_seed_distribution(benchmark, show):
     rows = benchmark.pedantic(
-        experiment_e13_seed_distribution, kwargs={"n_seeds": 8}, rounds=1, iterations=1
+        experiment_e13_seed_distribution,
+        kwargs={"n_seeds": 8, "workers": 4},  # per-seed multi-trace fan-out
+        rounds=1,
+        iterations=1,
     )
     show(rows, "E13: competitive-ratio distribution over random pipelines")
     stats = {r["statistic"]: r for r in rows}

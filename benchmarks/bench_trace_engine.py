@@ -1,19 +1,29 @@
 """Trace-engine benchmark: compiled single-pass sweeps vs the stepwise
-Executor, on the geometry-sweep workload the engine was built for.
+paths they replaced, on the geometry-sweep workload the engine was built
+for — now per replacement policy.
 
-Two measurements, both asserted and both recorded in
-``BENCH_trace_engine.json`` at the repo root so the perf trajectory is
-tracked from this PR onward:
+Measurements, all asserted and all recorded in ``BENCH_trace_engine.json``
+at the repo root (with a rolling ``history`` so
+``benchmarks/check_bench_trends.py`` can fail on regressions):
 
-* **sweep**: answer N cache sizes for one partitioned schedule — the
-  executor pays N full simulations, the engine one compile plus one
-  vectorized stack-distance pass.  Acceptance: >= 5x.
+* **sweep** (fully-associative LRU): answer N cache sizes for one
+  partitioned schedule — the executor pays N full simulations, the engine
+  one compile plus one vectorized stack-distance pass.  Acceptance: >= 5x.
 * **single**: one geometry, drop-in ``measure_compiled`` vs
   ``Executor.measure`` — must not be slower than ~par (no regression for
   non-sweep callers).
+* **direct**: the stepwise loop the E12/A6 rewiring replaced — a
+  ``DirectMappedCache`` walked block by block per geometry — vs the
+  per-frame last-block replay.  Acceptance: >= 5x on the sweep.
+* **opt**: the stepwise loop the A3/E8 rewiring replaced — one heap-based
+  ``simulate_opt`` per geometry — vs the single truncated priority-stack
+  pass answering every capacity.  Acceptance: >= 5x on the sweep.
+* **set_assoc**: a ways sweep at fixed set count through the stepwise
+  set-associative ``LRUCache`` vs the shared set-grouped stack-distance
+  pass.  New capability (no replaced path): recorded, sanity-bounded only.
 
-Both paths must agree miss-for-miss at every size (the oracle property,
-re-checked here on the benchmark workload itself).
+Every path must agree miss-for-miss with its stepwise oracle at every size
+(the oracle property, re-checked here on the benchmark workload itself).
 """
 
 import json
@@ -21,6 +31,9 @@ import time
 from pathlib import Path
 
 from repro.cache.base import CacheGeometry
+from repro.cache.direct import DirectMappedCache
+from repro.cache.lru import LRUCache
+from repro.cache.opt import simulate_opt
 from repro.core.partition_sched import component_layout_order, pipeline_dynamic_schedule
 from repro.core.pipeline import optimal_pipeline_partition
 from repro.graphs.topologies import random_pipeline
@@ -29,7 +42,10 @@ from repro.runtime.executor import Executor
 
 B = 8
 SWEEP_SIZES = (64, 96, 128, 192, 256, 384, 512, 768, 1024)
+SET_ASSOC_WAYS = (1, 2, 4, 8, 16, 32)
+SET_ASSOC_SETS = 16
 JSON_PATH = Path(__file__).resolve().parent.parent / "BENCH_trace_engine.json"
+HISTORY_CAP = 50
 
 
 def _workload(n_outputs=800):
@@ -40,6 +56,19 @@ def _workload(n_outputs=800):
         g, part, CacheGeometry(size=M, block=B), target_outputs=n_outputs
     )
     return g, sched, component_layout_order(part)
+
+
+def _model_sweep_misses(trace_blocks, make_model, geoms):
+    """The stepwise loop: feed the whole trace through a fresh model per
+    geometry (this is what the rewired sweeps used to pay)."""
+    out = []
+    for geom in geoms:
+        model = make_model(geom)
+        access = model.access_block
+        for b in trace_blocks:
+            access(b)
+        out.append(model.stats.misses)
+    return out
 
 
 def test_trace_engine_speedup(show):
@@ -70,6 +99,58 @@ def test_trace_engine_speedup(show):
     assert fast_one.misses == ref_one.misses
     single_speedup = t_executor_one / t_compiled_one
 
+    blocks_list = trace.blocks.tolist()
+
+    # --- direct-mapped: stepwise model loop vs per-frame last-block replay
+    t0 = time.perf_counter()
+    dm_ref = _model_sweep_misses(blocks_list, DirectMappedCache, geoms)
+    t_dm_step = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    dm_fast = [r.misses for r in simulate_trace(trace, geoms, policy="direct")]
+    t_dm_replay = time.perf_counter() - t0
+    assert dm_fast == dm_ref, "direct-mapped replay diverged from stepwise model"
+    dm_speedup = t_dm_step / t_dm_replay
+
+    # --- OPT: one heap simulation per size vs one priority-stack pass
+    t0 = time.perf_counter()
+    opt_ref = [simulate_opt(blocks_list, geom).misses for geom in geoms]
+    t_opt_step = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    opt_fast = [r.misses for r in simulate_trace(trace, geoms, policy="opt")]
+    t_opt_replay = time.perf_counter() - t0
+    assert opt_fast == opt_ref, "OPT replay diverged from stepwise simulate_opt"
+    opt_speedup = t_opt_step / t_opt_replay
+
+    # --- set-associative LRU: ways sweep at fixed set count
+    sa_geoms = [
+        CacheGeometry(size=SET_ASSOC_SETS * w * B, block=B, ways=w)
+        for w in SET_ASSOC_WAYS
+    ]
+    t0 = time.perf_counter()
+    sa_ref = _model_sweep_misses(blocks_list, LRUCache, sa_geoms)
+    t_sa_step = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    sa_fast = [r.misses for r in simulate_trace(trace, sa_geoms, policy="lru")]
+    t_sa_replay = time.perf_counter() - t0
+    assert sa_fast == sa_ref, "set-associative replay diverged from stepwise LRU"
+    sa_speedup = t_sa_step / t_sa_replay
+
+    summary = {
+        "ts": round(time.time(), 1),
+        "sweep": round(sweep_speedup, 2),
+        "single": round(single_speedup, 2),
+        "direct": round(dm_speedup, 2),
+        "opt": round(opt_speedup, 2),
+        "set_assoc": round(sa_speedup, 2),
+    }
+    history = []
+    if JSON_PATH.exists():
+        try:
+            history = json.loads(JSON_PATH.read_text()).get("history", [])
+        except (json.JSONDecodeError, OSError):
+            history = []
+    history = (history + [summary])[-HISTORY_CAP:]
+
     record = {
         "workload": {
             "graph": "random_pipeline(18, 48, seed=11)",
@@ -77,6 +158,7 @@ def test_trace_engine_speedup(show):
             "firings": trace.firings,
             "trace_accesses": trace.accesses,
             "sweep_sizes": list(SWEEP_SIZES),
+            "set_assoc": {"sets": SET_ASSOC_SETS, "ways": list(SET_ASSOC_WAYS)},
             "block": B,
         },
         "sweep": {
@@ -89,17 +171,47 @@ def test_trace_engine_speedup(show):
             "compiled_s": round(t_compiled_one, 4),
             "speedup": round(single_speedup, 2),
         },
+        "policies": {
+            "direct": {
+                "stepwise_s": round(t_dm_step, 4),
+                "replay_s": round(t_dm_replay, 4),
+                "speedup": round(dm_speedup, 2),
+            },
+            "opt": {
+                "stepwise_s": round(t_opt_step, 4),
+                "replay_s": round(t_opt_replay, 4),
+                "speedup": round(opt_speedup, 2),
+            },
+            "set_assoc": {
+                "stepwise_s": round(t_sa_step, 4),
+                "replay_s": round(t_sa_replay, 4),
+                "speedup": round(sa_speedup, 2),
+            },
+        },
+        "history": history,
     }
-    JSON_PATH.write_text(json.dumps(record, indent=2) + "\n")
 
     show(
         [
-            {"path": "sweep (9 sizes)", "executor_s": round(t_executor_sweep, 3),
-             "compiled_s": round(t_compiled_sweep, 3), "speedup": round(sweep_speedup, 1)},
-            {"path": "single geometry", "executor_s": round(t_executor_one, 3),
-             "compiled_s": round(t_compiled_one, 3), "speedup": round(single_speedup, 1)},
+            {"path": "lru sweep (9 sizes)", "stepwise_s": round(t_executor_sweep, 3),
+             "replay_s": round(t_compiled_sweep, 3), "speedup": round(sweep_speedup, 1)},
+            {"path": "single geometry", "stepwise_s": round(t_executor_one, 3),
+             "replay_s": round(t_compiled_one, 3), "speedup": round(single_speedup, 1)},
+            {"path": "direct sweep (9 sizes)", "stepwise_s": round(t_dm_step, 3),
+             "replay_s": round(t_dm_replay, 3), "speedup": round(dm_speedup, 1)},
+            {"path": "opt sweep (9 sizes)", "stepwise_s": round(t_opt_step, 3),
+             "replay_s": round(t_opt_replay, 3), "speedup": round(opt_speedup, 1)},
+            {"path": "set-assoc ways sweep (6)", "stepwise_s": round(t_sa_step, 3),
+             "replay_s": round(t_sa_replay, 3), "speedup": round(sa_speedup, 1)},
         ],
-        "trace engine: compiled vs stepwise executor",
+        "trace engine: vectorized replay vs stepwise loops",
     )
     assert sweep_speedup >= 5.0, f"sweep speedup {sweep_speedup:.1f}x < 5x target"
     assert single_speedup >= 0.5, "compiled path regressed the single-geometry case"
+    assert dm_speedup >= 5.0, f"direct-mapped sweep {dm_speedup:.1f}x < 5x target"
+    assert opt_speedup >= 5.0, f"OPT sweep {opt_speedup:.1f}x < 5x target"
+    assert sa_speedup >= 0.5, "set-associative replay should not be dramatically slower"
+
+    # record only after every gate passed, so a regressed run can never
+    # become the trend check's next baseline
+    JSON_PATH.write_text(json.dumps(record, indent=2) + "\n")

@@ -1,0 +1,85 @@
+#!/usr/bin/env python
+"""Fail when the trace-engine speedups regress against their history.
+
+``benchmarks/bench_trace_engine.py`` appends one summary per run to the
+``history`` array of ``BENCH_trace_engine.json``.  This script compares the
+latest entry against the previous one and exits non-zero when any tracked
+speedup fell by more than the tolerated fraction (default 30%).  With fewer
+than two history entries there is nothing to compare yet and the check
+passes (that is the "once history exists" contract: the first run of a
+fresh clone seeds the baseline).
+
+Usage::
+
+    python benchmarks/check_bench_trends.py [path/to/BENCH_trace_engine.json]
+    python benchmarks/check_bench_trends.py --tolerance 0.3
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+DEFAULT_JSON = Path(__file__).resolve().parent.parent / "BENCH_trace_engine.json"
+
+#: speedup metrics tracked in each history entry (non-metric keys ignored)
+METRICS = ("sweep", "single", "direct", "opt", "set_assoc")
+
+
+def check(path: Path, tolerance: float) -> int:
+    if not path.exists():
+        print(f"trend check: {path} does not exist yet - nothing to compare")
+        return 0
+    try:
+        record = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        print(f"trend check: cannot parse {path}: {exc}")
+        return 1
+    history = record.get("history", [])
+    if len(history) < 2:
+        print(
+            f"trend check: {len(history)} history entr"
+            f"{'y' if len(history) == 1 else 'ies'} in {path.name} - "
+            "need two runs before regressions can be detected"
+        )
+        return 0
+    prev, last = history[-2], history[-1]
+    failures = []
+    for metric in METRICS:
+        if metric not in prev or metric not in last:
+            continue
+        floor = prev[metric] * (1.0 - tolerance)
+        status = "ok" if last[metric] >= floor else "REGRESSED"
+        print(
+            f"  {metric:10s} {prev[metric]:8.2f}x -> {last[metric]:8.2f}x "
+            f"(floor {floor:.2f}x)  {status}"
+        )
+        if last[metric] < floor:
+            failures.append(metric)
+    if failures:
+        print(
+            f"trend check: FAIL - {', '.join(failures)} fell more than "
+            f"{tolerance:.0%} below the previous run"
+        )
+        return 1
+    print(f"trend check: ok ({len(history)} runs tracked)")
+    return 0
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("json_path", nargs="?", default=str(DEFAULT_JSON))
+    ap.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.30,
+        help="tolerated fractional drop vs the previous run (default 0.30)",
+    )
+    args = ap.parse_args(argv)
+    return check(Path(args.json_path), args.tolerance)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

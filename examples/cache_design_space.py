@@ -2,21 +2,27 @@
 """Cache design-space exploration for a beamformer workload.
 
 A systems question the library answers directly: given a fixed streaming
-application, how do cache size M and block size B trade off?  We partition
-the beamformer for each M, schedule it, and sweep B — reproducing in one
-script the shapes of experiments E8 (augmentation) and E9 (block size), on
-a wide dag where the degree-limited condition of Section 5 matters.
+application, how do cache size M, block size B, and cache organization trade
+off?  We partition the beamformer for each M, schedule it, compile the
+schedule to its block trace once per (M, B), and read every replacement
+model off that one trace with the policy-aware replay — fully-associative
+LRU (the paper's model), direct-mapped (worst-case associativity), and
+Belady's OPT (the omniscient bound) — reproducing in one script the shapes
+of experiments E8 (augmentation), E9 (block size), and E12 (organization
+robustness), on a wide dag where the degree-limited condition of Section 5
+matters.
 
 Run:  python examples/cache_design_space.py
 """
 
 from repro import (
     CacheGeometry,
-    Executor,
     component_layout_order,
+    compile_trace,
     inhomogeneous_partition_schedule,
     interval_dp_partition,
     required_geometry,
+    simulate_trace,
 )
 from repro.analysis.report import rows_to_table
 from repro.graphs.apps import beamformer
@@ -39,9 +45,12 @@ def main() -> None:
                 graph, part, geom, n_batches=n_batches, plan=plan
             )
             aug = required_geometry(part, geom)
-            res = Executor.measure(
-                graph, aug, sched, layout_order=component_layout_order(part)
+            trace = compile_trace(
+                graph, sched, B, layout_order=component_layout_order(part)
             )
+            res = simulate_trace(trace, [aug])[0]
+            dm = simulate_trace(trace, [aug], policy="direct")[0]
+            opt = simulate_trace(trace, [aug], policy="opt")[0]
             max_deg = max(part.component_degree(i) for i in range(part.k))
             rows.append(
                 {
@@ -52,6 +61,8 @@ def main() -> None:
                     "max_degree": max_deg,
                     "deg_limit_M/B": M // B,
                     "misses/input": round(res.misses_per_source_fire, 3),
+                    "direct_mapped": round(dm.misses_per_source_fire, 3),
+                    "opt": round(opt.misses_per_source_fire, 3),
                 }
             )
 
@@ -60,7 +71,11 @@ def main() -> None:
         "\nReading the table: misses/input falls with both M (fewer, larger\n"
         "components => less cross traffic) and B (every transfer moves more\n"
         "words); rows where max_degree > M/B violate the paper's degree-limited\n"
-        "condition and pay extra misses for cross-buffer block churn."
+        "condition and pay extra misses for cross-buffer block churn.  The\n"
+        "direct_mapped column shows the conflict-miss price of dropping\n"
+        "associativity; the opt column bounds how much a smarter replacement\n"
+        "policy could recover — all three columns come from the same compiled\n"
+        "trace, no stepwise simulation anywhere."
     )
 
 

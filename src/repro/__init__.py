@@ -73,18 +73,29 @@ from repro.cache import (
     DirectMappedCache,
     LRUCache,
     OPTCache,
+    ReplacementPolicy,
     TwoLevelCache,
+    available_policies,
+    get_policy,
+    register_policy,
     simulate_opt,
+    simulate_opt_misses,
 )
 from repro.mem import MemoryLayout, Region, TraceRecorder, TracingCache
 from repro.runtime import (
     ChannelBuffer,
+    CompiledTrace,
     Loop,
     LoopedSchedule,
     compress_schedule,
+    compile_trace,
     ExecutionResult,
     Executor,
+    measure_compiled,
+    replay_miss_masks,
+    replay_misses,
     Schedule,
+    simulate_trace,
     demand_driven_schedule,
     fireable_modules,
     validate_schedule,
@@ -139,13 +150,16 @@ __all__ = [
     "repetition_vector", "min_buffer", "min_buffers", "validate_graph",
     # cache
     "CacheGeometry", "CacheStats", "LRUCache", "DirectMappedCache",
-    "OPTCache", "simulate_opt", "TwoLevelCache",
+    "OPTCache", "simulate_opt", "simulate_opt_misses", "TwoLevelCache",
+    "ReplacementPolicy", "register_policy", "get_policy", "available_policies",
     # mem
     "MemoryLayout", "Region", "TraceRecorder", "TracingCache",
     # runtime
     "ChannelBuffer", "Schedule", "validate_schedule", "Executor",
     "ExecutionResult", "fireable_modules", "demand_driven_schedule",
     "Loop", "LoopedSchedule", "compress_schedule",
+    "CompiledTrace", "compile_trace", "simulate_trace", "measure_compiled",
+    "replay_miss_masks", "replay_misses",
     # core
     "Partition", "singleton_partition", "whole_graph_partition",
     "theorem5_partition", "optimal_pipeline_partition",

@@ -19,14 +19,12 @@ robustness questions a practitioner asks before adopting the scheduler:
 
 from __future__ import annotations
 
-from typing import Any, Dict, List
+from typing import Any, Dict, List, Optional
 
 import numpy as np
 
-from repro.cache.base import CacheGeometry, CacheModel
-from repro.cache.direct import DirectMappedCache
+from repro.cache.base import CacheGeometry
 from repro.cache.hierarchy import TwoLevelCache
-from repro.cache.lru import LRUCache
 from repro.core.baselines import single_appearance_schedule
 from repro.core.lower_bound import pipeline_lower_bound
 from repro.core.partition_sched import component_layout_order, pipeline_dynamic_schedule
@@ -37,7 +35,7 @@ from repro.core.tuning import choose_batch, required_geometry
 from repro.graphs.apps import fm_radio
 from repro.graphs.repetition import repetition_vector
 from repro.graphs.topologies import random_pipeline
-from repro.runtime.compiled import measure_compiled
+from repro.runtime.compiled import compile_trace, measure_compiled, simulate_trace
 from repro.runtime.executor import Executor
 
 __all__ = ["experiment_e12_cache_models", "experiment_e13_seed_distribution", "ablation_a6_layout_order"]
@@ -47,10 +45,18 @@ def experiment_e12_cache_models(M: int = 256, B: int = 8) -> List[Dict[str, Any]
     """Partitioned vs single-appearance on fm_radio across cache models.
 
     Cache models: ideal LRU (the paper's), direct-mapped of the same size
-    (worst-case associativity), and a two-level hierarchy (L1 = M, L2 = the
-    partition's O(M); misses counted at L2 = memory transfers).  Shape: the
-    partitioned schedule wins under every organization; direct-mapped adds
-    conflict misses to both columns but does not change the verdict.
+    (worst-case associativity), 4-way set-associative in between, and a
+    two-level hierarchy (L1 = M, L2 = the partition's O(M); misses counted
+    at L2 = memory transfers).  Shape: the partitioned schedule wins under
+    every organization; lower associativity adds conflict misses to both
+    columns but does not change the verdict.
+
+    Each schedule is compiled once; the LRU / set-associative /
+    direct-mapped rows are all answered from the two compiled traces by the
+    vectorized replay (policy dispatch in
+    :func:`repro.runtime.compiled.simulate_trace`).  Only the two-level
+    hierarchy — outside the policy registry — still walks the stepwise
+    executor.
     """
     g = fm_radio(taps=48, bands=6)
     geom = CacheGeometry(size=M, block=B)
@@ -62,44 +68,55 @@ def experiment_e12_cache_models(M: int = 256, B: int = 8) -> List[Dict[str, Any]
     order = component_layout_order(part)
     reps = repetition_vector(g)
 
-    def caches():
-        yield "LRU (paper model)", lambda: LRUCache(run_geom)
-        yield "direct-mapped", lambda: DirectMappedCache(run_geom)
-        # L1 is the un-augmented M; L2 is the O(M) the partition needs.
-        # Misses are counted at L2 (memory transfers): the partitioned
-        # working set fits L2, the naive schedule's does not.
-        yield "two-level (L1=M, L2=O(M))", lambda: TwoLevelCache(
+    part_trace = compile_trace(g, sched, B, layout_order=order)
+    iters = max(1, part_trace.source_fires // reps[g.sources()[0]])
+    base_sched = single_appearance_schedule(g, n_iterations=iters)
+    base_trace = compile_trace(g, base_sched, B)
+
+    # 4-way organization of (at least) the same capacity
+    ways = 4
+    assoc_geom = run_geom.with_ways(ways)
+
+    rows: List[Dict[str, Any]] = []
+    replayed = [
+        ("LRU (paper model)", "lru", run_geom),
+        (f"{ways}-way LRU ({assoc_geom.size}w)", "lru", assoc_geom),
+        ("direct-mapped", "direct", run_geom),
+    ]
+    for label, policy, rg in replayed:
+        res = simulate_trace(part_trace, [rg], policy=policy)[0]
+        base = simulate_trace(base_trace, [rg], policy=policy)[0]
+        rows.append(_e12_row(label, res, base))
+
+    # L1 is the un-augmented M; L2 is the O(M) the partition needs.
+    # Misses are counted at L2 (memory transfers): the partitioned
+    # working set fits L2, the naive schedule's does not.
+    def two_level():
+        return TwoLevelCache(
             CacheGeometry(size=geom.size, block=B),
             CacheGeometry(size=run_geom.size, block=B),
         )
 
-    rows: List[Dict[str, Any]] = []
-    for label, mk in caches():
-        res = Executor.measure(g, run_geom, sched, layout_order=order, cache=mk())
-        iters = max(1, res.source_fires // reps[g.sources()[0]])
-        base = Executor.measure(
-            g,
-            run_geom,
-            single_appearance_schedule(g, n_iterations=iters),
-            cache=mk(),
-        )
-        rows.append(
-            {
-                "cache_model": label,
-                "partitioned_mpi": round(res.misses_per_source_fire, 3),
-                "single_app_mpi": round(base.misses_per_source_fire, 3),
-                "win": round(
-                    base.misses_per_source_fire / res.misses_per_source_fire, 1
-                )
-                if res.misses_per_source_fire
-                else float("inf"),
-            }
-        )
+    res = Executor.measure(g, run_geom, sched, layout_order=order, cache=two_level())
+    base = Executor.measure(g, run_geom, base_sched, cache=two_level())
+    rows.append(_e12_row("two-level (L1=M, L2=O(M))", res, base))
     return rows
 
 
+def _e12_row(label: str, res, base) -> Dict[str, Any]:
+    return {
+        "cache_model": label,
+        "partitioned_mpi": round(res.misses_per_source_fire, 3),
+        "single_app_mpi": round(base.misses_per_source_fire, 3),
+        "win": round(base.misses_per_source_fire / res.misses_per_source_fire, 1)
+        if res.misses_per_source_fire
+        else float("inf"),
+    }
+
+
 def experiment_e13_seed_distribution(
-    n_seeds: int = 16, n: int = 24, M: int = 96, n_outputs: int = 400
+    n_seeds: int = 16, n: int = 24, M: int = 96, n_outputs: int = 400,
+    workers: Optional[int] = None,
 ) -> List[Dict[str, Any]]:
     """Distribution of measured/LB competitive ratios over random pipelines.
 
@@ -107,11 +124,15 @@ def experiment_e13_seed_distribution(
     deterministically from the seed range, so the row set is stable.  Every
     measurement is the fully-associative LRU model, so the whole sweep runs
     through the compiled-trace engine instead of stepwise simulation.
+
+    ``workers`` fans the per-seed multi-trace runs (two compilations and
+    replays per seed) out over a thread pool; seeds are independent and the
+    results are gathered in seed order, so the rows are identical at any
+    worker count.
     """
     geom = CacheGeometry(size=M, block=8)
-    ratios: List[float] = []
-    wins: List[float] = []
-    for seed in range(n_seeds):
+
+    def run_seed(seed: int):
         # states in [20, 60]: total state (~24 * 40 words) always far
         # exceeds the O(M) execution cache, so no seed degenerates into the
         # everything-resident regime where all schedules tie.
@@ -127,13 +148,26 @@ def experiment_e13_seed_distribution(
         )
         lb = pipeline_lower_bound(g, M)
         lbm = float(lb.misses(res.source_fires, geom))
-        if lbm > 0:
-            ratios.append(res.misses / lbm)
         base = measure_compiled(
             g, run_geom, single_appearance_schedule(g, n_iterations=n_outputs)
         )
-        if res.misses_per_source_fire > 0:
-            wins.append(base.misses_per_source_fire / res.misses_per_source_fire)
+        ratio = res.misses / lbm if lbm > 0 else None
+        win = (
+            base.misses_per_source_fire / res.misses_per_source_fire
+            if res.misses_per_source_fire > 0
+            else None
+        )
+        return ratio, win
+
+    if workers and workers > 1 and n_seeds > 1:
+        from concurrent.futures import ThreadPoolExecutor
+
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            per_seed = list(pool.map(run_seed, range(n_seeds)))
+    else:
+        per_seed = [run_seed(seed) for seed in range(n_seeds)]
+    ratios = [r for r, _ in per_seed if r is not None]
+    wins = [w for _, w in per_seed if w is not None]
 
     arr = np.array(ratios)
     warr = np.array(wins)
@@ -179,8 +213,11 @@ def ablation_a6_layout_order(M: int = 256, B: int = 8) -> List[Dict[str, Any]]:
       need conflict-aware placement (colouring/skewing), which is outside
       the paper's model — the partitioned schedule still wins at every
       layout (compare E12), but its margin varies.
+
+    Both columns come from one compiled trace per layout: LRU via the
+    Mattson pass, direct-mapped via the per-frame last-block replay — no
+    stepwise simulation anywhere in this sweep.
     """
-    from repro.cache.direct import DirectMappedCache
     from repro.core.dagpart import interval_dp_partition
     from repro.core.partition_sched import (
         component_layout_order,
@@ -212,12 +249,9 @@ def ablation_a6_layout_order(M: int = 256, B: int = 8) -> List[Dict[str, Any]]:
 
     rows: List[Dict[str, Any]] = []
     for label, order in (("component-grouped", grouped), ("topological", topo), ("strided", strided)):
-        # LRU is a stack algorithm -> compiled path; direct-mapped is not,
-        # so its column stays on the stepwise executor.
-        lru = measure_compiled(g, run_geom, sched, layout_order=order)
-        dm = Executor.measure(
-            g, run_geom, sched, layout_order=order, cache=DirectMappedCache(run_geom)
-        )
+        trace = compile_trace(g, sched, geom.block, layout_order=order)
+        lru = simulate_trace(trace, [run_geom])[0]
+        dm = simulate_trace(trace, [run_geom], policy="direct")[0]
         rows.append(
             {
                 "layout": label,

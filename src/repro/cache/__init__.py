@@ -1,34 +1,63 @@
-"""External-memory (I/O model / DAM) cache simulators.
+"""External-memory (I/O model / DAM) cache simulators and the policy registry.
 
 The paper analyzes schedules in the two-level I/O model of Aggarwal &
 Vitter: a fast cache of ``M`` words organized in blocks of ``B`` words over
 an arbitrarily large memory; the cost of an execution is the number of block
-transfers (cache misses).  This package implements that model executably:
+transfers (cache misses).  This package implements that model executably,
+with :class:`~repro.cache.base.CacheGeometry` carrying an optional ``ways``
+field that narrows the paper's fully-associative ideal down to real
+set-associative and direct-mapped organizations.
 
-* :class:`~repro.cache.lru.LRUCache` — fully associative LRU, the standard
-  realization of the ideal-cache model (LRU is O(1)-competitive with OPT
-  under constant-factor memory augmentation, so the paper's bounds carry);
-* :class:`~repro.cache.opt.OPTCache` — Belady's offline-optimal replacement
-  replayed over a recorded trace, used by the A3 ablation;
-* :class:`~repro.cache.direct.DirectMappedCache` and
-  :class:`~repro.cache.hierarchy.TwoLevelCache` — hardware-flavoured
-  extensions for robustness experiments.
+Every replacement policy is registered by name in
+:mod:`repro.cache.policy` (``"lru"``, ``"direct"``, ``"opt"``), which binds
+the name to its *stepwise* engine; the *vectorized* engines answering whole
+geometry sweeps from one compiled trace live in
+:mod:`repro.runtime.replay` and dispatch by the same names.  The stepwise
+engines here are deliberately simple and stay the differential-test oracles
+for the vectorized path:
+
+* :class:`~repro.cache.lru.LRUCache` — LRU, fully associative by default
+  (the standard realization of the ideal-cache model; O(1)-competitive with
+  OPT under constant-factor augmentation, so the paper's bounds carry) or
+  set-associative when the geometry carries an explicit ``ways``;
+* :class:`~repro.cache.direct.DirectMappedCache` — the ``ways=1`` corner,
+  where conflict misses appear (robustness experiments E12/A6);
+* :class:`~repro.cache.opt.OPTCache` / :func:`~repro.cache.opt.simulate_opt`
+  — Belady's offline-optimal replacement replayed over a recorded trace
+  (ablation A3), per set under explicit associativity;
+* :class:`~repro.cache.hierarchy.TwoLevelCache` — a two-level hierarchy,
+  outside the registry (no vectorized counterpart yet): the stepwise
+  executor is its only path.
 """
 
 from repro.cache.base import CacheModel, CacheGeometry
+from repro.cache.policy import (
+    ReplacementPolicy,
+    available_policies,
+    get_policy,
+    register_policy,
+    stepwise_trace_misses,
+)
 from repro.cache.stats import CacheStats
 from repro.cache.lru import LRUCache
 from repro.cache.direct import DirectMappedCache
-from repro.cache.opt import OPTCache, simulate_opt
+from repro.cache.opt import OPTCache, next_occurrences, simulate_opt, simulate_opt_misses
 from repro.cache.hierarchy import TwoLevelCache
 
 __all__ = [
     "CacheModel",
     "CacheGeometry",
     "CacheStats",
+    "ReplacementPolicy",
+    "available_policies",
+    "get_policy",
+    "register_policy",
+    "stepwise_trace_misses",
     "LRUCache",
     "DirectMappedCache",
     "OPTCache",
     "simulate_opt",
+    "simulate_opt_misses",
+    "next_occurrences",
     "TwoLevelCache",
 ]

@@ -1,18 +1,20 @@
 """Cache geometry and the simulator interface.
 
-All simulators share :class:`CacheGeometry` (M words, B-word blocks) and the
-:class:`CacheModel` interface: ``access(address)`` for a single word and
-``access_range(start, length)`` for a contiguous region (a module's state or
-a slice of a channel buffer).  Ranges are the common case — a firing touches
-``s(v)`` contiguous state words plus short contiguous buffer windows — so
-``access_range`` iterates *blocks*, not words, making simulation cost
-proportional to block transfers rather than memory traffic.
+All simulators share :class:`CacheGeometry` (M words, B-word blocks,
+optionally ``ways``-associative) and the :class:`CacheModel` interface:
+``access(address)`` for a single word and ``access_range(start, length)``
+for a contiguous region (a module's state or a slice of a channel buffer).
+Ranges are the common case — a firing touches ``s(v)`` contiguous state
+words plus short contiguous buffer windows — so ``access_range`` iterates
+*blocks*, not words, making simulation cost proportional to block transfers
+rather than memory traffic.
 """
 
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
+from typing import Optional
 
 from repro.cache.stats import CacheStats
 from repro.errors import CacheConfigError
@@ -27,10 +29,20 @@ class CacheGeometry:
     ``size`` need not be a multiple of ``block`` conceptually, but we require
     it (and positivity) to keep block counting exact: the cache holds exactly
     ``size // block`` blocks.
+
+    ``ways`` is the associativity: ``None`` (the default, and the paper's
+    model) means fully associative — replacement may evict any resident
+    block.  An explicit ``ways`` splits the frames into ``n_blocks // ways``
+    sets indexed by ``block_id % sets``; ``ways=1`` is a direct-mapped
+    organization.  Explicit associativity is validated the way hardware
+    indexes demand: ``ways`` must divide ``n_blocks`` and the resulting set
+    count must be a power of two (set indices are address bits — a non
+    power-of-two count would silently mis-map them).
     """
 
     size: int
     block: int
+    ways: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.size <= 0:
@@ -43,10 +55,65 @@ class CacheGeometry:
             )
         if self.size // self.block < 1:
             raise CacheConfigError("cache must hold at least one block")
+        if self.ways is not None:
+            n_blocks = self.size // self.block
+            if not isinstance(self.ways, int) or self.ways < 1:
+                raise CacheConfigError(
+                    f"associativity must be a positive integer, got {self.ways!r}"
+                )
+            if n_blocks % self.ways != 0:
+                raise CacheConfigError(
+                    f"ways {self.ways} must divide the {n_blocks} block frames"
+                )
+            n_sets = n_blocks // self.ways
+            if n_sets & (n_sets - 1):
+                raise CacheConfigError(
+                    f"set count {n_sets} ({n_blocks} frames / {self.ways} ways) "
+                    f"must be a power of two — set indices are address bits"
+                )
 
     @property
     def n_blocks(self) -> int:
         return self.size // self.block
+
+    @property
+    def sets(self) -> int:
+        """Number of sets: 1 when fully associative, ``n_blocks // ways``
+        under explicit associativity (``n_blocks`` when direct mapped)."""
+        if self.ways is None:
+            return 1
+        return self.n_blocks // self.ways
+
+    @property
+    def associativity(self) -> int:
+        """Effective ways per set (``n_blocks`` when fully associative)."""
+        if self.ways is None:
+            return self.n_blocks
+        return self.ways
+
+    @property
+    def is_fully_associative(self) -> bool:
+        return self.ways is None or self.ways == self.n_blocks
+
+    def set_of(self, block: int) -> int:
+        """Set index a block id maps to."""
+        return block % self.sets
+
+    def with_ways(self, ways: Optional[int]) -> "CacheGeometry":
+        """This geometry reorganized as ``ways``-associative, its frame
+        count snapped *up* to the nearest ``ways * power-of-two`` so the
+        set indexing validates.  ``None``/``0`` returns the geometry
+        unchanged (fully associative)."""
+        if not ways:
+            return self
+        if not isinstance(ways, int) or ways < 1:
+            raise CacheConfigError(
+                f"associativity must be a positive integer, got {ways!r}"
+            )
+        sets = 1
+        while sets * ways < self.n_blocks:
+            sets *= 2
+        return CacheGeometry(size=sets * ways * self.block, block=self.block, ways=ways)
 
     def block_of(self, address: int) -> int:
         return address // self.block

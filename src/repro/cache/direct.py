@@ -5,6 +5,13 @@ or direct mapped, where *conflict misses* appear.  We provide a direct-mapped
 simulator so the robustness experiments can show that the partitioned
 schedule's advantage survives (and conflict misses mostly wash out because
 the layout packs each component contiguously).
+
+This is the ``ways=1`` corner of the associativity spectrum: every frame is
+its own set.  A plain geometry (``ways=None``) is accepted for backward
+compatibility and treated as direct mapped over all ``n_blocks`` frames; a
+geometry claiming any other associativity is rejected.  The vectorized
+counterpart — one per-set last-block scan answering a whole sweep — lives in
+:mod:`repro.runtime.replay`; this class remains its oracle.
 """
 
 from __future__ import annotations
@@ -12,6 +19,8 @@ from __future__ import annotations
 from typing import Dict
 
 from repro.cache.base import CacheGeometry, CacheModel
+from repro.cache.policy import ReplacementPolicy, register_policy
+from repro.errors import CacheConfigError
 
 __all__ = ["DirectMappedCache"]
 
@@ -20,6 +29,11 @@ class DirectMappedCache(CacheModel):
     """Each block maps to frame ``block % n_blocks``; a frame holds one block."""
 
     def __init__(self, geometry: CacheGeometry) -> None:
+        if geometry.ways not in (None, 1):
+            raise CacheConfigError(
+                f"direct-mapped cache needs ways=1 (or an unspecified "
+                f"associativity), got ways={geometry.ways}"
+            )
         super().__init__(geometry)
         self._frames: Dict[int, int] = {}
 
@@ -40,3 +54,13 @@ class DirectMappedCache(CacheModel):
 
     def resident_blocks(self) -> int:
         return len(self._frames)
+
+
+register_policy(
+    ReplacementPolicy(
+        name="direct",
+        description="direct mapped: frame = block % n_blocks, one block per frame",
+        make_model=DirectMappedCache,
+    )
+)
+

@@ -1,0 +1,92 @@
+"""Replacement-policy registry: one name per policy, two engines per name.
+
+Every replacement model the library simulates is registered here under a
+short policy name (``"lru"``, ``"direct"``, ``"opt"``).  A registration
+binds the name to its *stepwise* engine — an online :class:`CacheModel`
+factory, or a batch runner for offline policies like OPT — which stays the
+differential-test oracle.  The *vectorized* engines live in
+:mod:`repro.runtime.replay` and dispatch by the same names, so a caller can
+pick a policy string once and get either the reference simulation or the
+single-pass replay, and the tests can diff the two.
+
+Policies are registered by their defining modules at import time
+(:mod:`repro.cache.lru`, :mod:`repro.cache.direct`, :mod:`repro.cache.opt`);
+importing :mod:`repro.cache` populates the registry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Sequence, Tuple
+
+from repro.cache.base import CacheGeometry, CacheModel
+from repro.errors import CacheConfigError
+
+__all__ = [
+    "ReplacementPolicy",
+    "register_policy",
+    "get_policy",
+    "available_policies",
+    "stepwise_trace_misses",
+]
+
+
+@dataclass(frozen=True)
+class ReplacementPolicy:
+    """One registered replacement policy.
+
+    ``make_model`` builds the stepwise engine for a geometry (``None`` for
+    offline-only policies).  ``batch_misses`` runs the policy over a complete
+    block trace and returns the per-access miss sequence — for online
+    policies it is derived from ``make_model``; offline policies (OPT) supply
+    it directly.  ``offline`` marks policies whose decisions need the future
+    of the trace and therefore cannot run inside the stepwise executor.
+    """
+
+    name: str
+    description: str
+    make_model: Optional[Callable[[CacheGeometry], CacheModel]] = None
+    batch_misses: Optional[
+        Callable[[Sequence[int], CacheGeometry], Sequence[bool]]
+    ] = None
+    offline: bool = False
+
+
+_POLICIES: Dict[str, ReplacementPolicy] = {}
+
+
+def register_policy(policy: ReplacementPolicy) -> ReplacementPolicy:
+    """Register (or replace) a policy under its name and return it."""
+    _POLICIES[policy.name] = policy
+    return policy
+
+
+def get_policy(name: str) -> ReplacementPolicy:
+    try:
+        return _POLICIES[name]
+    except KeyError:
+        raise CacheConfigError(
+            f"unknown replacement policy {name!r}; "
+            f"registered: {sorted(_POLICIES)}"
+        ) from None
+
+
+def available_policies() -> Tuple[str, ...]:
+    return tuple(sorted(_POLICIES))
+
+
+def stepwise_trace_misses(
+    trace: Sequence[int], geometry: CacheGeometry, policy: str = "lru"
+) -> Sequence[bool]:
+    """Per-access miss sequence of the stepwise engine on a raw block trace.
+
+    The differential-test entry point: whatever the vectorized replay
+    answers, this is the reference it must match bit for bit.
+    """
+    pol = get_policy(policy)
+    if pol.batch_misses is not None:
+        return pol.batch_misses(trace, geometry)
+    if pol.make_model is None:  # pragma: no cover - registry misuse
+        raise CacheConfigError(f"policy {policy!r} has no stepwise engine")
+    model = pol.make_model(geometry)
+    return [model.access_block(int(b)) for b in trace]

@@ -5,12 +5,17 @@ Commands
 ``apps``                 list the bundled application graphs
 ``describe``             print a graph (bundled app name or JSON file)
 ``partition``            partition a graph and report components/bandwidth
-``schedule``             partition + schedule + simulate, print the cost
+``schedule``             partition + schedule + simulate, print the cost;
+                         ``--policy {lru,direct,opt}`` and ``--ways N`` pick
+                         the replacement model and associativity, all
+                         answered by the vectorized replay over one
+                         compiled trace
 ``experiment``           run one experiment driver (e1..e10, a1..a4) and
                          print its table
 ``export-dot``           write a Graphviz DOT of a (partitioned) graph
 ``misscurve``            misses-vs-cache-size curve of partitioned and naive
-                         schedules (Mattson stack distances)
+                         schedules (compiled traces + Mattson stack
+                         distances; no stepwise simulation)
 
 Examples
 --------
@@ -20,6 +25,8 @@ Examples
     python -m repro describe fm_radio
     python -m repro partition fm_radio --cache 256 --c 2.0
     python -m repro schedule fm_radio --cache 256 --block 8 --inputs 2048
+    python -m repro schedule fm_radio --cache 256 --policy opt
+    python -m repro schedule fm_radio --cache 256 --ways 4
     python -m repro experiment e7
     python -m repro export-dot fm_radio --cache 256 -o fm.dot
 """
@@ -95,7 +102,7 @@ def cmd_schedule(args: argparse.Namespace) -> int:
         pipeline_dynamic_schedule,
     )
     from repro.core.tuning import choose_batch, required_geometry
-    from repro.runtime.executor import Executor
+    from repro.runtime.compiled import measure_compiled
 
     g = _resolve_graph(args.graph)
     geom = CacheGeometry(size=args.cache, block=args.block)
@@ -106,11 +113,26 @@ def cmd_schedule(args: argparse.Namespace) -> int:
         plan = choose_batch(g, args.cache, cross_cids=[c.cid for c in part.cross_channels()])
         n_batches = max(1, -(-args.inputs // max(plan.source_fires, 1)))
         sched = inhomogeneous_partition_schedule(g, part, geom, n_batches=n_batches, plan=plan)
-    run_geom = required_geometry(part, geom)
-    res = Executor.measure(g, run_geom, sched, layout_order=component_layout_order(part))
+    from repro.errors import CacheConfigError
+
+    try:
+        run_geom = required_geometry(part, geom).with_ways(args.ways)
+        res = measure_compiled(
+            g, run_geom, sched,
+            layout_order=component_layout_order(part),
+            policy=args.policy,
+        )
+    except CacheConfigError as exc:
+        # bad --ways value, or a --policy/--ways combination the replay
+        # rejects (e.g. direct-mapped with ways > 1)
+        raise SystemExit(f"invalid cache organization: {exc}")
+    org = "fully associative" if run_geom.is_fully_associative else (
+        f"{run_geom.ways}-way, {run_geom.sets} sets"
+    )
     print(f"partition : {part.k} components, bandwidth {float(part.bandwidth()):.3f}")
     print(f"cache     : {run_geom.size} words "
-          f"({run_geom.size / geom.size:.2f}x of M={geom.size}), B={geom.block}")
+          f"({run_geom.size / geom.size:.2f}x of M={geom.size}), B={geom.block}, "
+          f"{org}, policy={args.policy}")
     print(f"schedule  : {len(sched)} firings ({sched.label})")
     print(f"result    : {res.summary()}")
     return 0
@@ -145,7 +167,6 @@ def cmd_experiment(args: argparse.Namespace) -> int:
 def cmd_misscurve(args: argparse.Namespace) -> int:
     from repro.analysis.misscurve import miss_curve
     from repro.analysis.report import rows_to_table
-    from repro.cache.lru import LRUCache
     from repro.core.baselines import single_appearance_schedule
     from repro.core.partition_sched import (
         component_layout_order,
@@ -154,19 +175,15 @@ def cmd_misscurve(args: argparse.Namespace) -> int:
     )
     from repro.core.tuning import choose_batch
     from repro.graphs.repetition import repetition_vector
-    from repro.mem.trace import TraceRecorder, TracingCache
-    from repro.runtime.executor import Executor
+    from repro.runtime.compiled import compile_trace
 
     g = _resolve_graph(args.graph)
     geom = CacheGeometry(size=args.cache, block=args.block)
     part = _partition_for(g, args.cache, args.c)
-    big = CacheGeometry(size=max(16 * args.cache, 4096), block=args.block)
 
     def record(schedule, order=None):
-        rec = TraceRecorder()
-        Executor.measure(g, big, schedule, layout_order=order,
-                         cache=TracingCache(LRUCache(big), rec))
-        return rec.blocks
+        # traces are cache-size independent: compile, don't simulate
+        return compile_trace(g, schedule, args.block, layout_order=order).blocks
 
     if g.is_pipeline():
         part_sched = pipeline_dynamic_schedule(g, part, geom, target_outputs=args.inputs)
@@ -235,6 +252,11 @@ def build_parser() -> argparse.ArgumentParser:
     s.add_argument("--block", type=int, default=8)
     s.add_argument("--c", type=float, default=2.0)
     s.add_argument("--inputs", type=int, default=1024, help="target inputs/outputs")
+    s.add_argument("--policy", default="lru", choices=("lru", "direct", "opt"),
+                   help="replacement policy replayed over the compiled trace")
+    s.add_argument("--ways", type=int, default=0,
+                   help="associativity (0 = fully associative; the cache is "
+                        "snapped up to the nearest valid set count)")
     s.set_defaults(fn=cmd_schedule)
 
     e = sub.add_parser("experiment", help="run an experiment driver")

@@ -1,7 +1,8 @@
 """Execution substrate: FIFO channel buffers bound to memory addresses, the
 firing engine that moves tokens through the cache simulator, the trace
-compiler that answers whole geometry families in one pass, schedule
-representation/validation, and deadlock analysis."""
+compiler and the policy-aware replay kernels that answer whole geometry
+families in one pass, schedule representation/validation, and deadlock
+analysis."""
 
 from repro.runtime.buffers import ChannelBuffer
 from repro.runtime.compiled import (
@@ -10,6 +11,12 @@ from repro.runtime.compiled import (
     compile_trace,
     measure_compiled,
     simulate_trace,
+)
+from repro.runtime.replay import (
+    opt_stack_distances,
+    per_set_stack_distances,
+    replay_miss_masks,
+    replay_misses,
 )
 from repro.runtime.looped import Loop, LoopedSchedule, compress_schedule
 from repro.runtime.schedule import Schedule, validate_schedule
@@ -28,6 +35,10 @@ __all__ = [
     "compile_trace",
     "measure_compiled",
     "simulate_trace",
+    "replay_miss_masks",
+    "replay_misses",
+    "per_set_stack_distances",
+    "opt_stack_distances",
     "Loop",
     "LoopedSchedule",
     "compress_schedule",

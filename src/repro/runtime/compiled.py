@@ -19,17 +19,30 @@ every cache size in a single Mattson stack-distance pass
   per-firing work is a few dict lookups and array appends instead of
   per-block simulation.
 * :func:`simulate_trace` answers a whole family of cache geometries from
-  one compiled trace with one vectorized stack-distance pass, returning
+  one compiled trace, for any replacement policy registered in
+  :mod:`repro.cache.policy`, by dispatching to the vectorized replay
+  kernels of :mod:`repro.runtime.replay`: fully-associative LRU (one
+  Mattson stack-distance pass), set-associative LRU (per-set stack
+  distances on the set-grouped trace), direct-mapped (per-frame last-block
+  scan), and OPT/Belady (a truncated priority-stack pass answering every
+  swept capacity at once).  Results are
   :class:`~repro.runtime.executor.ExecutionResult` rows identical — misses,
-  accesses, and per-phase attribution — to running the executor with a
-  fresh LRU per geometry.
+  accesses, and per-phase attribution — to running the stepwise engine per
+  geometry.  ``workers=`` fans the per-geometry evaluation out over a
+  thread pool after the shared distance passes.
 * :func:`measure_compiled` is the drop-in replacement for
-  ``Executor.measure`` on the fully-associative LRU model.
+  ``Executor.measure`` on any replay-capable policy.
 
-The executor remains the validating reference path (and the only path for
-non-stack cache models: direct-mapped, two-level);
-:func:`repro.testing.oracles.assert_trace_equivalent` checks the two agree
-block-for-block.
+Which path is vectorized, which is reference: the compiled replay above is
+the production path for every geometry sweep; the stepwise engines — the
+:class:`~repro.runtime.executor.Executor` driving a
+:class:`~repro.cache.lru.LRUCache` / :class:`~repro.cache.direct.DirectMappedCache`,
+and the heap-based :func:`~repro.cache.opt.simulate_opt` — remain the
+differential-test oracles (plus the only path for models outside the
+registry, e.g. the two-level hierarchy).
+:func:`repro.testing.oracles.assert_trace_equivalent` checks executor and
+compiler agree block-for-block, and ``tests/test_replay.py`` diffs every
+replay kernel against its stepwise oracle on random traces.
 """
 
 from __future__ import annotations
@@ -326,17 +339,25 @@ def compile_trace(
 
 
 def simulate_trace(
-    trace: CompiledTrace, geometries: Sequence[CacheGeometry]
+    trace: CompiledTrace,
+    geometries: Sequence[CacheGeometry],
+    policy: str = "lru",
+    workers: Optional[int] = None,
 ) -> List[ExecutionResult]:
-    """Miss counts of a fully-associative LRU of every geometry, one pass.
+    """Miss counts of ``policy`` at every geometry from one compiled trace.
 
-    One vectorized stack-distance computation answers all ``geometries``
-    (which must share the trace's block size — the trace's addresses were
-    laid out for it).  Each result is identical to running the executor
-    with a fresh ``LRUCache(geometry)``: same misses, same accesses, same
-    per-phase miss attribution.
+    Dispatches to the vectorized replay kernel registered for ``policy``
+    (:mod:`repro.runtime.replay`): ``"lru"`` (fully associative via one
+    Mattson stack-distance pass, or set-associative per ``geometry.ways``),
+    ``"direct"`` (per-frame last-block scan), or ``"opt"`` (Belady via a
+    truncated priority-stack pass answering every swept capacity at once).
+    All geometries must share the trace's block size — the trace's addresses
+    were laid out for it.  Each result is identical to running the stepwise
+    engine for that policy on the same trace: same misses, same accesses,
+    same per-phase miss attribution.  ``workers`` threads the per-geometry
+    evaluation after the shared distance passes.
     """
-    from repro.analysis.misscurve import stack_distances_array
+    from repro.runtime.replay import replay_miss_masks
 
     for geom in geometries:
         if geom.block != trace.block:
@@ -344,10 +365,9 @@ def simulate_trace(
                 f"geometry block {geom.block} does not match trace block "
                 f"{trace.block}; recompile the trace for this block size"
             )
-    d = stack_distances_array(trace.blocks)
+    masks = replay_miss_masks(trace.blocks, geometries, policy=policy, workers=workers)
     results: List[ExecutionResult] = []
-    for geom in geometries:
-        miss_mask = (d == 0) | (d > geom.n_blocks)
+    for geom, miss_mask in zip(geometries, masks):
         misses = int(np.count_nonzero(miss_mask))
         phase_misses: Dict[str, int] = {}
         if trace.phases is not None and misses:
@@ -378,11 +398,14 @@ def measure_compiled(
     schedule,
     layout_order: Optional[Iterable[str]] = None,
     count_external: bool = True,
+    policy: str = "lru",
+    workers: Optional[int] = None,
 ) -> ExecutionResult:
-    """Drop-in for ``Executor.measure`` on the LRU model, via compilation.
+    """Drop-in for ``Executor.measure``, via compilation.
 
     Compiles the schedule once and evaluates the single geometry with the
-    vectorized kernel — exact same result, no stepwise cache simulation.
+    vectorized kernel of ``policy`` — exact same result, no stepwise cache
+    simulation.
     """
     trace = compile_trace(
         graph,
@@ -391,4 +414,4 @@ def measure_compiled(
         layout_order=layout_order,
         count_external=count_external,
     )
-    return simulate_trace(trace, [geometry])[0]
+    return simulate_trace(trace, [geometry], policy=policy, workers=workers)[0]

@@ -1,0 +1,358 @@
+"""Policy-aware vectorized replay: one compiled trace, every geometry, four
+replacement models.
+
+:mod:`repro.runtime.compiled` lowers a schedule to its cache-size-independent
+block trace; this module answers *whole geometry sweeps* over that trace for
+each registered replacement policy (:mod:`repro.cache.policy`) without ever
+simulating block-by-block:
+
+* **Fully-associative LRU** — the classic Mattson pass: one vectorized
+  stack-distance computation (:func:`repro.analysis.misscurve.stack_distances_array`)
+  answers every cache size, because LRU is a stack algorithm.
+* **Set-associative LRU** — LRU inside a set never sees other sets' blocks,
+  so the trace is partitioned by set index (one stable argsort) and the same
+  Mattson pass runs per set: an access hits a ``w``-way cache iff its
+  *within-set* stack distance is at most ``w``.  One partition is shared by
+  every geometry with the same set count.
+* **Direct-mapped** — a degenerate per-set scan: an access hits iff the
+  previous access to the same frame (``block % n_frames``) touched the same
+  block, which one grouped argsort answers for the whole trace at once.
+* **OPT (Belady)** — MIN is also a stack algorithm (Mattson 1970) under the
+  priority "sooner next use wins".  Next-use positions are precomputed with
+  the reversed argsort trick (:func:`repro.cache.opt.next_occurrences`), and
+  a single priority-stack pass — truncated at the largest capacity in the
+  sweep — yields per-access OPT stack distances, hence the miss count of
+  *every* swept capacity in one traversal instead of one heap simulation per
+  geometry.
+
+Every kernel returns per-access boolean miss masks, so phase attribution
+works identically to the stepwise executor for all policies.  The stepwise
+models (:class:`~repro.cache.lru.LRUCache`,
+:class:`~repro.cache.direct.DirectMappedCache`,
+:func:`~repro.cache.opt.simulate_opt`) remain the differential-test oracles;
+``tests/test_replay.py`` asserts exact miss-for-miss agreement on random
+traces and geometries.
+
+``workers`` fans the per-geometry mask evaluation out over a thread pool
+*after* the shared distance passes (numpy releases the GIL inside the heavy
+ufuncs); the shared passes themselves are computed once per distinct set
+count, never per geometry.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.cache.base import CacheGeometry
+from repro.cache.opt import next_occurrences
+from repro.cache.policy import get_policy
+from repro.errors import CacheConfigError
+
+__all__ = [
+    "per_set_stack_distances",
+    "opt_stack_distances",
+    "replay_miss_masks",
+    "replay_misses",
+    "register_replay_kernel",
+    "available_replay_policies",
+]
+
+
+# ----------------------------------------------------------------------
+# shared distance passes
+# ----------------------------------------------------------------------
+def _stable_group_order(key: np.ndarray, n_groups: int) -> np.ndarray:
+    """Stable argsort of a small-range grouping key.
+
+    Set/frame indices are bounded by the organization (< 2^15 in any
+    realistic sweep), and numpy's stable sort switches to O(n) radix for
+    16-bit integers — several times faster than the int64 timsort path.
+    """
+    if n_groups <= np.iinfo(np.int16).max:
+        key = key.astype(np.int16)
+    return np.argsort(key, kind="stable")
+
+
+def _set_segments(blocks: np.ndarray, sets: int) -> List[np.ndarray]:
+    """Trace positions grouped by set index, each group time-ordered."""
+    set_idx = blocks % sets
+    order = _stable_group_order(set_idx, sets)
+    ss = set_idx[order]
+    bounds = np.flatnonzero(ss[1:] != ss[:-1]) + 1
+    return np.split(order, bounds)
+
+
+def per_set_stack_distances(blocks: np.ndarray, sets: int = 1) -> np.ndarray:
+    """Within-set LRU stack distances; 0 marks cold accesses.
+
+    ``sets=1`` is the fully-associative Mattson pass.  An access hits a
+    ``sets``-set, ``w``-way LRU cache iff its distance here is in ``[1, w]``.
+
+    The multi-set case needs no per-set loop: a block id determines its set,
+    so distinct sets touch disjoint block ids, and on the *set-grouped*
+    reordering of the trace (each set's subsequence contiguous,
+    time-ordered) every reuse window stays inside one set's span.  One
+    global stack-distance pass over that reordering therefore computes every
+    set's distances at once; scattering back through the grouping
+    permutation restores trace order.
+    """
+    from repro.analysis.misscurve import stack_distances_array
+
+    blocks = np.ascontiguousarray(blocks, dtype=np.int64)
+    if sets <= 1 or blocks.shape[0] == 0:
+        return stack_distances_array(blocks)
+    set_idx = blocks % sets
+    order = _stable_group_order(set_idx, sets)
+    d = np.empty(blocks.shape[0], dtype=np.int64)
+    d[order] = stack_distances_array(blocks[order])
+    return d
+
+
+def _opt_stack_pass(
+    blocks: List[int], next_use: List[int], max_depth: int
+) -> List[int]:
+    """Priority-stack OPT stack distances for one access sequence.
+
+    MIN's priority list at time ``t`` orders blocks by next use after ``t``;
+    every stored priority is that block's next use after its *last* access,
+    which is always in the future of ``t`` (the access at that position
+    would have refreshed it), so one forward pass with Mattson's percolation
+    is exact.  Blocks never referenced again get unique sentinel priorities
+    past the end of the trace (their relative eviction order cannot change
+    any miss count).  The stack is truncated at ``max_depth``: percolation
+    only ever moves entries *down*, so the top ``max_depth`` entries — and
+    therefore every distance we report — are unaffected by the cut.
+    """
+    n = len(blocks)
+    out = [0] * n
+    stack_b: List[int] = []  # block ids, top (most valuable) first
+    stack_p: List[int] = []  # priorities: next-use position, smaller = sooner
+    resident = set()
+    for i in range(n):
+        b = blocks[i]
+        p = next_use[i]
+        if p >= n:
+            p = n + i  # unique sentinel: never used again
+        if b in resident:
+            idx = stack_b.index(b)
+            if idx == 0:
+                out[i] = 1
+                stack_p[0] = p
+                continue
+            out[i] = idx + 1
+            carry_b, carry_p = stack_b[0], stack_p[0]
+            stack_b[0], stack_p[0] = b, p
+            j = 1
+            while j < idx:
+                if stack_p[j] >= carry_p:
+                    stack_b[j], carry_b = carry_b, stack_b[j]
+                    stack_p[j], carry_p = carry_p, stack_p[j]
+                j += 1
+            stack_b[idx], stack_p[idx] = carry_b, carry_p
+        else:
+            # cold (or evicted beyond every tracked capacity): miss everywhere
+            if stack_b:
+                carry_b, carry_p = stack_b[0], stack_p[0]
+                stack_b[0], stack_p[0] = b, p
+                L = len(stack_b)
+                j = 1
+                while j < L:
+                    if stack_p[j] >= carry_p:
+                        stack_b[j], carry_b = carry_b, stack_b[j]
+                        stack_p[j], carry_p = carry_p, stack_p[j]
+                    j += 1
+                if L < max_depth:
+                    stack_b.append(carry_b)
+                    stack_p.append(carry_p)
+                else:
+                    resident.discard(carry_b)
+            else:
+                stack_b.append(b)
+                stack_p.append(p)
+            resident.add(b)
+    return out
+
+
+def opt_stack_distances(
+    blocks: np.ndarray, max_depth: int, sets: int = 1
+) -> np.ndarray:
+    """Per-access OPT stack distances, truncated at ``max_depth``.
+
+    0 marks accesses that miss at every capacity up to ``max_depth`` (cold,
+    or reused only beyond the truncation horizon); distance ``d >= 1`` means
+    the access hits any OPT cache holding at least ``d`` blocks (per set
+    when ``sets > 1``).
+    """
+    if max_depth < 1:
+        raise CacheConfigError(f"max_depth must be >= 1, got {max_depth}")
+    blocks = np.ascontiguousarray(blocks, dtype=np.int64)
+    n = blocks.shape[0]
+    out = np.zeros(n, dtype=np.int64)
+    if n == 0:
+        return out
+    if sets <= 1:
+        out[:] = _opt_stack_pass(
+            blocks.tolist(), next_occurrences(blocks).tolist(), max_depth
+        )
+        return out
+    for seg in _set_segments(blocks, sets):
+        sub = blocks[seg]
+        out[seg] = _opt_stack_pass(
+            sub.tolist(), next_occurrences(sub).tolist(), max_depth
+        )
+    return out
+
+
+# ----------------------------------------------------------------------
+# per-policy kernels
+# ----------------------------------------------------------------------
+def _fanout(
+    fn: Callable, items: Sequence, workers: Optional[int]
+) -> List[np.ndarray]:
+    """Map ``fn`` over ``items``, through a thread pool when asked to."""
+    if not workers or workers <= 1 or len(items) <= 1:
+        return [fn(it) for it in items]
+    from concurrent.futures import ThreadPoolExecutor
+
+    with ThreadPoolExecutor(max_workers=workers) as pool:
+        return list(pool.map(fn, items))
+
+
+def _lru_kernel(
+    blocks: np.ndarray, geometries: Sequence[CacheGeometry], workers: Optional[int]
+) -> List[np.ndarray]:
+    distances: Dict[int, np.ndarray] = {}
+    for geom in geometries:  # shared pass, once per distinct set count
+        sets = 1 if geom.is_fully_associative else geom.sets
+        if sets not in distances:
+            distances[sets] = per_set_stack_distances(blocks, sets)
+
+    def mask(geom: CacheGeometry) -> np.ndarray:
+        sets = 1 if geom.is_fully_associative else geom.sets
+        ways = geom.associativity if sets > 1 else geom.n_blocks
+        d = distances[sets]
+        return (d == 0) | (d > ways)
+
+    return _fanout(mask, list(geometries), workers)
+
+
+def _direct_kernel(
+    blocks: np.ndarray, geometries: Sequence[CacheGeometry], workers: Optional[int]
+) -> List[np.ndarray]:
+    n = blocks.shape[0]
+    hits: Dict[int, np.ndarray] = {}
+    for geom in geometries:
+        if geom.ways not in (None, 1):
+            raise CacheConfigError(
+                f"direct-mapped replay needs ways=1 (or an unspecified "
+                f"associativity), got ways={geom.ways}"
+            )
+        frames = geom.n_blocks
+        if frames in hits or n == 0:
+            continue
+        # per-frame last-block scan: group accesses by frame (stable argsort
+        # keeps them time-ordered), hit iff the previous access to the same
+        # frame touched the same block
+        key = blocks % frames
+        order = _stable_group_order(key, frames)
+        sk, sb = key[order], blocks[order]
+        hit_mask = np.zeros(n, dtype=bool)
+        same = (sk[1:] == sk[:-1]) & (sb[1:] == sb[:-1])
+        hit_mask[order[1:][same]] = True
+        hits[frames] = hit_mask
+
+    def mask(geom: CacheGeometry) -> np.ndarray:
+        if n == 0:
+            return np.zeros(0, dtype=bool)
+        return ~hits[geom.n_blocks]
+
+    return _fanout(mask, list(geometries), workers)
+
+
+def _opt_kernel(
+    blocks: np.ndarray, geometries: Sequence[CacheGeometry], workers: Optional[int]
+) -> List[np.ndarray]:
+    # one truncated priority-stack pass per distinct set count, deep enough
+    # for the largest capacity sharing that count
+    depth_for: Dict[int, int] = {}
+    for geom in geometries:
+        sets = 1 if geom.is_fully_associative else geom.sets
+        cap = geom.n_blocks if sets == 1 else geom.associativity
+        depth_for[sets] = max(depth_for.get(sets, 1), cap)
+    distances = {
+        sets: opt_stack_distances(blocks, depth, sets=sets)
+        for sets, depth in depth_for.items()
+    }
+
+    def mask(geom: CacheGeometry) -> np.ndarray:
+        sets = 1 if geom.is_fully_associative else geom.sets
+        cap = geom.n_blocks if sets == 1 else geom.associativity
+        d = distances[sets]
+        return (d == 0) | (d > cap)
+
+    return _fanout(mask, list(geometries), workers)
+
+
+_KERNELS: Dict[str, Callable] = {}
+
+
+def register_replay_kernel(policy: str, kernel: Callable) -> None:
+    """Register the vectorized kernel answering sweeps for ``policy``.
+
+    The name must already exist in the stepwise registry
+    (:func:`repro.cache.policy.get_policy`) — a replay without an oracle is
+    untestable by construction.
+    """
+    get_policy(policy)
+    _KERNELS[policy] = kernel
+
+
+def available_replay_policies() -> tuple:
+    return tuple(sorted(_KERNELS))
+
+
+register_replay_kernel("lru", _lru_kernel)
+register_replay_kernel("direct", _direct_kernel)
+register_replay_kernel("opt", _opt_kernel)
+
+
+# ----------------------------------------------------------------------
+# public entry points
+# ----------------------------------------------------------------------
+def replay_miss_masks(
+    blocks: np.ndarray,
+    geometries: Iterable[CacheGeometry],
+    policy: str = "lru",
+    workers: Optional[int] = None,
+) -> List[np.ndarray]:
+    """Per-access boolean miss masks of ``policy`` for every geometry.
+
+    All shared work (stack distances, set partitions, next-use passes) is
+    computed once per distinct organization and reused across the sweep;
+    ``workers`` threads the final per-geometry mask evaluation.
+    """
+    geoms = list(geometries)
+    get_policy(policy)  # raises CacheConfigError for unknown names
+    kernel = _KERNELS.get(policy)
+    if kernel is None:
+        raise CacheConfigError(
+            f"policy {policy!r} has no vectorized replay kernel; "
+            f"available: {sorted(_KERNELS)}"
+        )
+    arr = np.ascontiguousarray(blocks, dtype=np.int64)
+    return kernel(arr, geoms, workers)
+
+
+def replay_misses(
+    blocks: np.ndarray,
+    geometries: Iterable[CacheGeometry],
+    policy: str = "lru",
+    workers: Optional[int] = None,
+) -> List[int]:
+    """Total miss counts of ``policy`` for every geometry (sweep form)."""
+    return [
+        int(np.count_nonzero(m))
+        for m in replay_miss_masks(blocks, geometries, policy=policy, workers=workers)
+    ]

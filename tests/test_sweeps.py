@@ -11,9 +11,10 @@ from repro.analysis.sweeps import (
 class TestE12:
     def test_rows_and_shape(self):
         rows = experiment_e12_cache_models()
-        assert len(rows) == 3
+        assert len(rows) == 4
         models = {r["cache_model"] for r in rows}
         assert any("LRU" in m for m in models)
+        assert any("4-way" in m for m in models)
         assert any("direct" in m for m in models)
         assert any("two-level" in m for m in models)
         for r in rows:
@@ -40,6 +41,11 @@ class TestE13:
         rows = experiment_e13_seed_distribution(n_seeds=4, n_outputs=200)
         stats = {r["statistic"]: r for r in rows}
         assert stats["min"]["win_vs_single_app"] > 1.0
+
+    def test_workers_do_not_change_rows(self):
+        serial = experiment_e13_seed_distribution(n_seeds=4, n_outputs=200)
+        threaded = experiment_e13_seed_distribution(n_seeds=4, n_outputs=200, workers=4)
+        assert serial == threaded
 
 
 class TestA6Layout:

@@ -1,0 +1,149 @@
+"""Placement-subsystem benchmark: the block-remap cost model vs the
+recompile-per-candidate path it avoids, plus the optimizer's actual wins.
+
+Measurements, all asserted and recorded in ``BENCH_placement.json`` at the
+repo root (with a rolling ``history`` so ``benchmarks/check_bench_trends.py``
+can fail on regressions):
+
+* **score** — scoring K candidate placements through
+  :func:`repro.mem.placement.placement_cost` (one gather over the trace
+  compiled once under the seed layout, then the direct-mapped replay
+  kernel) vs compiling a fresh trace per candidate and replaying it.  The
+  remap path must agree miss-for-miss and be >= 3x faster — it is the inner
+  loop of the swap local search, so its speed bounds how far the search can
+  look.
+* **swap_gain** — seed direct-mapped misses / swap-refined misses on the A7
+  DES workload.  The optimizer must strictly improve the seed (gain > 1);
+  the trend gate catches a search regression that silently stops finding
+  layouts.
+* **color_gain** — same for the greedy set-coloring strategy alone
+  (sanity-bounded only: >= 1.0 by the never-worse contract).
+"""
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.analysis.sweeps import des_partitioned_workload
+from repro.mem.placement import (
+    build_instance,
+    optimize_instance,
+    placement_cost,
+)
+from repro.runtime.compiled import compile_trace, simulate_trace
+
+B = 8
+M = 256
+N_CANDIDATES = 8
+JSON_PATH = Path(__file__).resolve().parent.parent / "BENCH_placement.json"
+HISTORY_CAP = 50
+
+
+def _workload(inputs=256):
+    g, sched, _part, run_geom = des_partitioned_workload(M=M, B=B, inputs=inputs)
+    return g, sched, run_geom
+
+
+def test_placement_cost_model_speedup(show):
+    g, sched, run_geom = _workload()
+    instance = build_instance(g, sched, B)
+
+    rng = np.random.default_rng(17)
+    candidates = []
+    for _ in range(N_CANDIDATES):
+        order = list(instance.objects)
+        rng.shuffle(order)
+        candidates.append(order)
+
+    # --- recompile-per-candidate: what the cost model replaces
+    t0 = time.perf_counter()
+    ref = []
+    for order in candidates:
+        trace = compile_trace(g, sched, B, placement=order)
+        ref.append(simulate_trace(trace, [run_geom], policy="direct")[0].misses)
+    t_recompile = time.perf_counter() - t0
+
+    # --- block-remap cost model over the one seed trace
+    t0 = time.perf_counter()
+    fast = [
+        placement_cost(instance, order, run_geom, policy="direct")
+        for order in candidates
+    ]
+    t_remap = time.perf_counter() - t0
+
+    assert fast == ref, "remap cost model diverged from recompiled traces"
+    score_speedup = t_recompile / t_remap
+
+    # --- optimizer gains on the same workload
+    t0 = time.perf_counter()
+    swap = optimize_instance(instance, run_geom, strategy="swap", policy="direct", budget=300)
+    t_swap = time.perf_counter() - t0
+    color = optimize_instance(instance, run_geom, strategy="color", policy="direct")
+    swap_gain = swap.seed_cost / swap.cost if swap.cost else float("inf")
+    color_gain = color.seed_cost / color.cost if color.cost else float("inf")
+
+    # fully-associative invariance on the optimized layout (oracle property)
+    fa_seed = placement_cost(instance, list(instance.objects), run_geom, policy="lru")
+    fa_swap = placement_cost(instance, swap.order, run_geom, policy="lru")
+    assert fa_seed == fa_swap, "placement changed fully-associative misses"
+
+    summary = {
+        "ts": round(time.time(), 1),
+        "score": round(score_speedup, 2),
+        "swap_gain": round(swap_gain, 2),
+        "color_gain": round(color_gain, 2),
+    }
+    history = []
+    if JSON_PATH.exists():
+        try:
+            history = json.loads(JSON_PATH.read_text()).get("history", [])
+        except (json.JSONDecodeError, OSError):
+            history = []
+    history = (history + [summary])[-HISTORY_CAP:]
+
+    record = {
+        "workload": {
+            "graph": "des_rounds(rounds=8, sbox_state=48)",
+            "schedule": sched.label,
+            "trace_accesses": instance.trace.accesses,
+            "objects": instance.n_objects,
+            "frames": run_geom.n_blocks,
+            "candidates": N_CANDIDATES,
+            "block": B,
+        },
+        "score": {
+            "recompile_s": round(t_recompile, 4),
+            "remap_s": round(t_remap, 4),
+            "speedup": round(score_speedup, 2),
+        },
+        "gains": {
+            "seed_direct_misses": swap.seed_cost,
+            "swap_misses": swap.cost,
+            "swap_gain": round(swap_gain, 2),
+            "swap_search_s": round(t_swap, 4),
+            "color_misses": color.cost,
+            "color_gain": round(color_gain, 2),
+        },
+        "history": history,
+    }
+
+    show(
+        [
+            {"path": f"score {N_CANDIDATES} candidates", "baseline_s": round(t_recompile, 3),
+             "optimized_s": round(t_remap, 3), "ratio": round(score_speedup, 1)},
+            {"path": "swap vs seed (misses)", "baseline_s": swap.seed_cost,
+             "optimized_s": swap.cost, "ratio": round(swap_gain, 1)},
+            {"path": "color vs seed (misses)", "baseline_s": color.seed_cost,
+             "optimized_s": color.cost, "ratio": round(color_gain, 1)},
+        ],
+        "placement: remap cost model and optimizer gains",
+    )
+    assert score_speedup >= 3.0, f"cost model speedup {score_speedup:.1f}x < 3x target"
+    assert swap_gain > 1.0, "swap refinement must strictly beat the seed layout"
+    assert color_gain >= 1.0, "strategies are never worse than the seed"
+
+    # record only after every gate passed, so a regressed run can never
+    # become the trend check's next baseline
+    JSON_PATH.write_text(json.dumps(record, indent=2) + "\n")

@@ -1,17 +1,19 @@
 #!/usr/bin/env python
-"""Fail when the trace-engine speedups regress against their history.
+"""Fail when tracked benchmark metrics regress against their history.
 
-``benchmarks/bench_trace_engine.py`` appends one summary per run to the
-``history`` array of ``BENCH_trace_engine.json``.  This script compares the
-latest entry against the previous one and exits non-zero when any tracked
-speedup fell by more than the tolerated fraction (default 30%).  With fewer
-than two history entries there is nothing to compare yet and the check
-passes (that is the "once history exists" contract: the first run of a
-fresh clone seeds the baseline).
+``benchmarks/bench_trace_engine.py`` and ``benchmarks/bench_placement.py``
+each append one summary per run to the ``history`` array of their JSON
+record (``BENCH_trace_engine.json`` / ``BENCH_placement.json``).  This
+script compares the latest entry against the previous one, per file, and
+exits non-zero when any tracked metric fell by more than the tolerated
+fraction (default 30%).  With fewer than two history entries there is
+nothing to compare yet and the check passes (that is the "once history
+exists" contract: the first run of a fresh clone seeds the baseline).
 
 Usage::
 
-    python benchmarks/check_bench_trends.py [path/to/BENCH_trace_engine.json]
+    python benchmarks/check_bench_trends.py                  # both defaults
+    python benchmarks/check_bench_trends.py BENCH_placement.json
     python benchmarks/check_bench_trends.py --tolerance 0.3
 """
 
@@ -22,10 +24,14 @@ import json
 import sys
 from pathlib import Path
 
-DEFAULT_JSON = Path(__file__).resolve().parent.parent / "BENCH_trace_engine.json"
+_ROOT = Path(__file__).resolve().parent.parent
 
-#: speedup metrics tracked in each history entry (non-metric keys ignored)
-METRICS = ("sweep", "single", "direct", "opt", "set_assoc")
+#: metrics tracked per benchmark record (non-metric keys like ``ts`` ignored)
+METRICS_BY_FILE = {
+    "BENCH_trace_engine.json": ("sweep", "single", "direct", "opt", "set_assoc"),
+    "BENCH_placement.json": ("score", "swap_gain", "color_gain"),
+}
+DEFAULT_JSONS = [_ROOT / name for name in METRICS_BY_FILE]
 
 
 def check(path: Path, tolerance: float) -> int:
@@ -46,8 +52,16 @@ def check(path: Path, tolerance: float) -> int:
         )
         return 0
     prev, last = history[-2], history[-1]
+    metrics = METRICS_BY_FILE.get(path.name)
+    if metrics is None:
+        # unknown record: track every numeric summary key except timestamps
+        metrics = tuple(
+            k for k, v in last.items()
+            if k != "ts" and isinstance(v, (int, float)) and not isinstance(v, bool)
+        )
     failures = []
-    for metric in METRICS:
+    print(f"{path.name}:")
+    for metric in metrics:
         if metric not in prev or metric not in last:
             continue
         floor = prev[metric] * (1.0 - tolerance)
@@ -70,7 +84,12 @@ def check(path: Path, tolerance: float) -> int:
 
 def main(argv=None) -> int:
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    ap.add_argument("json_path", nargs="?", default=str(DEFAULT_JSON))
+    ap.add_argument(
+        "json_paths",
+        nargs="*",
+        default=[str(p) for p in DEFAULT_JSONS],
+        help="benchmark records to check (default: every known BENCH_*.json)",
+    )
     ap.add_argument(
         "--tolerance",
         type=float,
@@ -78,7 +97,7 @@ def main(argv=None) -> int:
         help="tolerated fractional drop vs the previous run (default 0.30)",
     )
     args = ap.parse_args(argv)
-    return check(Path(args.json_path), args.tolerance)
+    return max(check(Path(p), args.tolerance) for p in args.json_paths)
 
 
 if __name__ == "__main__":

@@ -29,7 +29,8 @@ Compare against the Theorem 3 lower bound::
     print(result.misses, ">=", float(lb.misses(result.source_fires, geom)))
 
 Subpackages: :mod:`repro.graphs` (SDF substrate), :mod:`repro.cache`
-(DAM-model simulators), :mod:`repro.mem` (layout/trace), :mod:`repro.runtime`
+(DAM-model simulators), :mod:`repro.mem` (layout / conflict-aware
+placement / trace), :mod:`repro.runtime`
 (execution engine), :mod:`repro.core` (the paper's algorithms),
 :mod:`repro.analysis` (experiment drivers E1–E10 and reporting).
 """
@@ -81,7 +82,23 @@ from repro.cache import (
     simulate_opt,
     simulate_opt_misses,
 )
-from repro.mem import MemoryLayout, Region, TraceRecorder, TracingCache
+from repro.mem import (
+    MemoryLayout,
+    PlacementInstance,
+    PlacementResult,
+    Region,
+    TraceRecorder,
+    TracingCache,
+    available_placements,
+    build_instance,
+    conflict_graph,
+    layout_objects,
+    optimize_instance,
+    optimize_placement,
+    placement_cost,
+    register_placement,
+    remap_trace,
+)
 from repro.runtime import (
     ChannelBuffer,
     CompiledTrace,
@@ -154,6 +171,10 @@ __all__ = [
     "ReplacementPolicy", "register_policy", "get_policy", "available_policies",
     # mem
     "MemoryLayout", "Region", "TraceRecorder", "TracingCache",
+    "layout_objects", "PlacementInstance", "PlacementResult",
+    "build_instance", "conflict_graph", "placement_cost", "remap_trace",
+    "optimize_instance", "optimize_placement", "register_placement",
+    "available_placements",
     # runtime
     "ChannelBuffer", "Schedule", "validate_schedule", "Executor",
     "ExecutionResult", "fireable_modules", "demand_driven_schedule",

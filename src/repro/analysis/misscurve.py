@@ -47,6 +47,7 @@ __all__ = [
     "stack_distances_array",
     "miss_curve",
     "misses_at",
+    "opt_miss_curve",
     "experiment_e15_miss_curves",
 ]
 
@@ -160,6 +161,35 @@ def misses_at(trace: Sequence[int], blocks: int) -> int:
     return int(curve[idx])
 
 
+def opt_miss_curve(trace: Sequence[int], max_blocks: Optional[int] = None) -> np.ndarray:
+    """``curve[c]`` = total OPT (Belady) misses with a cache of ``c`` blocks.
+
+    The OPT twin of :func:`miss_curve`: MIN is also a stack algorithm
+    (Mattson 1970), so one truncated priority-stack pass
+    (:func:`repro.runtime.replay.opt_stack_distances`) yields per-access OPT
+    stack distances and hence the miss count of every capacity at once.
+    Same conventions as :func:`miss_curve`: ``curve[0]`` is every access,
+    the curve is non-increasing, flattens at the compulsory floor, and
+    ``max_blocks`` truncates the returned array (default: enough to reach
+    the floor).
+    """
+    from repro.runtime.replay import opt_stack_distances
+
+    blocks = np.ascontiguousarray(trace, dtype=np.int64)
+    n = blocks.shape[0]
+    if n == 0:
+        return np.zeros((max_blocks or 0) + 1, dtype=np.int64)
+    # the floor is reached once every distinct block fits, so that depth
+    # always suffices when the caller does not truncate
+    distinct = int(np.unique(blocks).shape[0])
+    size = (max_blocks if max_blocks is not None else distinct) + 1
+    d = opt_stack_distances(blocks, max(1, size - 1))
+    finite = d[d > 0]
+    hist = np.bincount(np.minimum(finite, size), minlength=size + 1)
+    hits_cum = np.cumsum(hist[: size + 1])[:size]
+    return n - hits_cum
+
+
 def experiment_e15_miss_curves(seed: int = 53, n_outputs: int = 400):
     """E15 — whole miss curves for partitioned vs naive schedules.
 
@@ -170,7 +200,10 @@ def experiment_e15_miss_curves(seed: int = 53, n_outputs: int = 400):
     schedule's curve collapses to its compulsory floor once the cache holds
     one component (~O(M)); the naive schedule's curve stays high until the
     entire graph fits.  Rows sample the curves at geometrically spaced
-    sizes.
+    sizes.  The OPT overlay (:func:`opt_miss_curve` on the same two traces)
+    bounds how much an omniscient replacement policy could recover: the
+    partitioned schedule tracks its own OPT closely — the scheduling, not
+    the replacement policy, removed the misses.
     """
     from repro.cache.base import CacheGeometry
     from repro.core.baselines import interleaved_schedule
@@ -197,11 +230,14 @@ def experiment_e15_miss_curves(seed: int = 53, n_outputs: int = 400):
     )
     naive_trace = record(interleaved_schedule(g, n_iterations=n_outputs))
 
+    sample_blocks = (4, 8, 16, 24, 32, 48, 64, 96, 128)
     part_curve = miss_curve(part_trace)
     naive_curve = miss_curve(naive_trace)
+    part_opt = opt_miss_curve(part_trace, max_blocks=max(sample_blocks))
+    naive_opt = opt_miss_curve(naive_trace, max_blocks=max(sample_blocks))
 
     rows = []
-    for blocks in (4, 8, 16, 24, 32, 48, 64, 96, 128):
+    for blocks in sample_blocks:
         words = blocks * B
         p = int(part_curve[min(blocks, len(part_curve) - 1)])
         nv = int(naive_curve[min(blocks, len(naive_curve) - 1)])
@@ -211,6 +247,8 @@ def experiment_e15_miss_curves(seed: int = 53, n_outputs: int = 400):
                 "cache_over_M": round(words / M, 2),
                 "partitioned_misses": p,
                 "naive_misses": nv,
+                "partitioned_opt": int(part_opt[min(blocks, len(part_opt) - 1)]),
+                "naive_opt": int(naive_opt[min(blocks, len(naive_opt) - 1)]),
                 "naive_over_partitioned": round(nv / p, 2) if p else float("inf"),
             }
         )

@@ -63,13 +63,15 @@ class CacheGeometry:
                 )
             if n_blocks % self.ways != 0:
                 raise CacheConfigError(
-                    f"ways {self.ways} must divide the {n_blocks} block frames"
+                    f"ways={self.ways} does not divide the frame count "
+                    f"n_blocks={n_blocks} (size={self.size} / block={self.block}): "
+                    f"sets would be unequal"
                 )
             n_sets = n_blocks // self.ways
             if n_sets & (n_sets - 1):
                 raise CacheConfigError(
-                    f"set count {n_sets} ({n_blocks} frames / {self.ways} ways) "
-                    f"must be a power of two — set indices are address bits"
+                    f"sets={n_sets} (n_blocks={n_blocks} / ways={self.ways}) "
+                    f"is not a power of two — set indices are address bits"
                 )
 
     @property

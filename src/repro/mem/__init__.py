@@ -1,6 +1,44 @@
-"""Memory layout (address assignment) and access-trace recording."""
+"""Memory layout (address assignment), access-trace recording, and
+conflict-aware placement optimization."""
 
-from repro.mem.layout import MemoryLayout, Region
+from repro.mem.layout import MemoryLayout, ObjectKey, Region, layout_objects
+from repro.mem.placement import (
+    PlacementInstance,
+    PlacementResult,
+    available_placements,
+    build_instance,
+    conflict_graph,
+    get_placement,
+    greedy_color_order,
+    optimize_instance,
+    optimize_placement,
+    placement_cost,
+    register_placement,
+    remap_blocks,
+    remap_trace,
+    swap_refine,
+)
 from repro.mem.trace import TraceRecorder, TracingCache
 
-__all__ = ["MemoryLayout", "Region", "TraceRecorder", "TracingCache"]
+__all__ = [
+    "MemoryLayout",
+    "ObjectKey",
+    "Region",
+    "layout_objects",
+    "TraceRecorder",
+    "TracingCache",
+    "PlacementInstance",
+    "PlacementResult",
+    "available_placements",
+    "build_instance",
+    "conflict_graph",
+    "get_placement",
+    "greedy_color_order",
+    "optimize_instance",
+    "optimize_placement",
+    "placement_cost",
+    "register_placement",
+    "remap_blocks",
+    "remap_trace",
+    "swap_refine",
+]

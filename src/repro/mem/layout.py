@@ -15,21 +15,46 @@ Block alignment matters for fidelity: without it, two small hot objects
 could share a block and the simulator would under-count transfers relative
 to the model's accounting (the paper charges each object's traffic
 separately).  Alignment costs at most one block of padding per object and
-only inflates constants, never asymptotics.  Layout order is deliberate —
-state regions first, in topological order, then buffers — so that a
-partition component occupies a contiguous stretch of the address space, the
-same locality a real streaming compiler's arena allocator would produce.
+only inflates constants, never asymptotics.  The default layout order is
+deliberate — state regions first, in topological order, then buffers — so
+that a partition component occupies a contiguous stretch of the address
+space, the same locality a real streaming compiler's arena allocator would
+produce.
+
+Placement is pluggable: :meth:`MemoryLayout.place_graph` accepts either the
+module-only ``order`` convention above or a full ``placement`` — a sequence
+of :data:`ObjectKey` tuples (``("state", name)`` / ``("buffer", cid)``)
+interleaving state regions and channel buffers arbitrarily.  Whatever the
+order, every region goes through the same aligned-cursor allocator, so any
+placement is block-aligned and non-overlapping *by construction*; only the
+addresses (and hence set conflicts under low associativity) change.  The
+conflict-aware optimizer in :mod:`repro.mem.placement` searches this
+placement space against a cache geometry.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.errors import LayoutError
 from repro.graphs.sdf import StreamGraph
 
-__all__ = ["Region", "MemoryLayout"]
+__all__ = ["Region", "MemoryLayout", "ObjectKey", "layout_objects"]
+
+#: One placeable object: ``("state", module_name)`` or ``("buffer", channel_id)``.
+ObjectKey = Tuple[str, object]
+
+
+def layout_objects(
+    graph: StreamGraph, order: Optional[Iterable[str]] = None
+) -> List[ObjectKey]:
+    """The default placement: state regions (topological or ``order``) first,
+    then channel buffers in channel-id order — exactly what
+    :meth:`MemoryLayout.place_graph` does when no explicit placement is given.
+    """
+    names = list(order) if order is not None else graph.topological_order()
+    return [("state", n) for n in names] + [("buffer", ch.cid) for ch in graph.channels()]
 
 
 @dataclass(frozen=True)
@@ -86,32 +111,58 @@ class MemoryLayout:
         graph: StreamGraph,
         buffer_sizes: Dict[int, int],
         order: Optional[Iterable[str]] = None,
+        placement: Optional[Sequence[ObjectKey]] = None,
     ) -> None:
         """Lay out every module's state and every channel's buffer.
 
         ``buffer_sizes`` maps channel id -> capacity in words (tokens); it
         must cover every channel.  ``order`` controls state placement
         (default: topological), letting partition schedulers co-locate a
-        component's modules.
+        component's modules; buffers follow in channel order.  ``placement``
+        instead fixes the *complete* object order — a sequence of
+        ``("state", name)`` / ``("buffer", cid)`` keys covering every state
+        region and every buffer exactly once — which is how the
+        conflict-aware optimizer (:mod:`repro.mem.placement`) controls
+        addresses.  ``order`` and ``placement`` are mutually exclusive.
         """
-        names = list(order) if order is not None else graph.topological_order()
-        if set(names) != {m.name for m in graph.modules()}:
-            raise LayoutError("placement order must cover exactly the graph's modules")
-        for name in names:
-            if name in self._state:
-                raise LayoutError(f"module {name!r} already placed")
-            self._state[name] = self._allocate(graph.state(name))
-        for ch in graph.channels():
-            if ch.cid not in buffer_sizes:
-                raise LayoutError(f"no buffer size for channel {ch.cid} ({ch.src}->{ch.dst})")
-            if ch.cid in self._buffer:
-                raise LayoutError(f"channel {ch.cid} already placed")
-            cap = buffer_sizes[ch.cid]
-            if cap <= 0:
+        if placement is not None and order is not None:
+            raise LayoutError("pass either order= or placement=, not both")
+        if placement is not None:
+            plan = list(placement)
+            want = set(layout_objects(graph))
+            if set(plan) != want or len(plan) != len(want):
                 raise LayoutError(
-                    f"channel {ch.cid} ({ch.src}->{ch.dst}) needs positive capacity, got {cap}"
+                    "placement must cover every state region and buffer "
+                    "exactly once (keys ('state', name) / ('buffer', cid))"
                 )
-            self._buffer[ch.cid] = self._allocate(cap)
+        else:
+            names = list(order) if order is not None else graph.topological_order()
+            if set(names) != {m.name for m in graph.modules()}:
+                raise LayoutError("placement order must cover exactly the graph's modules")
+            plan = [("state", n) for n in names] + [
+                ("buffer", ch.cid) for ch in graph.channels()
+            ]
+        for kind, key in plan:
+            if kind == "state":
+                if key in self._state:
+                    raise LayoutError(f"module {key!r} already placed")
+                self._state[key] = self._allocate(graph.state(key))
+            elif kind == "buffer":
+                ch = graph.channel(key)
+                if ch.cid not in buffer_sizes:
+                    raise LayoutError(
+                        f"no buffer size for channel {ch.cid} ({ch.src}->{ch.dst})"
+                    )
+                if ch.cid in self._buffer:
+                    raise LayoutError(f"channel {ch.cid} already placed")
+                cap = buffer_sizes[ch.cid]
+                if cap <= 0:
+                    raise LayoutError(
+                        f"channel {ch.cid} ({ch.src}->{ch.dst}) needs positive capacity, got {cap}"
+                    )
+                self._buffer[ch.cid] = self._allocate(cap)
+            else:
+                raise LayoutError(f"unknown placement object kind {kind!r}")
 
     # ------------------------------------------------------------------
     def state_region(self, name: str) -> Region:

@@ -1,0 +1,557 @@
+"""Conflict-aware placement: optimize the memory layout against set conflicts.
+
+A6 established the motivating fact: under the paper's fully-associative
+model, layout is provably irrelevant (only the *set* of blocks touched
+matters), but under direct-mapped and low-associativity organizations,
+conflict misses are large and swing with layout in non-obvious ways —
+conflicts depend on addresses modulo the set count, not on contiguity.
+This module closes that loop: it searches the placement space
+:meth:`repro.mem.layout.MemoryLayout.place_graph` exposes (any interleaving
+of state regions and channel buffers, always block-aligned and
+non-overlapping by construction) for an order that minimizes conflict
+misses at a target geometry and replacement policy.
+
+Three ideas make the search cheap and exact:
+
+* **Block-remap cost model** — a placement is an object permutation, and
+  every object's intra-region block offsets survive any permutation (all
+  regions are block-aligned), so a candidate's block trace is
+  ``new_start[obj_of_access] + block_offset``: one gather over the trace
+  compiled *once* under the seed layout, never a re-execution.  The score
+  is then the actual miss count of the replay kernel
+  (:func:`repro.runtime.replay.replay_misses`) on the remapped trace —
+  bit-identical to recompiling under the candidate layout and simulating
+  stepwise (``tests/test_placement.py`` asserts this exactly).  External
+  stream arenas ride along as two pseudo-objects whose bases shift with the
+  candidate footprint, reproducing :func:`~repro.runtime.executor.build_memory_plan`
+  arithmetic to the word.
+* **Temporal-affinity conflict graph** — objects co-scheduled within a
+  short reuse window of the trace are the ones that must not collide in a
+  set.  The graph is extracted from the run-length-compressed object
+  sequence of the compiled trace; nearer co-occurrences weigh more.
+* **Two strategies behind a registry** (the shape is classic: assigning hot
+  objects to capacity-limited sets is capacitated facility location, and
+  FLIP-style swap local search is cheap and effective on sparse conflict
+  graphs): ``"color"`` greedily appends, at each cursor position, the
+  unplaced object whose set span conflicts least with what is already
+  placed (greedy set-coloring of the conflict graph); ``"swap"`` refines
+  that order by pairwise-swap local search scored with the *true* remap
+  cost model, visiting heavy conflict pairs first.  ``"topo"`` is the seed
+  topological layout, kept as the baseline.
+
+:func:`optimize_placement` never returns a placement worse than the seed
+(it falls back when the search cannot improve), so callers can enable it
+unconditionally.  Wire-up: experiment A7
+(:func:`repro.analysis.sweeps.ablation_a7_placement`), CLI
+``schedule --layout {topo,color,swap}``, ``benchmarks/bench_placement.py``,
+and ``examples/layout_tuning.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.cache.base import CacheGeometry
+from repro.errors import LayoutError
+from repro.graphs.sdf import StreamGraph
+from repro.mem.layout import ObjectKey, layout_objects
+from repro.runtime.executor import EXT_OUT_SPAN
+
+__all__ = [
+    "PlacementInstance",
+    "PlacementResult",
+    "build_instance",
+    "remap_blocks",
+    "remap_trace",
+    "placement_cost",
+    "conflict_graph",
+    "greedy_color_order",
+    "swap_refine",
+    "register_placement",
+    "get_placement",
+    "available_placements",
+    "optimize_instance",
+    "optimize_placement",
+]
+
+
+
+@dataclass
+class PlacementInstance:
+    """One schedule's compiled trace, factored for placement search.
+
+    ``objects`` is the seed placement order (index = object id);
+    ``obj_of_access[i]`` is the object id access ``i`` touches, with two
+    pseudo-ids past the real objects for the external input / output stream
+    arenas, and ``block_offset[i]`` the access's block offset inside that
+    object.  Together with per-object block counts this is everything a
+    candidate order needs to reproduce its exact block trace.
+    """
+
+    graph: StreamGraph
+    block: int
+    trace: "CompiledTrace"
+    objects: Tuple[ObjectKey, ...]
+    lengths: np.ndarray
+    nblocks: np.ndarray
+    obj_of_access: np.ndarray
+    block_offset: np.ndarray
+
+    @property
+    def n_objects(self) -> int:
+        return len(self.objects)
+
+    def index_of(self, key: ObjectKey) -> int:
+        try:
+            return self.objects.index(key)
+        except ValueError:
+            raise LayoutError(f"unknown placement object {key!r}") from None
+
+
+def build_instance(
+    graph: StreamGraph,
+    schedule,
+    block: int,
+    capacities: Optional[Dict[int, int]] = None,
+    order: Optional[Iterable[str]] = None,
+    count_external: bool = True,
+) -> PlacementInstance:
+    """Compile ``schedule`` once under the seed layout and factor the trace.
+
+    ``order`` is the seed state order (the baseline the optimizer must
+    beat); ``capacities`` defaults to the schedule's own, exactly like
+    :func:`repro.runtime.compiled.compile_trace`.
+    """
+    from repro.runtime.compiled import TraceCompiler
+
+    if capacities is None:
+        capacities = getattr(schedule, "capacities", None)
+    if order is not None:
+        order = list(order)  # consumed twice below: compiler and layout_objects
+    compiler = TraceCompiler(
+        graph, block, capacities=capacities, layout_order=order,
+        count_external=count_external,
+    )
+    trace = compiler.compile(schedule)
+    layout = compiler.layout
+    objects = tuple(layout_objects(graph, order=order))
+
+    n_obj = len(objects)
+    lengths = np.empty(n_obj, dtype=np.int64)
+    starts = np.empty(n_obj, dtype=np.int64)
+    for i, (kind, key) in enumerate(objects):
+        region = layout.state_region(key) if kind == "state" else layout.buffer_region(key)
+        lengths[i] = region.length
+        starts[i] = region.start // block
+    nblocks = -(-lengths // block)
+
+    # arena bases in block units (same arithmetic as build_memory_plan)
+    ext_in_blk = layout.footprint // block + 2
+    ext_out_blk = ext_in_blk + EXT_OUT_SPAN // block
+    # shared-plan invariants: both arena bases must match the compiler's
+    assert ext_in_blk * block == compiler._ext_in_base
+    assert ext_out_blk * block == compiler._ext_out_base
+
+    blocks = trace.blocks
+    n = blocks.shape[0]
+    obj = np.empty(n, dtype=np.int64)
+    off = np.empty(n, dtype=np.int64)
+    is_out = blocks >= ext_out_blk
+    is_in = ~is_out & (blocks >= ext_in_blk)
+    internal = ~(is_out | is_in)
+    obj[is_out] = n_obj + 1
+    off[is_out] = blocks[is_out] - ext_out_blk
+    obj[is_in] = n_obj
+    off[is_in] = blocks[is_in] - ext_in_blk
+    if internal.any():
+        nz = np.flatnonzero(nblocks > 0)
+        nz_starts = starts[nz]  # strictly increasing: seed allocation order
+        idx = np.searchsorted(nz_starts, blocks[internal], side="right") - 1
+        obj[internal] = nz[idx]
+        off[internal] = blocks[internal] - nz_starts[idx]
+    return PlacementInstance(
+        graph=graph,
+        block=block,
+        trace=trace,
+        objects=objects,
+        lengths=lengths,
+        nblocks=nblocks,
+        obj_of_access=obj,
+        block_offset=off,
+    )
+
+
+# ----------------------------------------------------------------------
+# block-remap cost model
+# ----------------------------------------------------------------------
+def _order_ids(instance: PlacementInstance, order: Sequence[ObjectKey]) -> List[int]:
+    """Validate ``order`` as a permutation of the instance's objects."""
+    index = {key: i for i, key in enumerate(instance.objects)}
+    ids: List[int] = []
+    seen = set()
+    for key in order:
+        oid = index.get(key)
+        if oid is None:
+            raise LayoutError(f"unknown placement object {key!r}")
+        if oid in seen:
+            raise LayoutError(f"placement repeats object {key!r}")
+        seen.add(oid)
+        ids.append(oid)
+    if len(ids) != instance.n_objects:
+        raise LayoutError(
+            f"placement covers {len(ids)} of {instance.n_objects} objects"
+        )
+    return ids
+
+
+def _placed_starts(instance: PlacementInstance, order_ids: Sequence[int]) -> np.ndarray:
+    """New start block per object id (plus the two stream pseudo-objects),
+    replaying the aligned-cursor allocator over the candidate order."""
+    block = instance.block
+    lengths = instance.lengths
+    starts = np.empty(instance.n_objects + 2, dtype=np.int64)
+    cursor = 0
+    for oid in order_ids:
+        rem = cursor % block
+        if rem:
+            cursor += block - rem
+        starts[oid] = cursor // block
+        cursor += int(lengths[oid])
+    ext_in = cursor // block + 2
+    starts[instance.n_objects] = ext_in
+    starts[instance.n_objects + 1] = ext_in + EXT_OUT_SPAN // block
+    return starts
+
+
+def remap_blocks(
+    instance: PlacementInstance, order: Sequence[ObjectKey]
+) -> np.ndarray:
+    """The exact block trace ``order`` would compile to — via one gather."""
+    starts = _placed_starts(instance, _order_ids(instance, order))
+    return starts[instance.obj_of_access] + instance.block_offset
+
+
+def remap_trace(instance: PlacementInstance, order: Sequence[ObjectKey]):
+    """A full :class:`~repro.runtime.compiled.CompiledTrace` under ``order``
+    (same phases/firings metadata; only addresses move), ready for
+    :func:`~repro.runtime.compiled.simulate_trace`."""
+    from dataclasses import replace
+
+    return replace(instance.trace, blocks=remap_blocks(instance, order))
+
+
+def placement_cost(
+    instance: PlacementInstance,
+    order: Sequence[ObjectKey],
+    geometry: CacheGeometry,
+    policy: str = "direct",
+) -> int:
+    """Misses of ``policy`` at ``geometry`` under the candidate placement.
+
+    Exact, not an estimate: the remapped trace is bit-identical to what the
+    compiler would produce for this placement, and the replay kernels agree
+    miss-for-miss with the stepwise simulators.
+    """
+    from repro.runtime.replay import replay_misses
+
+    return replay_misses(remap_blocks(instance, order), [geometry], policy=policy)[0]
+
+
+# ----------------------------------------------------------------------
+# temporal-affinity conflict graph
+# ----------------------------------------------------------------------
+def conflict_graph(
+    instance: PlacementInstance, window: int = 8
+) -> Dict[Tuple[int, int], float]:
+    """Edge weights between object ids co-scheduled within ``window`` runs.
+
+    The trace's object sequence is run-length compressed (a firing touches
+    each object in one contiguous burst); two distinct objects whose runs
+    fall within ``window`` positions of each other get an edge, weighted
+    ``window - gap + 1`` so immediate neighbours dominate.  Stream arenas
+    are excluded — they are not placeable.  High weight = mapping the pair
+    to the same set is expensive.
+    """
+    if window < 1:
+        raise LayoutError(f"conflict window must be >= 1, got {window}")
+    n_obj = instance.n_objects
+    seq = instance.obj_of_access[instance.obj_of_access < n_obj]
+    weights: Dict[Tuple[int, int], float] = {}
+    if seq.shape[0] == 0:
+        return weights
+    keep = np.ones(seq.shape[0], dtype=bool)
+    keep[1:] = seq[1:] != seq[:-1]
+    runs = seq[keep]
+    for gap in range(1, min(window, runs.shape[0] - 1) + 1):
+        a, b = runs[gap:], runs[:-gap]
+        mask = a != b
+        if not mask.any():
+            continue
+        lo = np.minimum(a[mask], b[mask])
+        hi = np.maximum(a[mask], b[mask])
+        pair_key, counts = np.unique(lo * n_obj + hi, return_counts=True)
+        w = float(window - gap + 1)
+        for k, c in zip(pair_key.tolist(), counts.tolist()):
+            edge = (k // n_obj, k % n_obj)
+            weights[edge] = weights.get(edge, 0.0) + w * c
+    return weights
+
+
+def _conflict_sets(geometry: CacheGeometry, policy: str) -> int:
+    """Number of conflict classes the organization induces: frames for a
+    direct-mapped target, sets otherwise (1 = fully associative = none)."""
+    if policy == "direct" or geometry.ways == 1:
+        return geometry.n_blocks
+    return geometry.sets
+
+
+# ----------------------------------------------------------------------
+# strategies
+# ----------------------------------------------------------------------
+def greedy_color_order(
+    instance: PlacementInstance,
+    geometry: CacheGeometry,
+    policy: str = "direct",
+    window: int = 8,
+    weights: Optional[Dict[Tuple[int, int], float]] = None,
+) -> List[ObjectKey]:
+    """Greedy set-coloring: grow the placement left to right, appending at
+    each cursor position the unplaced object whose set span (its blocks
+    modulo the set count) has the least conflict weight against the objects
+    already covering those sets.  Hot objects (highest total conflict
+    weight) break ties first, so they claim clean sets early.
+    """
+    sets = _conflict_sets(geometry, policy)
+    if sets <= 1:
+        return list(instance.objects)
+    if weights is None:
+        weights = conflict_graph(instance, window=window)
+    n_obj = instance.n_objects
+    adj: List[Dict[int, float]] = [{} for _ in range(n_obj)]
+    degree = [0.0] * n_obj
+    for (a, b), w in weights.items():
+        adj[a][b] = adj[a].get(b, 0.0) + w
+        adj[b][a] = adj[b].get(a, 0.0) + w
+        degree[a] += w
+        degree[b] += w
+
+    block = instance.block
+    nblocks = instance.nblocks
+    lengths = instance.lengths
+    covering: List[set] = [set() for _ in range(sets)]  # set idx -> object ids
+    remaining = list(range(n_obj))
+    # hottest first so ties (empty sets early on) favour hot objects
+    remaining.sort(key=lambda o: (-degree[o], o))
+    order_ids: List[int] = []
+    cursor = 0
+    while remaining:
+        rem = cursor % block
+        aligned = cursor + (block - rem if rem else 0)
+        start_blk = aligned // block
+        best_oid, best_cost, best_pos = None, None, 0
+        for pos, oid in enumerate(remaining):
+            nb = int(nblocks[oid])
+            cost = 0.0
+            neighbours = adj[oid]
+            if neighbours and nb:
+                for j in range(min(nb, sets)):
+                    s = (start_blk + j) % sets
+                    for other in covering[s]:
+                        cost += neighbours.get(other, 0.0)
+            if best_cost is None or cost < best_cost:
+                best_oid, best_cost, best_pos = oid, cost, pos
+        order_ids.append(best_oid)
+        remaining.pop(best_pos)
+        for j in range(min(int(nblocks[best_oid]), sets)):
+            covering[(start_blk + j) % sets].add(best_oid)
+        cursor = aligned + int(lengths[best_oid])
+    return [instance.objects[oid] for oid in order_ids]
+
+
+def swap_refine(
+    instance: PlacementInstance,
+    order: Sequence[ObjectKey],
+    geometry: CacheGeometry,
+    policy: str = "direct",
+    window: int = 8,
+    budget: int = 400,
+    weights: Optional[Dict[Tuple[int, int], float]] = None,
+) -> Tuple[List[ObjectKey], int, int]:
+    """FLIP-style pairwise-swap local search on the true remap cost.
+
+    Starting from ``order``, repeatedly try swapping two objects' positions
+    and keep any swap that lowers the actual miss count of ``policy`` at
+    ``geometry`` (the exact cost model, so accepted moves are real
+    improvements, never estimator noise).  Pairs are visited heaviest
+    conflict edge first — on sparse conflict graphs most of the gain lives
+    in a few hot pairs — and the search stops at a local optimum or after
+    ``budget`` cost evaluations.  Returns ``(order, cost, evaluations)``.
+    """
+    if weights is None:
+        weights = conflict_graph(instance, window=window)
+    ids = _order_ids(instance, order)
+    pos_of = {oid: p for p, oid in enumerate(ids)}
+    n_obj = instance.n_objects
+    # heavy conflict pairs first, then every remaining pair for completeness
+    ranked = sorted(weights, key=lambda e: (-weights[e], e))
+    seen = set(ranked)
+    ranked += [
+        (a, b) for a in range(n_obj) for b in range(a + 1, n_obj)
+        if (a, b) not in seen
+    ]
+
+    def cost_of(candidate_ids: Sequence[int]) -> int:
+        from repro.runtime.replay import replay_misses
+
+        starts = _placed_starts(instance, candidate_ids)
+        blocks = starts[instance.obj_of_access] + instance.block_offset
+        return replay_misses(blocks, [geometry], policy=policy)[0]
+
+    cost = cost_of(ids)
+    evals = 1
+    improved = True
+    while improved and evals < budget:
+        improved = False
+        for a, b in ranked:
+            if evals >= budget:
+                break
+            if instance.nblocks[a] == 0 and instance.nblocks[b] == 0:
+                continue  # zero-length objects own no blocks: swap is a no-op
+            i, j = pos_of[a], pos_of[b]
+            ids[i], ids[j] = ids[j], ids[i]
+            trial = cost_of(ids)
+            evals += 1
+            if trial < cost:
+                cost = trial
+                pos_of[a], pos_of[b] = j, i
+                improved = True
+            else:
+                ids[i], ids[j] = ids[j], ids[i]
+    return [instance.objects[oid] for oid in ids], cost, evals
+
+
+# ----------------------------------------------------------------------
+# strategy registry
+# ----------------------------------------------------------------------
+_STRATEGIES: Dict[str, Callable] = {}
+
+
+def register_placement(name: str, fn: Callable) -> None:
+    """Register a placement strategy: ``fn(instance, geometry, policy=...,
+    window=..., budget=...) -> order`` (a full object placement)."""
+    _STRATEGIES[name] = fn
+
+
+def get_placement(name: str) -> Callable:
+    try:
+        return _STRATEGIES[name]
+    except KeyError:
+        raise LayoutError(
+            f"unknown placement strategy {name!r}; "
+            f"registered: {sorted(_STRATEGIES)}"
+        ) from None
+
+
+def available_placements() -> Tuple[str, ...]:
+    return tuple(sorted(_STRATEGIES))
+
+
+def _topo_strategy(instance, geometry, policy="direct", window=8, budget=400):
+    return list(instance.objects)
+
+
+def _color_strategy(instance, geometry, policy="direct", window=8, budget=400):
+    return greedy_color_order(instance, geometry, policy=policy, window=window)
+
+
+def _swap_strategy(instance, geometry, policy="direct", window=8, budget=400):
+    if _conflict_sets(geometry, policy) <= 1:
+        # fully associative: misses are provably placement-invariant, so
+        # burning the budget on full-trace replays cannot ever improve
+        return list(instance.objects)
+    weights = conflict_graph(instance, window=window)
+    start = greedy_color_order(
+        instance, geometry, policy=policy, window=window, weights=weights
+    )
+    order, _, _ = swap_refine(
+        instance, start, geometry, policy=policy, window=window,
+        budget=budget, weights=weights,
+    )
+    return order
+
+
+register_placement("topo", _topo_strategy)
+register_placement("color", _color_strategy)
+register_placement("swap", _swap_strategy)
+
+
+# ----------------------------------------------------------------------
+# top-level entry points
+# ----------------------------------------------------------------------
+@dataclass
+class PlacementResult:
+    """An optimized placement and its exact cost accounting.
+
+    ``order`` feeds straight into ``placement=`` of
+    :func:`~repro.runtime.compiled.compile_trace`,
+    :meth:`~repro.runtime.executor.Executor.measure`, or
+    :meth:`~repro.mem.layout.MemoryLayout.place_graph`.
+    """
+
+    strategy: str
+    order: List[ObjectKey]
+    cost: int
+    seed_cost: int
+
+    @property
+    def improvement(self) -> float:
+        """Fraction of the seed layout's misses removed."""
+        return 1.0 - self.cost / self.seed_cost if self.seed_cost else 0.0
+
+
+def optimize_instance(
+    instance: PlacementInstance,
+    geometry: CacheGeometry,
+    strategy: str = "swap",
+    policy: str = "direct",
+    window: int = 8,
+    budget: int = 400,
+) -> PlacementResult:
+    """Run one registered strategy against a prebuilt instance.
+
+    Never worse than the seed: if the strategy's order scores above the
+    seed layout, the seed order is returned instead.
+    """
+    fn = get_placement(strategy)
+    seed_order = list(instance.objects)
+    seed_cost = placement_cost(instance, seed_order, geometry, policy=policy)
+    order = fn(instance, geometry, policy=policy, window=window, budget=budget)
+    cost = placement_cost(instance, order, geometry, policy=policy)
+    if cost > seed_cost:
+        order, cost = seed_order, seed_cost
+    return PlacementResult(strategy=strategy, order=order, cost=cost, seed_cost=seed_cost)
+
+
+def optimize_placement(
+    graph: StreamGraph,
+    schedule,
+    geometry: CacheGeometry,
+    strategy: str = "swap",
+    policy: str = "direct",
+    capacities: Optional[Dict[int, int]] = None,
+    order: Optional[Iterable[str]] = None,
+    window: int = 8,
+    budget: int = 400,
+) -> PlacementResult:
+    """One-shot convenience: compile the seed trace, search, return the
+    best placement for ``policy`` at ``geometry``."""
+    instance = build_instance(
+        graph, schedule, geometry.block, capacities=capacities, order=order
+    )
+    return optimize_instance(
+        instance, geometry, strategy=strategy, policy=policy,
+        window=window, budget=budget,
+    )

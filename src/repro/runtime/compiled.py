@@ -182,11 +182,13 @@ class TraceCompiler:
         capacities: Optional[Dict[int, int]] = None,
         layout_order: Optional[Iterable[str]] = None,
         count_external: bool = True,
+        placement=None,
     ) -> None:
         self.graph = graph
         self.block = block
         caps, self.layout, self._ext_in_base, self._ext_out_base = build_memory_plan(
-            graph, block, capacities=capacities, layout_order=layout_order
+            graph, block, capacities=capacities, layout_order=layout_order,
+            placement=placement,
         )
         self.capacities = caps
         self.count_external = count_external
@@ -320,11 +322,14 @@ def compile_trace(
     capacities: Optional[Dict[int, int]] = None,
     layout_order: Optional[Iterable[str]] = None,
     count_external: bool = True,
+    placement=None,
 ) -> CompiledTrace:
     """One-shot convenience: compile ``schedule`` against a fresh layout.
 
     ``capacities`` defaults to the schedule's own (the ``Executor.measure``
-    convention), overlaid on minBuf.
+    convention), overlaid on minBuf.  ``placement`` fixes the complete
+    object order (see :meth:`repro.mem.layout.MemoryLayout.place_graph`) —
+    the path optimized layouts from :mod:`repro.mem.placement` take.
     """
     if capacities is None:
         capacities = getattr(schedule, "capacities", None)
@@ -334,6 +339,7 @@ def compile_trace(
         capacities=capacities,
         layout_order=layout_order,
         count_external=count_external,
+        placement=placement,
     )
     return compiler.compile(schedule)
 
@@ -400,6 +406,7 @@ def measure_compiled(
     count_external: bool = True,
     policy: str = "lru",
     workers: Optional[int] = None,
+    placement=None,
 ) -> ExecutionResult:
     """Drop-in for ``Executor.measure``, via compilation.
 
@@ -413,5 +420,6 @@ def measure_compiled(
         geometry.block,
         layout_order=layout_order,
         count_external=count_external,
+        placement=placement,
     )
     return simulate_trace(trace, [geometry], policy=policy, workers=workers)[0]

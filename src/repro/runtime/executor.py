@@ -42,12 +42,18 @@ from repro.runtime.schedule import Schedule
 __all__ = [
     "Executor",
     "ExecutionResult",
+    "EXT_OUT_SPAN",
     "build_memory_plan",
     "require_input_tokens",
     "require_output_space",
     "source_stream_words",
     "sink_stream_words",
 ]
+
+#: Words between the external input and output stream arenas.  Shared with
+#: the placement remap (:mod:`repro.mem.placement`), which must reproduce
+#: this arithmetic exactly to relocate stream blocks.
+EXT_OUT_SPAN = 1 << 40
 
 
 def require_input_tokens(name: str, src: str, dst: str, have: int, need: int) -> None:
@@ -76,6 +82,7 @@ def build_memory_plan(
     block: int,
     capacities: Optional[Dict[int, int]] = None,
     layout_order: Optional[Iterable[str]] = None,
+    placement=None,
 ):
     """Shared Executor / TraceCompiler memory setup.
 
@@ -84,6 +91,11 @@ def build_memory_plan(
     and the block-aligned external stream arena bases.  Both execution paths
     build from this one function so their address spaces — and therefore
     their block traces — can never drift apart.
+
+    ``layout_order`` keeps the state-first convention; ``placement`` fixes
+    the complete object order (state regions and buffers interleaved) the
+    way :meth:`repro.mem.layout.MemoryLayout.place_graph` documents —
+    conflict-aware optimized layouts come through here.
     """
     # Start from minBuf everywhere and overlay the caller's sizes, so a
     # scheduler may specify only the channels it enlarges (cross edges).
@@ -91,14 +103,14 @@ def build_memory_plan(
     if capacities:
         caps.update(capacities)
     layout = MemoryLayout(block=block)
-    layout.place_graph(graph, caps, order=layout_order)
+    layout.place_graph(graph, caps, order=layout_order, placement=placement)
     layout.check_disjoint()
     # External streams live beyond the layout footprint, in disjoint
     # half-open arenas that only ever grow forward.  Block-aligned so
     # stream traffic costs exactly one miss per B tokens.
     ext_in_base = (layout.footprint // block + 2) * block
     # far beyond any input position, and itself block-aligned
-    ext_out_base = ext_in_base + ((1 << 40) // block) * block
+    ext_out_base = ext_in_base + (EXT_OUT_SPAN // block) * block
     return caps, layout, ext_in_base, ext_out_base
 
 
@@ -175,6 +187,10 @@ class Executor:
     layout_order:
         Module placement order for the state arena (default topological);
         partition schedulers pass component-grouped orders.
+    placement:
+        Complete object placement (state + buffer keys, mutually exclusive
+        with ``layout_order``) — optimized layouts from
+        :mod:`repro.mem.placement`.
     count_external:
         Charge source input reads / sink output writes against the cache
         (default True).
@@ -188,12 +204,14 @@ class Executor:
         cache: Optional[CacheModel] = None,
         layout_order: Optional[Iterable[str]] = None,
         count_external: bool = True,
+        placement=None,
     ) -> None:
         self.graph = graph
         self.geometry = geometry
         self.cache = cache if cache is not None else LRUCache(geometry)
         caps, self.layout, self._ext_in_base, self._ext_out_base = build_memory_plan(
-            graph, geometry.block, capacities=capacities, layout_order=layout_order
+            graph, geometry.block, capacities=capacities, layout_order=layout_order,
+            placement=placement,
         )
         self.capacities = caps
         self.buffers: Dict[int, ChannelBuffer] = {
@@ -307,6 +325,7 @@ class Executor:
         layout_order: Optional[Iterable[str]] = None,
         count_external: bool = True,
         cache: Optional[CacheModel] = None,
+        placement=None,
     ) -> ExecutionResult:
         """One-shot convenience: build an executor with the schedule's own
         capacities, run it, return the result."""
@@ -317,5 +336,6 @@ class Executor:
             layout_order=layout_order,
             count_external=count_external,
             cache=cache,
+            placement=placement,
         )
         return ex.run(schedule)

@@ -9,11 +9,13 @@ from repro.analysis.misscurve import (
     experiment_e15_miss_curves,
     miss_curve,
     misses_at,
+    opt_miss_curve,
     stack_distances,
     stack_distances_array,
 )
 from repro.cache.base import CacheGeometry
 from repro.cache.lru import LRUCache
+from repro.cache.opt import simulate_opt
 from repro.testing.oracles import reference_stack_distances
 
 
@@ -105,6 +107,49 @@ class TestMissCurve:
         assert len(curve) == 11  # indices 0..max_blocks inclusive
 
 
+class TestOptMissCurve:
+    """`opt_miss_curve` mirrors `miss_curve` with Belady distances."""
+
+    def test_monotone_non_increasing(self):
+        rng = np.random.default_rng(3)
+        trace = rng.integers(0, 20, size=500).tolist()
+        curve = opt_miss_curve(trace)
+        assert all(a >= b for a, b in zip(curve, curve[1:]))
+
+    def test_floor_is_compulsory(self):
+        rng = np.random.default_rng(4)
+        trace = rng.integers(0, 15, size=400).tolist()
+        curve = opt_miss_curve(trace)
+        assert curve[-1] == len(set(trace))
+
+    @pytest.mark.parametrize("blocks", [1, 2, 3, 5, 8, 13])
+    def test_matches_opt_simulation(self, blocks):
+        rng = np.random.default_rng(blocks + 100)
+        trace = rng.integers(0, 16, size=800).tolist()
+        curve = opt_miss_curve(trace, max_blocks=blocks)
+        geom = CacheGeometry(size=blocks * 4, block=4)
+        assert int(curve[blocks]) == simulate_opt(trace, geom).misses
+
+    @given(trace=st.lists(st.integers(0, 10), min_size=1, max_size=200),
+           blocks=st.integers(1, 12))
+    @settings(max_examples=50, deadline=None)
+    def test_matches_opt_property(self, trace, blocks):
+        curve = opt_miss_curve(trace, max_blocks=blocks)
+        geom = CacheGeometry(size=blocks * 4, block=4)
+        assert int(curve[min(blocks, len(curve) - 1)]) == simulate_opt(trace, geom).misses
+
+    def test_never_above_lru_curve(self):
+        rng = np.random.default_rng(5)
+        trace = rng.integers(0, 24, size=600).tolist()
+        lru = miss_curve(trace, max_blocks=24)
+        opt = opt_miss_curve(trace, max_blocks=24)
+        assert (opt <= lru).all()
+
+    def test_empty_trace(self):
+        assert opt_miss_curve([]).tolist() == [0]
+        assert opt_miss_curve([], max_blocks=4).tolist() == [0, 0, 0, 0, 0]
+
+
 class TestE15:
     def test_partitioned_collapses_before_naive(self):
         rows = experiment_e15_miss_curves(n_outputs=200)
@@ -117,3 +162,13 @@ class TestE15:
         # (smaller footprint: no Theta(M) cross buffers)
         big = [r for r in rows if r["cache_over_M"] >= 4.0]
         assert big and all(r["naive_over_partitioned"] <= 1.0 for r in big)
+
+    def test_opt_overlay_bounds_lru(self):
+        rows = experiment_e15_miss_curves(n_outputs=200)
+        for r in rows:
+            assert r["partitioned_opt"] <= r["partitioned_misses"]
+            assert r["naive_opt"] <= r["naive_misses"]
+        # OPT cannot rescue the naive schedule in the mid regime: the
+        # paper's win comes from scheduling, not replacement policy
+        mid = [r for r in rows if 1.5 <= r["cache_over_M"] <= 3.0]
+        assert mid and all(r["naive_opt"] > r["partitioned_misses"] for r in mid)

@@ -76,12 +76,20 @@ class TestGeometryValidation:
             CacheGeometry(size=128, block=8, ways=2.5)
 
     def test_ways_must_divide_frames(self):
-        with pytest.raises(CacheConfigError):
+        # the message must name the offending field and value, not just fail
+        with pytest.raises(
+            CacheConfigError,
+            match=r"ways=5 does not divide the frame count n_blocks=16 "
+                  r"\(size=128 / block=8\)",
+        ):
             CacheGeometry(size=128, block=8, ways=5)  # 16 % 5 != 0
 
     def test_non_power_of_two_sets_rejected(self):
         # 96 words / 8 = 12 frames; ways=4 would make 3 sets
-        with pytest.raises(CacheConfigError):
+        with pytest.raises(
+            CacheConfigError,
+            match=r"sets=3 \(n_blocks=12 / ways=4\) is not a power of two",
+        ):
             CacheGeometry(size=96, block=8, ways=4)
 
     def test_direct_model_rejects_wider_ways(self):

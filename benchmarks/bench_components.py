@@ -85,6 +85,22 @@ def test_set_assoc_vectorized_sweep_throughput(benchmark):
     assert misses == sorted(misses, reverse=True)  # more ways never hurt LRU
 
 
+def test_two_level_vectorized_sweep_throughput(benchmark):
+    # L2 capacity sweep behind one fixed L1: the whole grid shares a single
+    # L1 pass, and every L2 replays only the (short) L1 miss sub-trace
+    from repro.cache.hierarchy import TwoLevelGeometry
+
+    rng = np.random.default_rng(4)
+    trace = rng.integers(0, 256, size=20_000)
+    l1 = CacheGeometry(size=256, block=8)
+    geoms = [
+        TwoLevelGeometry(l1, CacheGeometry(size=s, block=8))
+        for s in (256, 512, 1024, 1536, 2048)
+    ]
+    misses = benchmark(replay_misses, trace, geoms, "two_level")
+    assert misses == sorted(misses, reverse=True)  # larger L2 never hurts
+
+
 def test_executor_firing_rate(benchmark):
     g = random_pipeline(12, 32, seed=3)
     geo = CacheGeometry(size=256, block=8)

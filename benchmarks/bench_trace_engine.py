@@ -21,6 +21,10 @@ at the repo root (with a rolling ``history`` so
 * **set_assoc**: a ways sweep at fixed set count through the stepwise
   set-associative ``LRUCache`` vs the shared set-grouped stack-distance
   pass.  New capability (no replaced path): recorded, sanity-bounded only.
+* **two_level**: the stepwise loop the E12 hierarchy row replaced — a
+  ``TwoLevelCache`` walked block by block per (L1, L2) pair — vs the
+  hierarchical replay (one L1 pass per distinct L1, its miss sub-trace
+  feeding one L2 pass per capacity).  Acceptance: >= 5x on the grid.
 
 Every path must agree miss-for-miss with its stepwise oracle at every size
 (the oracle property, re-checked here on the benchmark workload itself).
@@ -32,6 +36,7 @@ from pathlib import Path
 
 from repro.cache.base import CacheGeometry
 from repro.cache.direct import DirectMappedCache
+from repro.cache.hierarchy import TwoLevelCache, TwoLevelGeometry
 from repro.cache.lru import LRUCache
 from repro.cache.opt import simulate_opt
 from repro.core.partition_sched import component_layout_order, pipeline_dynamic_schedule
@@ -44,6 +49,8 @@ B = 8
 SWEEP_SIZES = (64, 96, 128, 192, 256, 384, 512, 768, 1024)
 SET_ASSOC_WAYS = (1, 2, 4, 8, 16, 32)
 SET_ASSOC_SETS = 16
+TWO_LEVEL_L1 = (96, 128, 192)
+TWO_LEVEL_L2 = (256, 512, 768, 1024)
 JSON_PATH = Path(__file__).resolve().parent.parent / "BENCH_trace_engine.json"
 HISTORY_CAP = 50
 
@@ -135,6 +142,28 @@ def test_trace_engine_speedup(show):
     assert sa_fast == sa_ref, "set-associative replay diverged from stepwise LRU"
     sa_speedup = t_sa_step / t_sa_replay
 
+    # --- two-level hierarchy: stepwise TwoLevelCache per (L1, L2) pair vs
+    # the hierarchical replay (the E12 rewiring); the grid shares one L1
+    # pass per L1 size, so the sweep amortizes exactly where the stepwise
+    # loop cannot
+    tl_geoms = [
+        TwoLevelGeometry(
+            CacheGeometry(size=l1, block=B), CacheGeometry(size=l2, block=B)
+        )
+        for l1 in TWO_LEVEL_L1
+        for l2 in TWO_LEVEL_L2
+    ]
+    t0 = time.perf_counter()
+    tl_ref = _model_sweep_misses(
+        blocks_list, lambda tg: TwoLevelCache(tg.l1, tg.l2), tl_geoms
+    )
+    t_tl_step = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    tl_fast = [r.misses for r in simulate_trace(trace, tl_geoms, policy="two_level")]
+    t_tl_replay = time.perf_counter() - t0
+    assert tl_fast == tl_ref, "two-level replay diverged from stepwise TwoLevelCache"
+    tl_speedup = t_tl_step / t_tl_replay
+
     summary = {
         "ts": round(time.time(), 1),
         "sweep": round(sweep_speedup, 2),
@@ -142,6 +171,7 @@ def test_trace_engine_speedup(show):
         "direct": round(dm_speedup, 2),
         "opt": round(opt_speedup, 2),
         "set_assoc": round(sa_speedup, 2),
+        "two_level": round(tl_speedup, 2),
     }
     history = []
     if JSON_PATH.exists():
@@ -159,6 +189,7 @@ def test_trace_engine_speedup(show):
             "trace_accesses": trace.accesses,
             "sweep_sizes": list(SWEEP_SIZES),
             "set_assoc": {"sets": SET_ASSOC_SETS, "ways": list(SET_ASSOC_WAYS)},
+            "two_level": {"l1": list(TWO_LEVEL_L1), "l2": list(TWO_LEVEL_L2)},
             "block": B,
         },
         "sweep": {
@@ -187,6 +218,11 @@ def test_trace_engine_speedup(show):
                 "replay_s": round(t_sa_replay, 4),
                 "speedup": round(sa_speedup, 2),
             },
+            "two_level": {
+                "stepwise_s": round(t_tl_step, 4),
+                "replay_s": round(t_tl_replay, 4),
+                "speedup": round(tl_speedup, 2),
+            },
         },
         "history": history,
     }
@@ -203,6 +239,8 @@ def test_trace_engine_speedup(show):
              "replay_s": round(t_opt_replay, 3), "speedup": round(opt_speedup, 1)},
             {"path": "set-assoc ways sweep (6)", "stepwise_s": round(t_sa_step, 3),
              "replay_s": round(t_sa_replay, 3), "speedup": round(sa_speedup, 1)},
+            {"path": "two-level grid (3x4)", "stepwise_s": round(t_tl_step, 3),
+             "replay_s": round(t_tl_replay, 3), "speedup": round(tl_speedup, 1)},
         ],
         "trace engine: vectorized replay vs stepwise loops",
     )
@@ -211,6 +249,7 @@ def test_trace_engine_speedup(show):
     assert dm_speedup >= 5.0, f"direct-mapped sweep {dm_speedup:.1f}x < 5x target"
     assert opt_speedup >= 5.0, f"OPT sweep {opt_speedup:.1f}x < 5x target"
     assert sa_speedup >= 0.5, "set-associative replay should not be dramatically slower"
+    assert tl_speedup >= 5.0, f"two-level grid {tl_speedup:.1f}x < 5x target"
 
     # record only after every gate passed, so a regressed run can never
     # become the trend check's next baseline

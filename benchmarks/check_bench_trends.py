@@ -28,7 +28,9 @@ _ROOT = Path(__file__).resolve().parent.parent
 
 #: metrics tracked per benchmark record (non-metric keys like ``ts`` ignored)
 METRICS_BY_FILE = {
-    "BENCH_trace_engine.json": ("sweep", "single", "direct", "opt", "set_assoc"),
+    "BENCH_trace_engine.json": (
+        "sweep", "single", "direct", "opt", "set_assoc", "two_level",
+    ),
     "BENCH_placement.json": ("score", "swap_gain", "color_gain"),
 }
 DEFAULT_JSONS = [_ROOT / name for name in METRICS_BY_FILE]

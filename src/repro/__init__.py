@@ -28,11 +28,22 @@ Compare against the Theorem 3 lower bound::
     lb = pipeline_lower_bound(g, geom.size)
     print(result.misses, ">=", float(lb.misses(result.source_fires, geom)))
 
+Or compile the schedule once and sweep whole geometry families — any
+registered policy, including two-level hierarchies — with the vectorized
+replay::
+
+    from repro import TwoLevelGeometry, compile_trace, simulate_trace
+    trace = compile_trace(g, sched, geom.block)
+    tg = TwoLevelGeometry(geom, CacheGeometry(size=4 * geom.size, block=geom.block))
+    print(simulate_trace(trace, [tg], policy="two_level")[0].misses)
+
 Subpackages: :mod:`repro.graphs` (SDF substrate), :mod:`repro.cache`
 (DAM-model simulators), :mod:`repro.mem` (layout / conflict-aware
 placement / trace), :mod:`repro.runtime`
 (execution engine), :mod:`repro.core` (the paper's algorithms),
-:mod:`repro.analysis` (experiment drivers E1–E10 and reporting).
+:mod:`repro.analysis` (experiment drivers E1–E15, A1–A8, and reporting).
+The layered map of all of it lives in ``docs/ARCHITECTURE.md``; the replay
+engine's per-policy algorithms in ``docs/REPLAY.md``.
 """
 
 from repro.errors import (
@@ -76,6 +87,7 @@ from repro.cache import (
     OPTCache,
     ReplacementPolicy,
     TwoLevelCache,
+    TwoLevelGeometry,
     available_policies,
     get_policy,
     register_policy,
@@ -168,6 +180,7 @@ __all__ = [
     # cache
     "CacheGeometry", "CacheStats", "LRUCache", "DirectMappedCache",
     "OPTCache", "simulate_opt", "simulate_opt_misses", "TwoLevelCache",
+    "TwoLevelGeometry",
     "ReplacementPolicy", "register_policy", "get_policy", "available_policies",
     # mem
     "MemoryLayout", "Region", "TraceRecorder", "TracingCache",

@@ -15,6 +15,13 @@ robustness questions a practitioner asks before adopting the scheduler:
   pipelines and reports the distribution (mean/max) of measured/LB ratios.
   Shape: a tight band whose max does not explode — the O(1) constant is a
   real constant, not a lucky seed.
+
+The layout ablations A6/A7 (does placement matter below full
+associativity, and how much does conflict-aware placement recover) and the
+hierarchy ablation A8 (how much of the L1 miss stream does an inclusive L2
+absorb, and how close is the filtered L2 to one that sees everything) live
+here too — every driver runs on compiled traces through the vectorized
+replay, no stepwise simulation anywhere (see ``docs/REPLAY.md``).
 """
 
 from __future__ import annotations
@@ -24,7 +31,7 @@ from typing import Any, Dict, List, Optional
 import numpy as np
 
 from repro.cache.base import CacheGeometry
-from repro.cache.hierarchy import TwoLevelCache
+from repro.cache.hierarchy import TwoLevelGeometry
 from repro.core.baselines import single_appearance_schedule
 from repro.core.lower_bound import pipeline_lower_bound
 from repro.core.partition_sched import component_layout_order, pipeline_dynamic_schedule
@@ -36,14 +43,15 @@ from repro.graphs.apps import fm_radio
 from repro.graphs.repetition import repetition_vector
 from repro.graphs.topologies import random_pipeline
 from repro.runtime.compiled import compile_trace, measure_compiled, simulate_trace
-from repro.runtime.executor import Executor
 
 __all__ = [
     "experiment_e12_cache_models",
     "experiment_e13_seed_distribution",
     "ablation_a6_layout_order",
     "ablation_a7_placement",
+    "ablation_a8_inclusion",
     "des_partitioned_workload",
+    "fm_partitioned_traces",
 ]
 
 
@@ -67,22 +75,15 @@ def des_partitioned_workload(M: int = 256, B: int = 8, inputs: int = 768):
     return g, sched, part, required_geometry(part, geom)
 
 
-def experiment_e12_cache_models(M: int = 256, B: int = 8) -> List[Dict[str, Any]]:
-    """Partitioned vs single-appearance on fm_radio across cache models.
+def fm_partitioned_traces(M: int = 256, B: int = 8):
+    """The canonical cache-organization workload (E12/A8): fm_radio,
+    interval-DP partitioned and batch-scheduled for an M-word cache, plus
+    the matched single-appearance baseline — both compiled to block traces.
 
-    Cache models: ideal LRU (the paper's), direct-mapped of the same size
-    (worst-case associativity), 4-way set-associative in between, and a
-    two-level hierarchy (L1 = M, L2 = the partition's O(M); misses counted
-    at L2 = memory transfers).  Shape: the partitioned schedule wins under
-    every organization; lower associativity adds conflict misses to both
-    columns but does not change the verdict.
-
-    Each schedule is compiled once; the LRU / set-associative /
-    direct-mapped rows are all answered from the two compiled traces by the
-    vectorized replay (policy dispatch in
-    :func:`repro.runtime.compiled.simulate_trace`).  Only the two-level
-    hierarchy — outside the policy registry — still walks the stepwise
-    executor.
+    Returns ``(part_trace, base_trace, geom, run_geom)``: the two compiled
+    traces, the nominal M-word geometry, and the O(M) execution geometry
+    the partition needs.  Shared by :func:`experiment_e12_cache_models` and
+    :func:`ablation_a8_inclusion` so their rows measure the same thing.
     """
     g = fm_radio(taps=48, bands=6)
     geom = CacheGeometry(size=M, block=B)
@@ -98,34 +99,49 @@ def experiment_e12_cache_models(M: int = 256, B: int = 8) -> List[Dict[str, Any]
     iters = max(1, part_trace.source_fires // reps[g.sources()[0]])
     base_sched = single_appearance_schedule(g, n_iterations=iters)
     base_trace = compile_trace(g, base_sched, B)
+    return part_trace, base_trace, geom, run_geom
+
+
+def experiment_e12_cache_models(M: int = 256, B: int = 8) -> List[Dict[str, Any]]:
+    """Partitioned vs single-appearance on fm_radio across cache models.
+
+    Cache models: ideal LRU (the paper's), direct-mapped of the same size
+    (worst-case associativity), 4-way set-associative in between, and a
+    two-level hierarchy (L1 = M, L2 = the partition's O(M); misses counted
+    at L2 = memory transfers).  Shape: the partitioned schedule wins under
+    every organization; lower associativity adds conflict misses to both
+    columns but does not change the verdict.
+
+    Each schedule is compiled once; *every* row — the two-level hierarchy
+    included, since PR 4 registered ``policy="two_level"`` — is answered
+    from the two compiled traces by the vectorized replay (policy dispatch
+    in :func:`repro.runtime.compiled.simulate_trace`).  No stepwise
+    simulation anywhere in this sweep.
+    """
+    part_trace, base_trace, geom, run_geom = fm_partitioned_traces(M=M, B=B)
 
     # 4-way organization of (at least) the same capacity
     ways = 4
     assoc_geom = run_geom.with_ways(ways)
+    # L1 is the un-augmented M; L2 is the O(M) the partition needs.
+    # Misses are counted at L2 (memory transfers): the partitioned
+    # working set fits L2, the naive schedule's does not.
+    two_level_geom = TwoLevelGeometry(
+        CacheGeometry(size=geom.size, block=B),
+        CacheGeometry(size=run_geom.size, block=B),
+    )
 
     rows: List[Dict[str, Any]] = []
     replayed = [
         ("LRU (paper model)", "lru", run_geom),
         (f"{ways}-way LRU ({assoc_geom.size}w)", "lru", assoc_geom),
         ("direct-mapped", "direct", run_geom),
+        ("two-level (L1=M, L2=O(M))", "two_level", two_level_geom),
     ]
     for label, policy, rg in replayed:
         res = simulate_trace(part_trace, [rg], policy=policy)[0]
         base = simulate_trace(base_trace, [rg], policy=policy)[0]
         rows.append(_e12_row(label, res, base))
-
-    # L1 is the un-augmented M; L2 is the O(M) the partition needs.
-    # Misses are counted at L2 (memory transfers): the partitioned
-    # working set fits L2, the naive schedule's does not.
-    def two_level():
-        return TwoLevelCache(
-            CacheGeometry(size=geom.size, block=B),
-            CacheGeometry(size=run_geom.size, block=B),
-        )
-
-    res = Executor.measure(g, run_geom, sched, layout_order=order, cache=two_level())
-    base = Executor.measure(g, run_geom, base_sched, cache=two_level())
-    rows.append(_e12_row("two-level (L1=M, L2=O(M))", res, base))
     return rows
 
 
@@ -328,6 +344,70 @@ def ablation_a7_placement(
                 col_4way: placement_cost(instance, res.order, four_way, policy="lru"),
                 "fully_assoc": placement_cost(instance, res.order, run_geom, policy="lru"),
                 "direct_vs_seed": round(res.cost / res.seed_cost, 3) if res.seed_cost else 1.0,
+            }
+        )
+    return rows
+
+
+def ablation_a8_inclusion(M: int = 256, B: int = 8) -> List[Dict[str, Any]]:
+    """A8 — inclusion ratio: L2 miss rate as a function of L1 geometry.
+
+    In the inclusive hierarchy, L2 is consulted only on L1 misses, so its
+    recency order is by *last L1-miss time*, not last access time — a block
+    hot in L1 never refreshes its L2 position.  How much does that filter
+    distortion cost?  One row per L1 geometry (sizes around M, fully
+    associative and direct-mapped), all against the fixed O(M) L2 the E12
+    hierarchy row uses, all answered from the *one* compiled partitioned
+    trace: each row is an L1 pass plus an L2 pass over its miss sub-trace
+    (:func:`repro.runtime.replay.hierarchy_level_masks`).
+
+    Columns: ``l1_misses`` (L2 consults), ``mem_misses`` (transfers from
+    memory), ``filter_rate`` (fraction of L1 misses that L2 absorbs), and
+    ``inclusion_ratio`` — memory misses relative to a *single-level* L2 fed
+    the full trace, i.e. the price of the hierarchy only seeing the
+    filtered stream.  Shape: growing L1 cuts l1_misses hard while
+    mem_misses stay pinned near the single-level floor (inclusion_ratio
+    ≈ 1): the hierarchy composes, which is the paper's multi-level claim
+    (HMM, cited as [24]) made measurable.
+    """
+    from repro.runtime.replay import replay_miss_masks, replay_misses
+
+    part_trace, _base_trace, geom, run_geom = fm_partitioned_traces(M=M, B=B)
+    l2 = CacheGeometry(size=run_geom.size, block=B)
+    (single_level_l2,) = replay_misses(part_trace.blocks, [l2], "lru")
+
+    l1_grid: List[CacheGeometry] = []
+    for frac in (4, 2, 1):
+        size = max(B, (geom.size // frac) // B * B)
+        l1_grid.append(CacheGeometry(size=size, block=B))  # fully associative
+        l1_grid.append(CacheGeometry(size=size, block=B, ways=1))  # direct-mapped
+
+    # batched calls so the kernels share their passes: the fully-associative
+    # L1 column reads off one Mattson pass, the hierarchy grid reuses one L1
+    # pass per distinct L1 organization
+    blocks = part_trace.blocks
+    fa = [g for g in l1_grid if g.ways is None]
+    dm = [g for g in l1_grid if g.ways == 1]
+    l1_masks = dict(zip(fa, replay_miss_masks(blocks, fa, "lru")))
+    l1_masks.update(zip(dm, replay_miss_masks(blocks, dm, "direct")))
+    mem_masks = replay_miss_masks(
+        blocks, [TwoLevelGeometry(l1, l2) for l1 in l1_grid], "two_level"
+    )
+
+    rows: List[Dict[str, Any]] = []
+    for l1, mem_mask in zip(l1_grid, mem_masks):
+        l1_misses = int(np.count_nonzero(l1_masks[l1]))
+        mem = int(np.count_nonzero(mem_mask))
+        org = "direct" if l1.ways == 1 else "full"
+        rows.append(
+            {
+                "l1": f"{l1.size}w/{org}",
+                "l1_misses": l1_misses,
+                "mem_misses": mem,
+                "filter_rate": round(1.0 - mem / l1_misses, 4) if l1_misses else 0.0,
+                "inclusion_ratio": round(mem / single_level_l2, 3)
+                if single_level_l2
+                else float("inf"),
             }
         )
     return rows

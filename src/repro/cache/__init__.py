@@ -9,12 +9,13 @@ field that narrows the paper's fully-associative ideal down to real
 set-associative and direct-mapped organizations.
 
 Every replacement policy is registered by name in
-:mod:`repro.cache.policy` (``"lru"``, ``"direct"``, ``"opt"``), which binds
-the name to its *stepwise* engine; the *vectorized* engines answering whole
-geometry sweeps from one compiled trace live in
-:mod:`repro.runtime.replay` and dispatch by the same names.  The stepwise
-engines here are deliberately simple and stay the differential-test oracles
-for the vectorized path:
+:mod:`repro.cache.policy` (``"lru"``, ``"direct"``, ``"opt"``,
+``"two_level"``), which binds the name to its *stepwise* engine; the
+*vectorized* engines answering whole geometry sweeps from one compiled
+trace live in :mod:`repro.runtime.replay` and dispatch by the same names
+(algorithms and complexity: ``docs/REPLAY.md``).  The stepwise engines here
+are deliberately simple and stay the differential-test oracles for the
+vectorized path:
 
 * :class:`~repro.cache.lru.LRUCache` — LRU, fully associative by default
   (the standard realization of the ideal-cache model; O(1)-competitive with
@@ -25,9 +26,11 @@ for the vectorized path:
 * :class:`~repro.cache.opt.OPTCache` / :func:`~repro.cache.opt.simulate_opt`
   — Belady's offline-optimal replacement replayed over a recorded trace
   (ablation A3), per set under explicit associativity;
-* :class:`~repro.cache.hierarchy.TwoLevelCache` — a two-level hierarchy,
-  outside the registry (no vectorized counterpart yet): the stepwise
-  executor is its only path.
+* :class:`~repro.cache.hierarchy.TwoLevelCache` — an inclusive two-level
+  hierarchy (robustness experiment E12, inclusion ablation A8), swept as
+  :class:`~repro.cache.hierarchy.TwoLevelGeometry` (L1, L2) pairs under
+  ``policy="two_level"``: the replay kernel feeds L1's miss sub-trace to a
+  second L2 pass, so one compiled trace answers whole (L1, L2) grids.
 """
 
 from repro.cache.base import CacheModel, CacheGeometry
@@ -42,7 +45,7 @@ from repro.cache.stats import CacheStats
 from repro.cache.lru import LRUCache
 from repro.cache.direct import DirectMappedCache
 from repro.cache.opt import OPTCache, next_occurrences, simulate_opt, simulate_opt_misses
-from repro.cache.hierarchy import TwoLevelCache
+from repro.cache.hierarchy import TwoLevelCache, TwoLevelGeometry
 
 __all__ = [
     "CacheModel",
@@ -60,4 +63,5 @@ __all__ = [
     "simulate_opt_misses",
     "next_occurrences",
     "TwoLevelCache",
+    "TwoLevelGeometry",
 ]

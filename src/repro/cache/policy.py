@@ -1,17 +1,28 @@
 """Replacement-policy registry: one name per policy, two engines per name.
 
 Every replacement model the library simulates is registered here under a
-short policy name (``"lru"``, ``"direct"``, ``"opt"``).  A registration
-binds the name to its *stepwise* engine — an online :class:`CacheModel`
-factory, or a batch runner for offline policies like OPT — which stays the
-differential-test oracle.  The *vectorized* engines live in
-:mod:`repro.runtime.replay` and dispatch by the same names, so a caller can
-pick a policy string once and get either the reference simulation or the
-single-pass replay, and the tests can diff the two.
+short policy name (``"lru"``, ``"direct"``, ``"opt"``, ``"two_level"``).  A
+registration binds the name to its *stepwise* engine — an online
+:class:`CacheModel` factory, or a batch runner for offline policies like
+OPT — which stays the differential-test oracle.  The *vectorized* engines
+live in :mod:`repro.runtime.replay` and dispatch by the same names, so a
+caller can pick a policy string once and get either the reference
+simulation or the single-pass replay, and the tests can diff the two.
+``docs/REPLAY.md`` documents every registered policy's algorithm on both
+engines.
+
+A "geometry" here is whatever the policy sweeps over: a single-level
+:class:`CacheGeometry` for most policies, a
+:class:`~repro.cache.hierarchy.TwoLevelGeometry` (L1, L2) pair for
+``"two_level"`` — ``make_model`` validates and rejects the wrong spec kind.
+The trace a policy replays may come from any memory layout, including the
+``placement=``-optimized object orders of :mod:`repro.mem.placement`: both
+engines see only block ids, never layout objects.
 
 Policies are registered by their defining modules at import time
-(:mod:`repro.cache.lru`, :mod:`repro.cache.direct`, :mod:`repro.cache.opt`);
-importing :mod:`repro.cache` populates the registry.
+(:mod:`repro.cache.lru`, :mod:`repro.cache.direct`, :mod:`repro.cache.opt`,
+:mod:`repro.cache.hierarchy`); importing :mod:`repro.cache` populates the
+registry.
 """
 
 from __future__ import annotations

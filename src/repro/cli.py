@@ -9,10 +9,14 @@ Commands
                          ``--policy {lru,direct,opt}`` and ``--ways N`` pick
                          the replacement model and associativity, all
                          answered by the vectorized replay over one
-                         compiled trace; ``--layout {topo,color,swap}``
-                         runs the conflict-aware placement optimizer
-                         (:mod:`repro.mem.placement`) before measuring
-``experiment``           run one experiment driver (e1..e15, a1..a7) and
+                         compiled trace; ``--l2-frames N`` (plus optional
+                         ``--l2-ways``) stacks a second level behind the
+                         execution cache and measures memory transfers out
+                         of L2 (``policy="two_level"``); ``--layout
+                         {topo,color,swap}`` runs the conflict-aware
+                         placement optimizer (:mod:`repro.mem.placement`)
+                         before measuring
+``experiment``           run one experiment driver (e1..e15, a1..a8) and
                          print its table
 ``export-dot``           write a Graphviz DOT of a (partitioned) graph
 ``misscurve``            misses-vs-cache-size curve of partitioned and naive
@@ -29,9 +33,10 @@ Examples
     python -m repro schedule fm_radio --cache 256 --block 8 --inputs 2048
     python -m repro schedule fm_radio --cache 256 --policy opt
     python -m repro schedule fm_radio --cache 256 --ways 4
+    python -m repro schedule fm_radio --cache 256 --l2-frames 128
     python -m repro schedule des_rounds --cache 256 --ways 1 --policy direct --layout swap
     python -m repro experiment e7
-    python -m repro experiment a7
+    python -m repro experiment a8
     python -m repro export-dot fm_radio --cache 256 -o fm.dot
 """
 
@@ -120,9 +125,37 @@ def cmd_schedule(args: argparse.Namespace) -> int:
     from repro.errors import CacheConfigError
 
     placement_note = ""
+    policy = args.policy
+    if args.l2_ways and not args.l2_frames:
+        raise SystemExit(
+            "--l2-ways organizes the second level; it needs --l2-frames"
+        )
     try:
         run_geom = required_geometry(part, geom).with_ways(args.ways)
         order = component_layout_order(part)
+        measure_geom = run_geom
+        if args.l2_frames:
+            # stack an L2 behind the execution cache: L1 is the (possibly
+            # ways-narrowed) run geometry, L2 the requested frame count,
+            # snapped up to a valid set indexing like --ways is
+            from repro.cache.hierarchy import TwoLevelGeometry
+
+            if policy != "lru":
+                raise SystemExit(
+                    "--l2-frames builds a two-level LRU hierarchy; combine "
+                    "it with --ways/--l2-ways, not --policy "
+                    f"{policy!r}"
+                )
+            if args.layout != "topo":
+                raise SystemExit(
+                    "--layout optimizes single-level placements; drop "
+                    "--l2-frames or use --layout topo"
+                )
+            l2_geom = CacheGeometry(
+                size=args.l2_frames * args.block, block=args.block
+            ).with_ways(args.l2_ways)
+            measure_geom = TwoLevelGeometry(run_geom, l2_geom)
+            policy = "two_level"
         if args.layout != "topo":
             from repro.mem.placement import build_instance, optimize_instance, remap_trace
             from repro.runtime.compiled import simulate_trace
@@ -139,15 +172,15 @@ def cmd_schedule(args: argparse.Namespace) -> int:
             # the remapped trace is bit-identical to recompiling under
             # pres.order — no second compilation needed
             res = simulate_trace(
-                remap_trace(instance, pres.order), [run_geom], policy=args.policy
+                remap_trace(instance, pres.order), [run_geom], policy=policy
             )[0]
         else:
             res = measure_compiled(
-                g, run_geom, sched, layout_order=order, policy=args.policy
+                g, measure_geom, sched, layout_order=order, policy=policy
             )
     except CacheConfigError as exc:
-        # bad --ways value, or a --policy/--ways combination the replay
-        # rejects (e.g. direct-mapped with ways > 1)
+        # bad --ways/--l2-ways value, or a --policy/--ways combination the
+        # replay rejects (e.g. direct-mapped with ways > 1)
         raise SystemExit(f"invalid cache organization: {exc}")
     org = "fully associative" if run_geom.is_fully_associative else (
         f"{run_geom.ways}-way, {run_geom.sets} sets"
@@ -155,7 +188,14 @@ def cmd_schedule(args: argparse.Namespace) -> int:
     print(f"partition : {part.k} components, bandwidth {float(part.bandwidth()):.3f}")
     print(f"cache     : {run_geom.size} words "
           f"({run_geom.size / geom.size:.2f}x of M={geom.size}), B={geom.block}, "
-          f"{org}, policy={args.policy}")
+          f"{org}, policy={policy}")
+    if args.l2_frames:
+        l2g = measure_geom.l2
+        l2_org = "fully associative" if l2g.is_fully_associative else (
+            f"{l2g.ways}-way, {l2g.sets} sets"
+        )
+        print(f"L2        : {l2g.size} words ({l2g.n_blocks} frames), {l2_org}; "
+              f"misses below are memory transfers out of L2")
     print(f"schedule  : {len(sched)} firings ({sched.label})")
     if placement_note:
         print(placement_note)
@@ -173,10 +213,10 @@ def cmd_experiment(args: argparse.Namespace) -> int:
     key = args.id.lower()
     prefix = {
         **{f"e{i}": f"experiment_e{i}_" for i in range(1, 16)},
-        **{f"a{i}": f"ablation_a{i}_" for i in range(1, 8)},
+        **{f"a{i}": f"ablation_a{i}_" for i in range(1, 9)},
     }.get(key)
     if prefix is None:
-        raise SystemExit(f"unknown experiment {args.id!r} (use e1..e15 or a1..a7)")
+        raise SystemExit(f"unknown experiment {args.id!r} (use e1..e15 or a1..a8)")
     for module in (E, S, L, MC):
         fn_name = next(
             (n for n in dir(module) if n.startswith(prefix) and callable(getattr(module, n))),
@@ -282,6 +322,13 @@ def build_parser() -> argparse.ArgumentParser:
     s.add_argument("--ways", type=int, default=0,
                    help="associativity (0 = fully associative; the cache is "
                         "snapped up to the nearest valid set count)")
+    s.add_argument("--l2-frames", type=int, default=0,
+                   help="stack an L2 of this many block frames behind the "
+                        "execution cache and count memory transfers out of "
+                        "it (two-level replay; 0 = single level)")
+    s.add_argument("--l2-ways", type=int, default=0,
+                   help="L2 associativity (0 = fully associative; needs "
+                        "--l2-frames)")
     s.add_argument("--layout", default="topo", choices=("topo", "color", "swap"),
                    help="memory placement: seed topological order, greedy "
                         "set-coloring, or swap-refined local search "
@@ -290,7 +337,7 @@ def build_parser() -> argparse.ArgumentParser:
     s.set_defaults(fn=cmd_schedule)
 
     e = sub.add_parser("experiment", help="run an experiment driver")
-    e.add_argument("id", help="e1..e15 or a1..a7")
+    e.add_argument("id", help="e1..e15 or a1..a8")
     e.set_defaults(fn=cmd_experiment)
 
     mc = sub.add_parser("misscurve", help="misses-vs-cache-size curves")

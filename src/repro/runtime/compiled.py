@@ -24,8 +24,10 @@ every cache size in a single Mattson stack-distance pass
   kernels of :mod:`repro.runtime.replay`: fully-associative LRU (one
   Mattson stack-distance pass), set-associative LRU (per-set stack
   distances on the set-grouped trace), direct-mapped (per-frame last-block
-  scan), and OPT/Belady (a truncated priority-stack pass answering every
-  swept capacity at once).  Results are
+  scan), OPT/Belady (a truncated priority-stack pass answering every swept
+  capacity at once), and two-level hierarchies (``policy="two_level"``
+  with :class:`~repro.cache.hierarchy.TwoLevelGeometry` sweep points: an
+  L1 pass emits the miss sub-trace a second L2 pass replays).  Results are
   :class:`~repro.runtime.executor.ExecutionResult` rows identical — misses,
   accesses, and per-phase attribution — to running the stepwise engine per
   geometry.  ``workers=`` fans the per-geometry evaluation out over a
@@ -34,15 +36,17 @@ every cache size in a single Mattson stack-distance pass
   ``Executor.measure`` on any replay-capable policy.
 
 Which path is vectorized, which is reference: the compiled replay above is
-the production path for every geometry sweep; the stepwise engines — the
+the production path for every geometry sweep — every registered policy has
+a replay kernel; the stepwise engines — the
 :class:`~repro.runtime.executor.Executor` driving a
-:class:`~repro.cache.lru.LRUCache` / :class:`~repro.cache.direct.DirectMappedCache`,
-and the heap-based :func:`~repro.cache.opt.simulate_opt` — remain the
-differential-test oracles (plus the only path for models outside the
-registry, e.g. the two-level hierarchy).
-:func:`repro.testing.oracles.assert_trace_equivalent` checks executor and
-compiler agree block-for-block, and ``tests/test_replay.py`` diffs every
-replay kernel against its stepwise oracle on random traces.
+:class:`~repro.cache.lru.LRUCache` / :class:`~repro.cache.direct.DirectMappedCache`
+/ :class:`~repro.cache.hierarchy.TwoLevelCache`, and the heap-based
+:func:`~repro.cache.opt.simulate_opt` — remain the differential-test
+oracles.  :func:`repro.testing.oracles.assert_trace_equivalent` checks
+executor and compiler agree block-for-block, and ``tests/test_replay.py``
+plus ``tests/test_hierarchy_replay.py`` diff every replay kernel against
+its stepwise oracle on random traces.  The data flow — schedule to trace
+to sweep — is drawn end to end in ``docs/ARCHITECTURE.md``.
 """
 
 from __future__ import annotations
@@ -355,13 +359,16 @@ def simulate_trace(
     Dispatches to the vectorized replay kernel registered for ``policy``
     (:mod:`repro.runtime.replay`): ``"lru"`` (fully associative via one
     Mattson stack-distance pass, or set-associative per ``geometry.ways``),
-    ``"direct"`` (per-frame last-block scan), or ``"opt"`` (Belady via a
-    truncated priority-stack pass answering every swept capacity at once).
-    All geometries must share the trace's block size — the trace's addresses
-    were laid out for it.  Each result is identical to running the stepwise
-    engine for that policy on the same trace: same misses, same accesses,
-    same per-phase miss attribution.  ``workers`` threads the per-geometry
-    evaluation after the shared distance passes.
+    ``"direct"`` (per-frame last-block scan), ``"opt"`` (Belady via a
+    truncated priority-stack pass answering every swept capacity at once),
+    or ``"two_level"`` (hierarchies: geometries are
+    :class:`~repro.cache.hierarchy.TwoLevelGeometry` (L1, L2) pairs, and
+    misses are memory transfers out of L2).  All geometries must share the
+    trace's block size — the trace's addresses were laid out for it.  Each
+    result is identical to running the stepwise engine for that policy on
+    the same trace: same misses, same accesses, same per-phase miss
+    attribution.  ``workers`` threads the per-geometry evaluation after the
+    shared distance passes.
     """
     from repro.runtime.replay import replay_miss_masks
 

@@ -1,4 +1,4 @@
-"""Policy-aware vectorized replay: one compiled trace, every geometry, four
+"""Policy-aware vectorized replay: one compiled trace, every geometry, five
 replacement models.
 
 :mod:`repro.runtime.compiled` lowers a schedule to its cache-size-independent
@@ -24,19 +24,38 @@ simulating block-by-block:
   sweep — yields per-access OPT stack distances, hence the miss count of
   *every* swept capacity in one traversal instead of one heap simulation per
   geometry.
+* **Two-level hierarchy** — a sweep point is a
+  :class:`~repro.cache.hierarchy.TwoLevelGeometry` (an (L1, L2) pair; each
+  level any LRU organization, ``ways=1`` making it direct-mapped).  L2 is
+  consulted only on L1 misses, so the L2 contents evolve exactly as an LRU
+  fed the *miss sub-trace* of L1: one L1 pass (stack distances, or the
+  per-frame scan when L1 is direct-mapped) selects the sub-trace, a second
+  pass over it answers every L2 organization sharing that L1, and the L2
+  verdicts are scattered back to trace positions.  One L1 pass therefore
+  amortizes over a whole L2 capacity grid; ``workers`` fans out over
+  distinct L1 geometries.
 
 Every kernel returns per-access boolean miss masks, so phase attribution
 works identically to the stepwise executor for all policies.  The stepwise
 models (:class:`~repro.cache.lru.LRUCache`,
 :class:`~repro.cache.direct.DirectMappedCache`,
-:func:`~repro.cache.opt.simulate_opt`) remain the differential-test oracles;
-``tests/test_replay.py`` asserts exact miss-for-miss agreement on random
-traces and geometries.
+:func:`~repro.cache.opt.simulate_opt`,
+:class:`~repro.cache.hierarchy.TwoLevelCache`) remain the differential-test
+oracles; ``tests/test_replay.py`` and ``tests/test_hierarchy_replay.py``
+assert exact miss-for-miss agreement on random traces and geometries.
+
+The kernels see nothing but a flat ``int64`` block array: traces compiled
+by :mod:`repro.runtime.compiled` under any ``placement=`` object order
+(:mod:`repro.mem.placement`) — including block-remapped candidate layouts
+from :func:`repro.mem.placement.remap_blocks` — replay identically, which
+is what lets the placement optimizer score thousands of layouts without
+recompiling.
 
 ``workers`` fans the per-geometry mask evaluation out over a thread pool
 *after* the shared distance passes (numpy releases the GIL inside the heavy
 ufuncs); the shared passes themselves are computed once per distinct set
-count, never per geometry.
+count, never per geometry.  See ``docs/REPLAY.md`` for the per-policy
+algorithms, their complexity, and the oracle contract.
 """
 
 from __future__ import annotations
@@ -46,6 +65,7 @@ from typing import Callable, Dict, Iterable, List, Optional, Sequence
 import numpy as np
 
 from repro.cache.base import CacheGeometry
+from repro.cache.hierarchy import TwoLevelGeometry
 from repro.cache.opt import next_occurrences
 from repro.cache.policy import get_policy
 from repro.errors import CacheConfigError
@@ -53,6 +73,7 @@ from repro.errors import CacheConfigError
 __all__ = [
     "per_set_stack_distances",
     "opt_stack_distances",
+    "hierarchy_level_masks",
     "replay_miss_masks",
     "replay_misses",
     "register_replay_kernel",
@@ -238,10 +259,28 @@ def _lru_kernel(
     return _fanout(mask, list(geometries), workers)
 
 
+def _direct_hit_mask(blocks: np.ndarray, frames: int) -> np.ndarray:
+    """Per-access hit mask of a direct-mapped cache with ``frames`` frames.
+
+    Per-frame last-block scan: group accesses by frame (stable argsort
+    keeps them time-ordered), hit iff the previous access to the same
+    frame touched the same block.
+    """
+    n = blocks.shape[0]
+    hit_mask = np.zeros(n, dtype=bool)
+    if n == 0:
+        return hit_mask
+    key = blocks % frames
+    order = _stable_group_order(key, frames)
+    sk, sb = key[order], blocks[order]
+    same = (sk[1:] == sk[:-1]) & (sb[1:] == sb[:-1])
+    hit_mask[order[1:][same]] = True
+    return hit_mask
+
+
 def _direct_kernel(
     blocks: np.ndarray, geometries: Sequence[CacheGeometry], workers: Optional[int]
 ) -> List[np.ndarray]:
-    n = blocks.shape[0]
     hits: Dict[int, np.ndarray] = {}
     for geom in geometries:
         if geom.ways not in (None, 1):
@@ -250,22 +289,10 @@ def _direct_kernel(
                 f"associativity), got ways={geom.ways}"
             )
         frames = geom.n_blocks
-        if frames in hits or n == 0:
-            continue
-        # per-frame last-block scan: group accesses by frame (stable argsort
-        # keeps them time-ordered), hit iff the previous access to the same
-        # frame touched the same block
-        key = blocks % frames
-        order = _stable_group_order(key, frames)
-        sk, sb = key[order], blocks[order]
-        hit_mask = np.zeros(n, dtype=bool)
-        same = (sk[1:] == sk[:-1]) & (sb[1:] == sb[:-1])
-        hit_mask[order[1:][same]] = True
-        hits[frames] = hit_mask
+        if frames not in hits:
+            hits[frames] = _direct_hit_mask(blocks, frames)
 
     def mask(geom: CacheGeometry) -> np.ndarray:
-        if n == 0:
-            return np.zeros(0, dtype=bool)
         return ~hits[geom.n_blocks]
 
     return _fanout(mask, list(geometries), workers)
@@ -295,6 +322,94 @@ def _opt_kernel(
     return _fanout(mask, list(geometries), workers)
 
 
+def _lru_level_mask(
+    blocks: np.ndarray, geom: CacheGeometry, shared: Dict
+) -> np.ndarray:
+    """Single-level miss mask of one LRU organization, with memoized passes.
+
+    ``ways=1`` takes the per-frame scan (:func:`_direct_hit_mask`); every
+    other organization reads off the per-set stack distances.  ``shared``
+    memoizes both pass kinds by their organization key, so all geometries
+    sharing a set count (or frame count) reuse one pass — this is the
+    hierarchy kernel's amortization unit for both levels.
+    """
+    if geom.ways == 1:
+        key = ("direct", geom.n_blocks)
+        hit = shared.get(key)
+        if hit is None:
+            hit = shared[key] = _direct_hit_mask(blocks, geom.n_blocks)
+        return ~hit
+    sets = 1 if geom.is_fully_associative else geom.sets
+    key = ("lru", sets)
+    d = shared.get(key)
+    if d is None:
+        d = shared[key] = per_set_stack_distances(blocks, sets)
+    ways = geom.associativity if sets > 1 else geom.n_blocks
+    return (d == 0) | (d > ways)
+
+
+def _two_level_kernel(
+    blocks: np.ndarray, geometries: Sequence, workers: Optional[int]
+) -> List[np.ndarray]:
+    """Memory-miss masks of two-level hierarchies, one L1 pass per distinct L1.
+
+    The stepwise :class:`~repro.cache.hierarchy.TwoLevelCache` consults L2
+    exactly when L1 misses, so L2's contents evolve as an LRU cache fed the
+    L1 *miss sub-trace* — which depends only on the L1 geometry.  The kernel
+    therefore groups sweep points by L1, computes each L1 mask once, replays
+    every L2 organization of the group over the (much shorter) sub-trace,
+    and scatters the L2 verdicts back to trace positions.  ``workers``
+    threads the per-L1 groups.
+    """
+    for tg in geometries:
+        if not isinstance(tg, TwoLevelGeometry):
+            raise CacheConfigError(
+                f"policy 'two_level' sweeps TwoLevelGeometry points, "
+                f"got {tg!r}"
+            )
+    n = blocks.shape[0]
+    groups: Dict[CacheGeometry, List[int]] = {}
+    for i, tg in enumerate(geometries):
+        groups.setdefault(tg.l1, []).append(i)
+    l1_shared: Dict = {}  # L1 passes shared even across distinct L1 geometries
+
+    def run_group(item) -> List:
+        l1, idxs = item
+        l1_mask = _lru_level_mask(blocks, l1, l1_shared)
+        pos = np.flatnonzero(l1_mask)
+        sub = blocks[pos]
+        l2_shared: Dict = {}
+        results = []
+        for i in idxs:
+            l2_miss_sub = _lru_level_mask(sub, geometries[i].l2, l2_shared)
+            full = np.zeros(n, dtype=bool)
+            full[pos[l2_miss_sub]] = True  # memory miss = L1 miss AND L2 miss
+            results.append((i, full))
+        return results
+
+    out: List[Optional[np.ndarray]] = [None] * len(geometries)
+    for group_results in _fanout(run_group, list(groups.items()), workers):
+        for i, mask in group_results:
+            out[i] = mask
+    return out
+
+
+def hierarchy_level_masks(
+    blocks: np.ndarray, geometry: TwoLevelGeometry
+) -> tuple:
+    """Per-access ``(l1_miss_mask, memory_miss_mask)`` of one hierarchy.
+
+    The first mask marks L1 misses (= L2 consults), the second the subset
+    that also missed L2 (= memory transfers, what ``policy="two_level"``
+    counts).  Experiment A8 reads the inclusion filter rate straight off
+    these two masks.
+    """
+    arr = np.ascontiguousarray(blocks, dtype=np.int64)
+    l1_mask = _lru_level_mask(arr, geometry.l1, {})
+    (mem_mask,) = _two_level_kernel(arr, [geometry], None)
+    return l1_mask, mem_mask
+
+
 _KERNELS: Dict[str, Callable] = {}
 
 
@@ -316,6 +431,7 @@ def available_replay_policies() -> tuple:
 register_replay_kernel("lru", _lru_kernel)
 register_replay_kernel("direct", _direct_kernel)
 register_replay_kernel("opt", _opt_kernel)
+register_replay_kernel("two_level", _two_level_kernel)
 
 
 # ----------------------------------------------------------------------

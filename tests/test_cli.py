@@ -41,6 +41,33 @@ class TestCli:
         assert main(["schedule", "mp3_subband", "--cache", "256", "--inputs", "128"]) == 0
         assert "misses" in capsys.readouterr().out
 
+    def test_schedule_two_level(self, capsys):
+        assert main(
+            ["schedule", "fm_radio", "--cache", "256", "--inputs", "256",
+             "--l2-frames", "128"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "policy=two_level" in out
+        assert "L2        : 1024 words (128 frames)" in out
+
+    def test_schedule_l2_smaller_than_l1_exits(self):
+        with pytest.raises(SystemExit, match="invalid cache organization"):
+            main(["schedule", "fm_radio", "--cache", "256", "--inputs", "256",
+                  "--l2-frames", "8"])
+
+    def test_schedule_l2_ways_without_l2_frames_exits(self):
+        with pytest.raises(SystemExit, match="--l2-frames"):
+            main(["schedule", "fm_radio", "--cache", "256", "--inputs", "256",
+                  "--l2-ways", "4"])
+
+    def test_schedule_l2_conflicts_with_policy_and_layout(self):
+        with pytest.raises(SystemExit, match="two-level"):
+            main(["schedule", "fm_radio", "--cache", "256", "--inputs", "256",
+                  "--l2-frames", "128", "--policy", "opt"])
+        with pytest.raises(SystemExit, match="layout"):
+            main(["schedule", "des_rounds", "--cache", "192", "--inputs", "256",
+                  "--l2-frames", "128", "--layout", "swap"])
+
     def test_experiment_by_id(self, capsys):
         assert main(["experiment", "a3"]) == 0
         assert "LRU" in capsys.readouterr().out

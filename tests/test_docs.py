@@ -1,0 +1,28 @@
+"""The documentation is executable: broken links and stale snippets fail.
+
+``tools/check_docs.py`` is the single source of truth (CI runs it as its
+own job); this wrapper keeps it in the tier-1 suite so a doc regression
+shows up in any local ``pytest`` run too.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+
+
+def test_docs_links_and_snippets():
+    proc = subprocess.run(
+        [sys.executable, str(ROOT / "tools" / "check_docs.py")],
+        capture_output=True,
+        text=True,
+    )
+    assert proc.returncode == 0, f"docs check failed:\n{proc.stdout}\n{proc.stderr}"
+
+
+def test_required_doc_pages_exist_and_are_linked():
+    readme = (ROOT / "README.md").read_text(encoding="utf-8")
+    for page in ("docs/ARCHITECTURE.md", "docs/REPLAY.md"):
+        assert (ROOT / page).exists(), page
+        assert page in readme, f"README does not link {page}"

@@ -152,13 +152,23 @@ class TestReplayDifferential:
             assert mask.tolist() == stepwise_mask(trace, geom, "opt"), geom
 
     def test_long_skewed_trace_all_policies(self):
+        from repro.cache.hierarchy import TwoLevelGeometry
+
         rng = np.random.default_rng(7)
         trace = (rng.zipf(1.4, size=12_000) % 160).astype(np.int64)
         geoms = _fa_geometries() + _sa_geometries()
         for policy in available_policies():
-            direct_ok = [g for g in geoms if policy != "direct" or g.ways in (None, 1)]
-            masks = replay_miss_masks(trace, direct_ok, policy)
-            for geom, mask in zip(direct_ok, masks):
+            if policy == "direct":
+                swept = [g for g in geoms if g.ways in (None, 1)]
+            elif policy == "two_level":
+                # hierarchical sweep points: every single-level geometry
+                # becomes the L2 behind a small fully-associative L1
+                l1 = CacheGeometry(size=2 * B, block=B)
+                swept = [TwoLevelGeometry(l1, g) for g in geoms if g.size >= l1.size]
+            else:
+                swept = geoms
+            masks = replay_miss_masks(trace, swept, policy)
+            for geom, mask in zip(swept, masks):
                 assert mask.tolist() == stepwise_mask(trace.tolist(), geom, policy), (
                     policy,
                     geom,

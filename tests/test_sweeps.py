@@ -1,8 +1,10 @@
-"""Tests for the robustness sweep drivers (E12/E13)."""
+"""Tests for the robustness sweep drivers (E12/E13) and the layout /
+hierarchy ablations (A6/A8)."""
 
 import pytest
 
 from repro.analysis.sweeps import (
+    ablation_a8_inclusion,
     experiment_e12_cache_models,
     experiment_e13_seed_distribution,
 )
@@ -64,3 +66,28 @@ class TestA6Layout:
         assert len(dm_counts) >= 2  # conflicts depend on placement
         for r in rows:
             assert r["direct_mapped_misses"] >= r["lru_misses"]
+
+
+class TestA8Inclusion:
+    def test_rows_and_shape(self):
+        rows = ablation_a8_inclusion()
+        assert len(rows) == 6  # 3 L1 sizes x {fully-assoc, direct-mapped}
+        for r in rows:
+            assert set(r) == {
+                "l1", "l1_misses", "mem_misses", "filter_rate", "inclusion_ratio",
+            }
+            assert 0 <= r["mem_misses"] <= r["l1_misses"]
+            assert 0.0 <= r["filter_rate"] <= 1.0
+
+    def test_bigger_l1_filters_more(self):
+        rows = ablation_a8_inclusion()
+        fa = [r for r in rows if r["l1"].endswith("/full")]
+        l1_misses = [r["l1_misses"] for r in fa]
+        assert l1_misses == sorted(l1_misses, reverse=True)
+
+    def test_hierarchy_composes(self):
+        # the paper's multi-level claim: L2 traffic stays pinned near the
+        # single-level floor no matter which L1 sits in front of it
+        rows = ablation_a8_inclusion()
+        for r in rows:
+            assert r["inclusion_ratio"] == pytest.approx(1.0, rel=0.15), r["l1"]

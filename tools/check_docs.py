@@ -1,0 +1,145 @@
+#!/usr/bin/env python
+"""Documentation checker: intra-repo link integrity + runnable snippets.
+
+The docs are executable documentation, and this script is what keeps them
+honest.  It walks ``README.md`` and every ``docs/*.md`` file and fails when
+
+* an intra-repo markdown link (``[text](path)``) points at a file that does
+  not exist — external ``scheme://`` and ``mailto:`` links are skipped, and
+  ``#anchors`` are stripped before resolving;
+* a fenced ``python`` snippet fails to run.  Snippets containing ``>>>``
+  prompts run through :mod:`doctest` (so their printed outputs are
+  checked, with ``ELLIPSIS`` and ``NORMALIZE_WHITESPACE`` enabled); plain
+  ``python`` blocks are ``exec``-uted top to bottom.  Tag a fence
+  ``python no-run`` to exempt illustrative pseudo-code.
+
+Run it the way CI does::
+
+    python tools/check_docs.py            # src/ is put on sys.path for you
+    python tools/check_docs.py docs/REPLAY.md
+
+Exit status 0 means every link resolves and every snippet ran clean.
+"""
+
+from __future__ import annotations
+
+import doctest
+import re
+import sys
+from pathlib import Path
+from typing import Iterator, List, Tuple
+
+ROOT = Path(__file__).resolve().parent.parent
+
+#: ``[text](target)`` — good enough for the flat markdown these docs use;
+#: image links (``![..](..)``) match too, which is what we want.
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+DOCTEST_FLAGS = doctest.ELLIPSIS | doctest.NORMALIZE_WHITESPACE
+
+
+def doc_files(argv: List[str]) -> List[Path]:
+    if argv:
+        return [Path(a).resolve() for a in argv]
+    return [ROOT / "README.md", *sorted((ROOT / "docs").glob("*.md"))]
+
+
+def check_links(path: Path, text: str) -> List[str]:
+    """Every intra-repo link target must exist on disk."""
+    errors = []
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        for match in LINK_RE.finditer(line):
+            target = match.group(1)
+            if re.match(r"^[a-z][a-z0-9+.-]*:", target):  # http:, https:, mailto:
+                continue
+            if target.startswith("#"):  # same-page anchor
+                continue
+            rel = target.split("#", 1)[0]
+            resolved = (path.parent / rel).resolve()
+            if not resolved.exists():
+                errors.append(
+                    f"{path.relative_to(ROOT)}:{lineno}: broken link "
+                    f"{target!r} -> {resolved}"
+                )
+    return errors
+
+
+def python_fences(text: str) -> Iterator[Tuple[int, str, str]]:
+    """Yield ``(start_line, info_string, body)`` per fenced code block."""
+    lines = text.splitlines()
+    i = 0
+    while i < len(lines):
+        stripped = lines[i].strip()
+        if stripped.startswith("```") and stripped != "```":
+            info = stripped[3:].strip()
+            body: List[str] = []
+            start = i + 1
+            i += 1
+            while i < len(lines) and lines[i].strip() != "```":
+                body.append(lines[i])
+                i += 1
+            yield start, info, "\n".join(body)
+        i += 1
+
+
+def run_snippets(path: Path, text: str) -> List[str]:
+    """Execute every ``python`` fence; return failure descriptions.
+
+    Fences within one file share a namespace, in document order, so a
+    tutorial can build state across prose — exactly how a reader runs it.
+    """
+    errors = []
+    globs: dict = {"__name__": "__doc_snippet__"}
+    for lineno, info, body in python_fences(text):
+        words = info.split()
+        if not words or words[0] != "python" or "no-run" in words[1:]:
+            continue
+        name = f"{path.relative_to(ROOT)}:{lineno}"
+        try:
+            if ">>>" in body:
+                parser = doctest.DocTestParser()
+                test = parser.get_doctest(body, globs, name, str(path), lineno)
+                runner = doctest.DocTestRunner(optionflags=DOCTEST_FLAGS)
+                runner.run(test, clear_globs=False)
+                globs.update(test.globs)
+                if runner.failures:
+                    errors.append(f"{name}: {runner.failures} doctest failure(s)")
+            else:
+                exec(compile(body, name, "exec"), globs)
+        except Exception as exc:  # noqa: BLE001 — report and keep checking
+            errors.append(f"{name}: snippet raised {type(exc).__name__}: {exc}")
+    return errors
+
+
+def main(argv=None) -> int:
+    src = ROOT / "src"
+    if str(src) not in sys.path:
+        sys.path.insert(0, str(src))
+    errors: List[str] = []
+    files = doc_files(list(argv) if argv is not None else sys.argv[1:])
+    for path in files:
+        if not path.exists():
+            errors.append(f"doc file missing: {path}")
+            continue
+        text = path.read_text(encoding="utf-8")
+        link_errors = check_links(path, text)
+        snip_errors = run_snippets(path, text)
+        n_snips = sum(
+            1 for _, info, _ in python_fences(text) if info.split()[:1] == ["python"]
+        )
+        status = "ok" if not (link_errors or snip_errors) else "FAIL"
+        print(f"{path.relative_to(ROOT) if path.is_relative_to(ROOT) else path}: "
+              f"{n_snips} python snippet(s)  {status}")
+        errors.extend(link_errors)
+        errors.extend(snip_errors)
+    for e in errors:
+        print(f"  {e}")
+    if errors:
+        print(f"docs check: FAIL ({len(errors)} problem(s))")
+        return 1
+    print(f"docs check: ok ({len(files)} file(s))")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -31,7 +31,9 @@ METRICS_BY_FILE = {
     "BENCH_trace_engine.json": (
         "sweep", "single", "direct", "opt", "set_assoc", "two_level",
     ),
-    "BENCH_placement.json": ("score", "swap_gain", "color_gain"),
+    "BENCH_placement.json": (
+        "score", "swap_gain", "color_gain", "multi_gain", "xor_gain",
+    ),
 }
 DEFAULT_JSONS = [_ROOT / name for name in METRICS_BY_FILE]
 

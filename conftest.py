@@ -1,0 +1,42 @@
+"""Repo-root pytest configuration: the ``slow`` marker gate and hypothesis
+profiles.
+
+Tier-1 runs (``pytest -x -q``) skip ``@pytest.mark.slow`` tests; the
+nightly CI job opts in with ``--runslow`` and cranks hypothesis up via
+``HYPOTHESIS_PROFILE=nightly`` (``max_examples=500``).  Profiles are
+registered here — the repo root is on every invocation's conftest path, so
+benchmarks and tests share them.
+"""
+
+import os
+
+import pytest
+
+try:
+    from hypothesis import settings
+
+    settings.register_profile("nightly", max_examples=500, deadline=None)
+    settings.register_profile("ci", deadline=None)
+    _profile = os.environ.get("HYPOTHESIS_PROFILE")
+    if _profile:
+        settings.load_profile(_profile)
+except ImportError:  # pragma: no cover - hypothesis is a test-only dep
+    pass
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--runslow",
+        action="store_true",
+        default=False,
+        help="run @pytest.mark.slow tests (the nightly property suites)",
+    )
+
+
+def pytest_collection_modifyitems(config, items):
+    if config.getoption("--runslow"):
+        return
+    skip_slow = pytest.mark.skip(reason="slow suite: opt in with --runslow")
+    for item in items:
+        if "slow" in item.keywords:
+            item.add_marker(skip_slow)

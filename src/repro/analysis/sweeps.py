@@ -50,6 +50,7 @@ __all__ = [
     "ablation_a6_layout_order",
     "ablation_a7_placement",
     "ablation_a8_inclusion",
+    "ablation_a9_cross_geometry",
     "des_partitioned_workload",
     "fm_partitioned_traces",
 ]
@@ -346,6 +347,90 @@ def ablation_a7_placement(
                 "direct_vs_seed": round(res.cost / res.seed_cost, 3) if res.seed_cost else 1.0,
             }
         )
+    return rows
+
+
+def ablation_a9_cross_geometry(
+    M: int = 256, B: int = 8, inputs: int = 256, budget: int = 300,
+    gap_budget: int = 8,
+) -> List[Dict[str, Any]]:
+    """A9 — deployable placements: single- vs multi-geometry objectives vs
+    skewed (xor) indexing, across the A7 workload's organizations.
+
+    A7's caution was that a placement tuned for the direct-mapped index can
+    *regress* at 2-way.  A9 measures the cure and its alternative:
+
+    * ``seed (topo)`` — the baseline layout;
+    * ``swap@direct`` — the A7 optimizer, tuned only for the direct-mapped
+      geometry (may regress at other targets: the disease);
+    * ``swap@multi`` — the multi-geometry objective
+      (:func:`repro.mem.placement.optimize_instance` with ``targets=`` over
+      all three organizations, padding allowed via ``gap_budget``), which
+      by contract is **never worse than the seed at any target**;
+    * ``xor-index`` — no layout tuning at all: the *seed* order measured on
+      xor-indexed (skewed) versions of the same organizations, answering
+      "would a skewed cache beat layout tuning?" from the same compiled
+      trace.
+
+    All candidates are scored from the *one* seed-compiled trace via the
+    block-remap cost model.  Columns carry cache sizes in words (``with_ways``
+    snaps frame counts up) so capacity effects are not mistaken for
+    placement effects; ``worst_vs_seed`` is the max over targets of
+    (cost / seed cost) — the deployability number, ≤ 1.0 for ``swap@multi``.
+    """
+    from repro.mem.placement import build_instance, optimize_instance, placement_costs
+
+    g, sched, _part, run_geom = des_partitioned_workload(M=M, B=B, inputs=inputs)
+    direct = run_geom.with_ways(1)
+    two_way = run_geom.with_ways(2)
+    four_way = run_geom.with_ways(4)
+    targets = [
+        (direct, "direct", 1.0),
+        (two_way, "lru", 1.0),
+        (four_way, "lru", 1.0),
+    ]
+    cols = [
+        f"direct_{direct.size}w",
+        f"2way_{two_way.size}w",
+        f"4way_{four_way.size}w",
+    ]
+
+    instance = build_instance(g, sched, B)
+    seed_order = list(instance.objects)
+    seed = placement_costs(instance, seed_order, targets)
+
+    def row(label: str, per: List[int], gap_blocks: int = 0) -> Dict[str, Any]:
+        out: Dict[str, Any] = {"placement": label}
+        out.update({c: int(m) for c, m in zip(cols, per)})
+        out["worst_vs_seed"] = round(
+            max((m / s if s else 1.0) for m, s in zip(per, seed)), 3
+        )
+        out["gap_blocks"] = gap_blocks
+        return out
+
+    rows: List[Dict[str, Any]] = [row("seed (topo)", seed)]
+
+    single = optimize_instance(
+        instance, direct, strategy="swap", policy="direct", budget=budget
+    )
+    rows.append(
+        row("swap@direct",
+            placement_costs(instance, single.order, targets, gaps=single.gaps),
+            single.gap_blocks)
+    )
+
+    multi = optimize_instance(
+        instance, strategy="swap", targets=targets, budget=budget,
+        gap_budget=gap_budget,
+    )
+    rows.append(row("swap@multi", list(multi.per_target), multi.gap_blocks))
+
+    xor_targets = [
+        (geom.with_index_scheme("xor"), policy, w) for geom, policy, w in targets
+    ]
+    rows.append(
+        row("xor-index", placement_costs(instance, seed_order, xor_targets))
+    )
     return rows
 
 

@@ -26,7 +26,9 @@ __all__ = ["DirectMappedCache"]
 
 
 class DirectMappedCache(CacheModel):
-    """Each block maps to frame ``block % n_blocks``; a frame holds one block."""
+    """Each block maps to one frame (``block % n_blocks`` under the default
+    ``"mod"`` scheme, XOR-folded tag bits under ``index_scheme="xor"``); a
+    frame holds one block."""
 
     def __init__(self, geometry: CacheGeometry) -> None:
         if geometry.ways not in (None, 1):
@@ -38,7 +40,7 @@ class DirectMappedCache(CacheModel):
         self._frames: Dict[int, int] = {}
 
     def access_block(self, block: int) -> bool:
-        frame = block % self.geometry.n_blocks
+        frame = self.geometry.frame_of(block)
         current = self._frames.get(frame)
         if current == block:
             self.stats.record(False)

@@ -44,7 +44,8 @@ class LRUCache(CacheModel):
         if geometry.is_fully_associative:
             self._set_caches = None
         else:
-            # one (OrderedDict, capacity) LRU domain per set
+            # one (OrderedDict, capacity) LRU domain per set, looked up
+            # through the geometry's index scheme (mod or xor folding)
             self._set_caches = [OrderedDict() for _ in range(geometry.sets)]
             self._n_sets = geometry.sets
             self._ways = geometry.ways
@@ -54,7 +55,7 @@ class LRUCache(CacheModel):
             resident = self._resident
             capacity = self.geometry.n_blocks
         else:
-            resident = self._set_caches[block % self._n_sets]
+            resident = self._set_caches[self.geometry.set_of(block)]
             capacity = self._ways
         if block in resident:
             resident.move_to_end(block)
@@ -82,7 +83,7 @@ class LRUCache(CacheModel):
         """Non-mutating residency probe (no recency update, no stats)."""
         if self._set_caches is None:
             return block in self._resident
-        return block in self._set_caches[block % self._n_sets]
+        return block in self._set_caches[self.geometry.set_of(block)]
 
     def contains_address(self, address: int) -> bool:
         return self.contains_block(self.geometry.block_of(address))

@@ -94,16 +94,16 @@ def simulate_opt_misses(
     """Per-access miss sequence of OPT on ``block_trace`` with this geometry.
 
     Under explicit associativity, OPT runs independently inside each set
-    (blocks mapped by ``block % sets``, ``ways`` frames per set) — the
-    offline-optimal *within the organization's mapping constraint*.
+    (blocks mapped through the geometry's index scheme — ``block % sets``
+    or XOR folding — with ``ways`` frames per set): the offline-optimal
+    *within the organization's mapping constraint*.
     """
     if geometry.is_fully_associative:
         return _opt_miss_sequence(block_trace, geometry.n_blocks)
-    sets = geometry.sets
     per_set: Dict[int, List[int]] = {}
     positions: Dict[int, List[int]] = {}
     for i, blk in enumerate(block_trace):
-        s = blk % sets
+        s = geometry.set_of(blk)
         per_set.setdefault(s, []).append(blk)
         positions.setdefault(s, []).append(i)
     out: List[bool] = [False] * len(block_trace)
@@ -127,7 +127,7 @@ def simulate_opt(block_trace: Sequence[int], geometry: CacheGeometry) -> CacheSt
         per_set_misses: Dict[int, int] = {}
         for blk, miss in zip(block_trace, misses):
             if miss:
-                s = blk % geometry.sets
+                s = geometry.set_of(blk)
                 per_set_misses[s] = per_set_misses.get(s, 0) + 1
         stats.evictions = sum(
             max(0, m - geometry.ways) for m in per_set_misses.values()

@@ -9,14 +9,20 @@ Commands
                          ``--policy {lru,direct,opt}`` and ``--ways N`` pick
                          the replacement model and associativity, all
                          answered by the vectorized replay over one
-                         compiled trace; ``--l2-frames N`` (plus optional
-                         ``--l2-ways``) stacks a second level behind the
-                         execution cache and measures memory transfers out
-                         of L2 (``policy="two_level"``); ``--layout
+                         compiled trace; ``--index-scheme {mod,xor}`` picks
+                         the set hash (xor = skewed indexing);
+                         ``--l2-frames N`` (plus optional ``--l2-ways``)
+                         stacks a second level behind the execution cache
+                         and measures memory transfers out of L2
+                         (``policy="two_level"``); ``--layout
                          {topo,color,swap}`` runs the conflict-aware
                          placement optimizer (:mod:`repro.mem.placement`)
-                         before measuring
-``experiment``           run one experiment driver (e1..e15, a1..a8) and
+                         before measuring, ``--gap-budget N`` lets it spend
+                         up to N blocks of deliberate padding, and
+                         ``--layout-targets POLICY:WAYS[@WEIGHT],...``
+                         switches it to the multi-geometry objective
+                         (never worse than the seed at any target)
+``experiment``           run one experiment driver (e1..e15, a1..a9) and
                          print its table
 ``export-dot``           write a Graphviz DOT of a (partitioned) graph
 ``misscurve``            misses-vs-cache-size curve of partitioned and naive
@@ -35,8 +41,11 @@ Examples
     python -m repro schedule fm_radio --cache 256 --ways 4
     python -m repro schedule fm_radio --cache 256 --l2-frames 128
     python -m repro schedule des_rounds --cache 256 --ways 1 --policy direct --layout swap
+    python -m repro schedule des_rounds --cache 256 --ways 1 --policy direct --index-scheme xor
+    python -m repro schedule des_rounds --cache 256 --ways 1 --policy direct \
+        --layout swap --layout-targets direct:1@2,lru:2,lru:4 --gap-budget 8
     python -m repro experiment e7
-    python -m repro experiment a8
+    python -m repro experiment a9
     python -m repro export-dot fm_radio --cache 256 -o fm.dot
 """
 
@@ -63,6 +72,67 @@ def _resolve_graph(spec: str) -> StreamGraph:
     raise SystemExit(
         f"unknown graph {spec!r}: expected one of {sorted(ALL_APPS)} or a .json path"
     )
+
+
+#: Policies a ``--layout-targets`` entry may name (single-level replay).
+_TARGET_POLICIES = ("lru", "direct", "opt")
+
+
+def _parse_layout_targets(spec: str):
+    """Parse ``POLICY:WAYS[@WEIGHT],...`` into (policy, ways, weight) triples.
+
+    ``WAYS`` is the associativity the execution geometry is reorganized to
+    (0 = fully associative); ``WEIGHT`` defaults to 1.  Raises
+    :class:`argparse.ArgumentTypeError` — so argparse reports a usage error
+    instead of a traceback — on unknown policies, malformed counts, or
+    non-positive weights.
+    """
+    triples = []
+    for chunk in spec.split(","):
+        chunk = chunk.strip()
+        if not chunk:
+            continue
+        body, _, weight_s = chunk.partition("@")
+        policy, sep, ways_s = body.partition(":")
+        policy = policy.strip()
+        if policy not in _TARGET_POLICIES:
+            raise argparse.ArgumentTypeError(
+                f"unknown target policy {policy!r} in {chunk!r} "
+                f"(choose from {', '.join(_TARGET_POLICIES)})"
+            )
+        if not sep:
+            raise argparse.ArgumentTypeError(
+                f"target {chunk!r} needs POLICY:WAYS (0 = fully associative)"
+            )
+        try:
+            ways = int(ways_s)
+        except ValueError:
+            raise argparse.ArgumentTypeError(
+                f"target {chunk!r}: ways must be an integer, got {ways_s!r}"
+            ) from None
+        if ways < 0:
+            raise argparse.ArgumentTypeError(
+                f"target {chunk!r}: ways must be >= 0, got {ways}"
+            )
+        weight = 1.0
+        if weight_s:
+            try:
+                weight = float(weight_s)
+            except ValueError:
+                raise argparse.ArgumentTypeError(
+                    f"target {chunk!r}: weight must be a number, got {weight_s!r}"
+                ) from None
+            if not weight > 0 or weight != weight or weight == float("inf"):
+                raise argparse.ArgumentTypeError(
+                    f"target {chunk!r}: weight must be positive and finite, "
+                    f"got {weight_s}"
+                )
+        triples.append((policy, ways, weight))
+    if not triples:
+        raise argparse.ArgumentTypeError(
+            "layout targets must name at least one POLICY:WAYS[@WEIGHT] entry"
+        )
+    return triples
 
 
 def _partition_for(graph: StreamGraph, cache: int, c: float):
@@ -122,7 +192,7 @@ def cmd_schedule(args: argparse.Namespace) -> int:
         plan = choose_batch(g, args.cache, cross_cids=[c.cid for c in part.cross_channels()])
         n_batches = max(1, -(-args.inputs // max(plan.source_fires, 1)))
         sched = inhomogeneous_partition_schedule(g, part, geom, n_batches=n_batches, plan=plan)
-    from repro.errors import CacheConfigError
+    from repro.errors import CacheConfigError, LayoutError
 
     placement_note = ""
     policy = args.policy
@@ -130,8 +200,14 @@ def cmd_schedule(args: argparse.Namespace) -> int:
         raise SystemExit(
             "--l2-ways organizes the second level; it needs --l2-frames"
         )
+    if args.layout_targets and args.layout == "topo":
+        raise SystemExit(
+            "--layout-targets drives the placement optimizer; combine it "
+            "with --layout swap (or color), not the seed topo layout"
+        )
     try:
         run_geom = required_geometry(part, geom).with_ways(args.ways)
+        run_geom = run_geom.with_index_scheme(args.index_scheme)
         order = component_layout_order(part)
         measure_geom = run_geom
         if args.l2_frames:
@@ -161,18 +237,47 @@ def cmd_schedule(args: argparse.Namespace) -> int:
             from repro.runtime.compiled import simulate_trace
 
             instance = build_instance(g, sched, run_geom.block, order=order)
+            targets = None
+            if args.layout_targets:
+                # ways=0 means fully associative even when --ways narrowed
+                # the execution geometry (with_ways(0) would keep it narrow)
+                fully = run_geom if run_geom.is_fully_associative else CacheGeometry(
+                    size=run_geom.size, block=run_geom.block,
+                    index_scheme=run_geom.index_scheme,
+                )
+                targets = [
+                    (run_geom.with_ways(w) if w else fully, pol, weight)
+                    for pol, w, weight in args.layout_targets
+                ]
             pres = optimize_instance(
-                instance, run_geom, strategy=args.layout, policy=args.policy
+                instance, run_geom, strategy=args.layout, policy=args.policy,
+                targets=targets, gap_budget=args.gap_budget,
+                budget=args.layout_budget,
             )
-            placement_note = (
-                f"layout    : {args.layout} placement, {args.policy} misses "
-                f"{pres.seed_cost} -> {pres.cost} "
-                f"({pres.improvement:.1%} fewer than the seed layout)"
-            )
+            if targets:
+                per = ", ".join(
+                    f"{pol}:{tg.size}w {s}->{c}"
+                    for (tg, pol, _w), s, c in zip(
+                        pres.targets, pres.seed_per_target, pres.per_target
+                    )
+                )
+                placement_note = (
+                    f"layout    : {args.layout} placement over "
+                    f"{len(pres.targets)} targets ({per}; never worse than "
+                    f"the seed at any target"
+                    + (f"; {pres.gap_blocks} gap blocks)" if pres.gap_blocks else ")")
+                )
+            else:
+                placement_note = (
+                    f"layout    : {args.layout} placement, {args.policy} misses "
+                    f"{pres.seed_cost} -> {pres.cost} "
+                    f"({pres.improvement:.1%} fewer than the seed layout)"
+                )
             # the remapped trace is bit-identical to recompiling under
-            # pres.order — no second compilation needed
+            # (pres.order, pres.gaps) — no second compilation needed
             res = simulate_trace(
-                remap_trace(instance, pres.order), [run_geom], policy=policy
+                remap_trace(instance, pres.order, gaps=pres.gaps),
+                [run_geom], policy=policy,
             )[0]
         else:
             res = measure_compiled(
@@ -182,9 +287,14 @@ def cmd_schedule(args: argparse.Namespace) -> int:
         # bad --ways/--l2-ways value, or a --policy/--ways combination the
         # replay rejects (e.g. direct-mapped with ways > 1)
         raise SystemExit(f"invalid cache organization: {exc}")
+    except LayoutError as exc:
+        # bad placement request (e.g. a negative --gap-budget)
+        raise SystemExit(f"invalid placement request: {exc}")
     org = "fully associative" if run_geom.is_fully_associative else (
         f"{run_geom.ways}-way, {run_geom.sets} sets"
     )
+    if run_geom.index_scheme != "mod":
+        org += f", {run_geom.index_scheme}-indexed"
     print(f"partition : {part.k} components, bandwidth {float(part.bandwidth()):.3f}")
     print(f"cache     : {run_geom.size} words "
           f"({run_geom.size / geom.size:.2f}x of M={geom.size}), B={geom.block}, "
@@ -213,10 +323,10 @@ def cmd_experiment(args: argparse.Namespace) -> int:
     key = args.id.lower()
     prefix = {
         **{f"e{i}": f"experiment_e{i}_" for i in range(1, 16)},
-        **{f"a{i}": f"ablation_a{i}_" for i in range(1, 9)},
+        **{f"a{i}": f"ablation_a{i}_" for i in range(1, 10)},
     }.get(key)
     if prefix is None:
-        raise SystemExit(f"unknown experiment {args.id!r} (use e1..e15 or a1..a8)")
+        raise SystemExit(f"unknown experiment {args.id!r} (use e1..e15 or a1..a9)")
     for module in (E, S, L, MC):
         fn_name = next(
             (n for n in dir(module) if n.startswith(prefix) and callable(getattr(module, n))),
@@ -322,6 +432,10 @@ def build_parser() -> argparse.ArgumentParser:
     s.add_argument("--ways", type=int, default=0,
                    help="associativity (0 = fully associative; the cache is "
                         "snapped up to the nearest valid set count)")
+    s.add_argument("--index-scheme", default="mod", choices=("mod", "xor"),
+                   help="set-index hash of the execution cache: mod (low "
+                        "address bits, default) or xor (folded tag bits — "
+                        "skewed indexing; needs a power-of-two set count)")
     s.add_argument("--l2-frames", type=int, default=0,
                    help="stack an L2 of this many block frames behind the "
                         "execution cache and count memory transfers out of "
@@ -334,6 +448,21 @@ def build_parser() -> argparse.ArgumentParser:
                         "set-coloring, or swap-refined local search "
                         "(conflict-aware, optimized for --policy at the "
                         "execution geometry)")
+    s.add_argument("--layout-targets", type=_parse_layout_targets, default=None,
+                   metavar="POLICY:WAYS[@WEIGHT],...",
+                   help="multi-geometry placement objective: optimize the "
+                        "weighted miss sum over these reorganizations of "
+                        "the execution cache (ways 0 = fully associative; "
+                        "weight defaults to 1) and never return a layout "
+                        "worse than the seed at any of them")
+    s.add_argument("--gap-budget", type=int, default=0,
+                   help="blocks of deliberate padding the placement "
+                        "optimizer may insert between objects (0 = pure "
+                        "permutation search)")
+    s.add_argument("--layout-budget", type=int, default=400,
+                   help="cost evaluations the placement local search may "
+                        "spend (each one scores a full candidate layout "
+                        "through the remap cost model)")
     s.set_defaults(fn=cmd_schedule)
 
     e = sub.add_parser("experiment", help="run an experiment driver")

@@ -10,9 +10,11 @@ from repro.mem.placement import (
     conflict_graph,
     get_placement,
     greedy_color_order,
+    normalize_targets,
     optimize_instance,
     optimize_placement,
     placement_cost,
+    placement_costs,
     register_placement,
     remap_blocks,
     remap_trace,
@@ -34,9 +36,11 @@ __all__ = [
     "conflict_graph",
     "get_placement",
     "greedy_color_order",
+    "normalize_targets",
     "optimize_instance",
     "optimize_placement",
     "placement_cost",
+    "placement_costs",
     "register_placement",
     "remap_blocks",
     "remap_trace",

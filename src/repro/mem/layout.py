@@ -27,9 +27,14 @@ of :data:`ObjectKey` tuples (``("state", name)`` / ``("buffer", cid)``)
 interleaving state regions and channel buffers arbitrarily.  Whatever the
 order, every region goes through the same aligned-cursor allocator, so any
 placement is block-aligned and non-overlapping *by construction*; only the
-addresses (and hence set conflicts under low associativity) change.  The
-conflict-aware optimizer in :mod:`repro.mem.placement` searches this
-placement space against a cache geometry.
+addresses (and hence set conflicts under low associativity) change.  A
+``gaps=`` map additionally inserts *deliberate* block-granular padding
+before chosen objects — dead address space that shifts everything
+downstream, the second lever (besides order) the conflict-aware optimizer
+in :mod:`repro.mem.placement` searches.  Deliberate gaps are accounted
+separately from alignment padding (``gap_words`` vs ``alignment_words``;
+``total_words`` is their sum plus payload), so the "at most one block of
+padding per object" alignment claim stays checkable.
 """
 
 from __future__ import annotations
@@ -90,12 +95,27 @@ class MemoryLayout:
         self._cursor = 0
         self._state: Dict[str, Region] = {}
         self._buffer: Dict[int, Region] = {}
+        self._alignment_words = 0
+        self._gap_words = 0
 
     # ------------------------------------------------------------------
     def _align(self) -> None:
         rem = self._cursor % self.block
         if rem:
+            self._alignment_words += self.block - rem
             self._cursor += self.block - rem
+
+    def _insert_gap(self, blocks: int) -> None:
+        """Deliberate padding: ``blocks`` whole blocks of dead address space
+        before the next region (the placement optimizer's second lever —
+        gaps shift everything downstream by a block multiple, changing set
+        conflicts without touching any intra-region offset)."""
+        if not isinstance(blocks, int) or isinstance(blocks, bool) or blocks < 0:
+            raise LayoutError(f"gap must be a non-negative block count, got {blocks!r}")
+        if blocks:
+            self._align()
+            self._gap_words += blocks * self.block
+            self._cursor += blocks * self.block
 
     def _allocate(self, length: int) -> Region:
         if length < 0:
@@ -112,6 +132,7 @@ class MemoryLayout:
         buffer_sizes: Dict[int, int],
         order: Optional[Iterable[str]] = None,
         placement: Optional[Sequence[ObjectKey]] = None,
+        gaps: Optional[Dict[ObjectKey, int]] = None,
     ) -> None:
         """Lay out every module's state and every channel's buffer.
 
@@ -124,6 +145,13 @@ class MemoryLayout:
         region and every buffer exactly once — which is how the
         conflict-aware optimizer (:mod:`repro.mem.placement`) controls
         addresses.  ``order`` and ``placement`` are mutually exclusive.
+
+        ``gaps`` inserts deliberate padding: a map from object key to a
+        whole number of *blocks* of dead address space placed immediately
+        before that object's region (the optimizer's padding lever).  Gap
+        words are tracked separately from alignment padding — see
+        :attr:`gap_words` / :attr:`alignment_words` — and every key must
+        name an object the plan actually places.
         """
         if placement is not None and order is not None:
             raise LayoutError("pass either order= or placement=, not both")
@@ -142,7 +170,15 @@ class MemoryLayout:
             plan = [("state", n) for n in names] + [
                 ("buffer", ch.cid) for ch in graph.channels()
             ]
+        if gaps:
+            unknown = set(gaps) - set(plan)
+            if unknown:
+                raise LayoutError(
+                    f"gaps name objects the plan does not place: {sorted(unknown)!r}"
+                )
         for kind, key in plan:
+            if gaps:
+                self._insert_gap(gaps.get((kind, key), 0))
             if kind == "state":
                 if key in self._state:
                     raise LayoutError(f"module {key!r} already placed")
@@ -181,6 +217,36 @@ class MemoryLayout:
     def footprint(self) -> int:
         """Total words of address space consumed (including padding)."""
         return self._cursor
+
+    @property
+    def total_words(self) -> int:
+        """Total words of address space: payload + alignment + gaps.
+
+        Identical to :attr:`footprint`, but with its composition exposed:
+        ``total_words == payload_words + alignment_words + gap_words``
+        always holds, so deliberate padding (:attr:`gap_words`, inserted by
+        ``gaps=``) is never conflated with the at-most-one-block-per-object
+        alignment cost (:attr:`alignment_words`) the module docstring
+        promises.
+        """
+        return self._cursor
+
+    @property
+    def payload_words(self) -> int:
+        """Words actually owned by placed regions (no padding of any kind)."""
+        return sum(r.length for r in self._state.values()) + sum(
+            r.length for r in self._buffer.values()
+        )
+
+    @property
+    def alignment_words(self) -> int:
+        """Words lost to block alignment (at most ``block - 1`` per object)."""
+        return self._alignment_words
+
+    @property
+    def gap_words(self) -> int:
+        """Words of *deliberate* padding inserted via ``place_graph(gaps=)``."""
+        return self._gap_words
 
     def check_disjoint(self) -> None:
         """O(n log n) invariant check that no two regions overlap."""

@@ -8,48 +8,62 @@ conflicts depend on addresses modulo the set count, not on contiguity.
 This module closes that loop: it searches the placement space
 :meth:`repro.mem.layout.MemoryLayout.place_graph` exposes (any interleaving
 of state regions and channel buffers, always block-aligned and
-non-overlapping by construction) for an order that minimizes conflict
-misses at a target geometry and replacement policy.
+non-overlapping by construction, plus deliberate block-granular *gaps*
+before chosen objects) for a layout that minimizes conflict misses at one
+or several target (geometry, policy) pairs.
 
 Three ideas make the search cheap and exact:
 
-* **Block-remap cost model** — a placement is an object permutation, and
-  every object's intra-region block offsets survive any permutation (all
-  regions are block-aligned), so a candidate's block trace is
+* **Block-remap cost model** — a placement is an object permutation plus a
+  per-object gap vector, and every object's intra-region block offsets
+  survive any permutation or padding (all regions are block-aligned, gaps
+  are whole blocks), so a candidate's block trace is
   ``new_start[obj_of_access] + block_offset``: one gather over the trace
   compiled *once* under the seed layout, never a re-execution.  The score
   is then the actual miss count of the replay kernel
   (:func:`repro.runtime.replay.replay_misses`) on the remapped trace —
   bit-identical to recompiling under the candidate layout and simulating
-  stepwise (``tests/test_placement.py`` asserts this exactly).  External
-  stream arenas ride along as two pseudo-objects whose bases shift with the
-  candidate footprint, reproducing :func:`~repro.runtime.executor.build_memory_plan`
-  arithmetic to the word.
+  stepwise (``tests/test_placement.py`` asserts this exactly, gaps
+  included).  External stream arenas ride along as two pseudo-objects whose
+  bases shift with the candidate footprint, reproducing
+  :func:`~repro.runtime.executor.build_memory_plan` arithmetic to the word.
 * **Temporal-affinity conflict graph** — objects co-scheduled within a
   short reuse window of the trace are the ones that must not collide in a
   set.  The graph is extracted from the run-length-compressed object
   sequence of the compiled trace; nearer co-occurrences weigh more.
-* **Two strategies behind a registry** (the shape is classic: assigning hot
+* **Strategies behind a registry** (the shape is classic: assigning hot
   objects to capacity-limited sets is capacitated facility location, and
   FLIP-style swap local search is cheap and effective on sparse conflict
   graphs): ``"color"`` greedily appends, at each cursor position, the
   unplaced object whose set span conflicts least with what is already
-  placed (greedy set-coloring of the conflict graph); ``"swap"`` refines
-  that order by pairwise-swap local search scored with the *true* remap
+  placed (greedy set-coloring of the conflict graph, scheme-aware under
+  xor-indexed targets); ``"swap"`` refines that order by pairwise-swap
+  local search — interleaved with *gap moves* (±1 block of padding before
+  an object, bounded by ``gap_budget``) — scored with the *true* remap
   cost model, visiting heavy conflict pairs first.  ``"topo"`` is the seed
   topological layout, kept as the baseline.
 
+**Multi-geometry objective.**  A7 showed a layout tuned for the
+direct-mapped index can *regress* at 2-way — unacceptable when one binary
+must deploy across cache organizations.  ``targets=[(geometry, policy,
+weight), ...]`` scores candidates by the weighted miss sum across all
+targets, and :func:`optimize_instance` only accepts a candidate that is
+no worse than the seed **at every individual target** (falling back to
+the seed otherwise), so optimized layouts are deployable: experiment A9
+(:func:`repro.analysis.sweeps.ablation_a9_cross_geometry`) measures the
+cross-geometry behaviour, including whether xor-indexed (skewed) caches
+beat layout tuning outright.
+
 :func:`optimize_placement` never returns a placement worse than the seed
-(it falls back when the search cannot improve), so callers can enable it
-unconditionally.  Wire-up: experiment A7
-(:func:`repro.analysis.sweeps.ablation_a7_placement`), CLI
-``schedule --layout {topo,color,swap}``, ``benchmarks/bench_placement.py``,
-and ``examples/layout_tuning.py``.
+(at any target), so callers can enable it unconditionally.  Wire-up:
+experiments A7/A9, CLI ``schedule --layout {topo,color,swap}
+[--layout-targets SPEC] [--gap-budget N] [--index-scheme {mod,xor}]``,
+``benchmarks/bench_placement.py``, and ``examples/layout_tuning.py``.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -64,9 +78,11 @@ __all__ = [
     "PlacementInstance",
     "PlacementResult",
     "build_instance",
+    "normalize_targets",
     "remap_blocks",
     "remap_trace",
     "placement_cost",
+    "placement_costs",
     "conflict_graph",
     "greedy_color_order",
     "swap_refine",
@@ -77,6 +93,8 @@ __all__ = [
     "optimize_placement",
 ]
 
+#: One optimization target: (geometry, policy name, positive weight).
+PlacementTarget = Tuple[CacheGeometry, str, float]
 
 
 @dataclass
@@ -88,7 +106,7 @@ class PlacementInstance:
     pseudo-ids past the real objects for the external input / output stream
     arenas, and ``block_offset[i]`` the access's block offset inside that
     object.  Together with per-object block counts this is everything a
-    candidate order needs to reproduce its exact block trace.
+    candidate (order, gaps) needs to reproduce its exact block trace.
     """
 
     graph: StreamGraph
@@ -207,9 +225,38 @@ def _order_ids(instance: PlacementInstance, order: Sequence[ObjectKey]) -> List[
     return ids
 
 
-def _placed_starts(instance: PlacementInstance, order_ids: Sequence[int]) -> np.ndarray:
+def _gap_vector(
+    instance: PlacementInstance, gaps: Optional[Dict[ObjectKey, int]]
+) -> Optional[np.ndarray]:
+    """Validate a gaps map into a per-object-id block-count vector.
+
+    ``None``/empty means no padding (the pure-permutation search space).
+    Every key must name an instance object; every value must be a
+    non-negative whole number of blocks.
+    """
+    if not gaps:
+        return None
+    vec = np.zeros(instance.n_objects, dtype=np.int64)
+    for key, blocks in gaps.items():
+        oid = instance.index_of(key)
+        if not isinstance(blocks, (int, np.integer)) or isinstance(blocks, bool) \
+                or blocks < 0:
+            raise LayoutError(
+                f"gap for {key!r} must be a non-negative block count, "
+                f"got {blocks!r}"
+            )
+        vec[oid] = int(blocks)
+    return vec
+
+
+def _placed_starts(
+    instance: PlacementInstance,
+    order_ids: Sequence[int],
+    gap_vec: Optional[np.ndarray] = None,
+) -> np.ndarray:
     """New start block per object id (plus the two stream pseudo-objects),
-    replaying the aligned-cursor allocator over the candidate order."""
+    replaying the aligned-cursor allocator — gap insertion included — over
+    the candidate order."""
     block = instance.block
     lengths = instance.lengths
     starts = np.empty(instance.n_objects + 2, dtype=np.int64)
@@ -218,6 +265,8 @@ def _placed_starts(instance: PlacementInstance, order_ids: Sequence[int]) -> np.
         rem = cursor % block
         if rem:
             cursor += block - rem
+        if gap_vec is not None:
+            cursor += int(gap_vec[oid]) * block
         starts[oid] = cursor // block
         cursor += int(lengths[oid])
     ext_in = cursor // block + 2
@@ -227,20 +276,28 @@ def _placed_starts(instance: PlacementInstance, order_ids: Sequence[int]) -> np.
 
 
 def remap_blocks(
-    instance: PlacementInstance, order: Sequence[ObjectKey]
+    instance: PlacementInstance,
+    order: Sequence[ObjectKey],
+    gaps: Optional[Dict[ObjectKey, int]] = None,
 ) -> np.ndarray:
-    """The exact block trace ``order`` would compile to — via one gather."""
-    starts = _placed_starts(instance, _order_ids(instance, order))
+    """The exact block trace ``(order, gaps)`` would compile to — one gather."""
+    starts = _placed_starts(
+        instance, _order_ids(instance, order), _gap_vector(instance, gaps)
+    )
     return starts[instance.obj_of_access] + instance.block_offset
 
 
-def remap_trace(instance: PlacementInstance, order: Sequence[ObjectKey]):
-    """A full :class:`~repro.runtime.compiled.CompiledTrace` under ``order``
-    (same phases/firings metadata; only addresses move), ready for
+def remap_trace(
+    instance: PlacementInstance,
+    order: Sequence[ObjectKey],
+    gaps: Optional[Dict[ObjectKey, int]] = None,
+):
+    """A full :class:`~repro.runtime.compiled.CompiledTrace` under ``(order,
+    gaps)`` (same phases/firings metadata; only addresses move), ready for
     :func:`~repro.runtime.compiled.simulate_trace`."""
     from dataclasses import replace
 
-    return replace(instance.trace, blocks=remap_blocks(instance, order))
+    return replace(instance.trace, blocks=remap_blocks(instance, order, gaps=gaps))
 
 
 def placement_cost(
@@ -248,16 +305,82 @@ def placement_cost(
     order: Sequence[ObjectKey],
     geometry: CacheGeometry,
     policy: str = "direct",
+    gaps: Optional[Dict[ObjectKey, int]] = None,
 ) -> int:
     """Misses of ``policy`` at ``geometry`` under the candidate placement.
 
     Exact, not an estimate: the remapped trace is bit-identical to what the
-    compiler would produce for this placement, and the replay kernels agree
-    miss-for-miss with the stepwise simulators.
+    compiler would produce for this placement (gaps included), and the
+    replay kernels agree miss-for-miss with the stepwise simulators.
     """
     from repro.runtime.replay import replay_misses
 
-    return replay_misses(remap_blocks(instance, order), [geometry], policy=policy)[0]
+    return replay_misses(
+        remap_blocks(instance, order, gaps=gaps), [geometry], policy=policy
+    )[0]
+
+
+def normalize_targets(
+    targets: Sequence[PlacementTarget], block: Optional[int] = None
+) -> List[PlacementTarget]:
+    """Validate a multi-geometry objective spec.
+
+    Each entry is ``(geometry, policy, weight)`` with a positive finite
+    weight; all geometries must share one block size (``block`` when given
+    — the instance's — since one compiled trace scores every target).
+    """
+    out: List[PlacementTarget] = []
+    if not targets:
+        raise LayoutError("targets must name at least one (geometry, policy, weight)")
+    for entry in targets:
+        try:
+            geometry, policy, weight = entry
+        except (TypeError, ValueError):
+            raise LayoutError(
+                f"each target is a (geometry, policy, weight) triple, got {entry!r}"
+            ) from None
+        if not isinstance(geometry, CacheGeometry):
+            raise LayoutError(f"target geometry must be a CacheGeometry, got {geometry!r}")
+        weight = float(weight)
+        if not np.isfinite(weight) or weight <= 0:
+            raise LayoutError(f"target weight must be positive and finite, got {weight!r}")
+        if block is not None and geometry.block != block:
+            raise LayoutError(
+                f"target geometry block {geometry.block} does not match the "
+                f"instance block {block}"
+            )
+        out.append((geometry, str(policy), weight))
+    return out
+
+
+def _target_misses(blocks: np.ndarray, targets: Sequence[PlacementTarget]) -> List[int]:
+    """Per-target miss counts of one remapped trace, sharing replay passes
+    across targets of the same policy (the kernels memoize per organization)."""
+    from repro.runtime.replay import replay_misses
+
+    by_policy: Dict[str, List[int]] = {}
+    for i, (_geom, policy, _w) in enumerate(targets):
+        by_policy.setdefault(policy, []).append(i)
+    out: List[int] = [0] * len(targets)
+    for policy, idxs in by_policy.items():
+        misses = replay_misses(blocks, [targets[i][0] for i in idxs], policy=policy)
+        for i, m in zip(idxs, misses):
+            out[i] = m
+    return out
+
+
+def placement_costs(
+    instance: PlacementInstance,
+    order: Sequence[ObjectKey],
+    targets: Sequence[PlacementTarget],
+    gaps: Optional[Dict[ObjectKey, int]] = None,
+) -> List[int]:
+    """Per-target miss counts of the candidate placement (multi-geometry
+    form of :func:`placement_cost`; one remap gather, shared replay passes)."""
+    return _target_misses(
+        remap_blocks(instance, order, gaps=gaps),
+        normalize_targets(targets, block=instance.block),
+    )
 
 
 # ----------------------------------------------------------------------
@@ -308,6 +431,12 @@ def _conflict_sets(geometry: CacheGeometry, policy: str) -> int:
     return geometry.sets
 
 
+def _primary_target(targets: Sequence[PlacementTarget]) -> PlacementTarget:
+    """The heaviest-weight target — what the constructive heuristics aim at
+    (ties break toward the most conflict-prone organization)."""
+    return max(targets, key=lambda t: (t[2], _conflict_sets(t[0], t[1])))
+
+
 # ----------------------------------------------------------------------
 # strategies
 # ----------------------------------------------------------------------
@@ -320,9 +449,10 @@ def greedy_color_order(
 ) -> List[ObjectKey]:
     """Greedy set-coloring: grow the placement left to right, appending at
     each cursor position the unplaced object whose set span (its blocks
-    modulo the set count) has the least conflict weight against the objects
-    already covering those sets.  Hot objects (highest total conflict
-    weight) break ties first, so they claim clean sets early.
+    hashed through the geometry's index scheme) has the least conflict
+    weight against the objects already covering those sets.  Hot objects
+    (highest total conflict weight) break ties first, so they claim clean
+    sets early.
     """
     sets = _conflict_sets(geometry, policy)
     if sets <= 1:
@@ -341,6 +471,7 @@ def greedy_color_order(
     block = instance.block
     nblocks = instance.nblocks
     lengths = instance.lengths
+    set_ix = lambda blk: geometry.set_of(blk, sets)  # scheme-aware (mod/xor)
     covering: List[set] = [set() for _ in range(sets)]  # set idx -> object ids
     remaining = list(range(n_obj))
     # hottest first so ties (empty sets early on) favour hot objects
@@ -358,7 +489,7 @@ def greedy_color_order(
             neighbours = adj[oid]
             if neighbours and nb:
                 for j in range(min(nb, sets)):
-                    s = (start_blk + j) % sets
+                    s = set_ix(start_blk + j)
                     for other in covering[s]:
                         cost += neighbours.get(other, 0.0)
             if best_cost is None or cost < best_cost:
@@ -366,7 +497,7 @@ def greedy_color_order(
         order_ids.append(best_oid)
         remaining.pop(best_pos)
         for j in range(min(int(nblocks[best_oid]), sets)):
-            covering[(start_blk + j) % sets].add(best_oid)
+            covering[set_ix(start_blk + j)].add(best_oid)
         cursor = aligned + int(lengths[best_oid])
     return [instance.objects[oid] for oid in order_ids]
 
@@ -374,25 +505,54 @@ def greedy_color_order(
 def swap_refine(
     instance: PlacementInstance,
     order: Sequence[ObjectKey],
-    geometry: CacheGeometry,
+    geometry: Optional[CacheGeometry] = None,
     policy: str = "direct",
     window: int = 8,
     budget: int = 400,
     weights: Optional[Dict[Tuple[int, int], float]] = None,
-) -> Tuple[List[ObjectKey], int, int]:
-    """FLIP-style pairwise-swap local search on the true remap cost.
+    targets: Optional[Sequence[PlacementTarget]] = None,
+    gap_budget: int = 0,
+    gaps: Optional[Dict[ObjectKey, int]] = None,
+) -> Tuple[List[ObjectKey], Dict[ObjectKey, int], float, int]:
+    """FLIP-style local search over (order, gaps) on the true remap cost.
 
-    Starting from ``order``, repeatedly try swapping two objects' positions
-    and keep any swap that lowers the actual miss count of ``policy`` at
-    ``geometry`` (the exact cost model, so accepted moves are real
-    improvements, never estimator noise).  Pairs are visited heaviest
-    conflict edge first — on sparse conflict graphs most of the gain lives
-    in a few hot pairs — and the search stops at a local optimum or after
-    ``budget`` cost evaluations.  Returns ``(order, cost, evaluations)``.
+    Starting from ``order`` (and optionally ``gaps``), repeatedly try two
+    move kinds and keep any that lowers the objective — the actual miss
+    count at ``(geometry, policy)``, or the weighted miss sum over
+    ``targets`` when given (the exact cost model either way, so accepted
+    moves are real improvements, never estimator noise):
+
+    * **swaps** of two objects' positions, visited heaviest conflict edge
+      first — on sparse conflict graphs most of the gain lives in a few
+      hot pairs — then every remaining pair for completeness;
+    * **gap moves** (when ``gap_budget > 0``): ±1 block of deliberate
+      padding before an object, hottest objects first, with the total gap
+      block count never exceeding ``gap_budget`` (the address-space
+      budget).
+
+    The search stops at a local optimum or after ``budget`` cost
+    evaluations.  Returns ``(order, gaps, cost, evaluations)``; ``gaps``
+    maps object keys to their padding in blocks (zero entries omitted).
     """
+    if gap_budget < 0:
+        raise LayoutError(f"gap_budget must be >= 0, got {gap_budget}")
+    if targets is None:
+        if geometry is None:
+            raise LayoutError("swap_refine needs a geometry or explicit targets")
+        targets_n = [(geometry, policy, 1.0)]
+    else:
+        targets_n = normalize_targets(targets, block=instance.block)
     if weights is None:
         weights = conflict_graph(instance, window=window)
     ids = _order_ids(instance, order)
+    gap_vec = _gap_vector(instance, gaps)
+    if gap_vec is None:
+        gap_vec = np.zeros(instance.n_objects, dtype=np.int64)
+    gap_total = int(gap_vec.sum())
+    if gap_total > gap_budget:
+        raise LayoutError(
+            f"starting gaps use {gap_total} blocks, over gap_budget={gap_budget}"
+        )
     pos_of = {oid: p for p, oid in enumerate(ids)}
     n_obj = instance.n_objects
     # heavy conflict pairs first, then every remaining pair for completeness
@@ -402,15 +562,20 @@ def swap_refine(
         (a, b) for a in range(n_obj) for b in range(a + 1, n_obj)
         if (a, b) not in seen
     ]
+    # gap moves visit hot (high conflict degree) objects first
+    degree = [0.0] * n_obj
+    for (a, b), w in weights.items():
+        degree[a] += w
+        degree[b] += w
+    hot = sorted(range(n_obj), key=lambda o: (-degree[o], o))
 
-    def cost_of(candidate_ids: Sequence[int]) -> int:
-        from repro.runtime.replay import replay_misses
-
-        starts = _placed_starts(instance, candidate_ids)
+    def cost_of() -> float:
+        starts = _placed_starts(instance, ids, gap_vec)
         blocks = starts[instance.obj_of_access] + instance.block_offset
-        return replay_misses(blocks, [geometry], policy=policy)[0]
+        per = _target_misses(blocks, targets_n)
+        return sum(w * m for (_, _, w), m in zip(targets_n, per))
 
-    cost = cost_of(ids)
+    cost = cost_of()
     evals = 1
     improved = True
     while improved and evals < budget:
@@ -422,7 +587,7 @@ def swap_refine(
                 continue  # zero-length objects own no blocks: swap is a no-op
             i, j = pos_of[a], pos_of[b]
             ids[i], ids[j] = ids[j], ids[i]
-            trial = cost_of(ids)
+            trial = cost_of()
             evals += 1
             if trial < cost:
                 cost = trial
@@ -430,7 +595,32 @@ def swap_refine(
                 improved = True
             else:
                 ids[i], ids[j] = ids[j], ids[i]
-    return [instance.objects[oid] for oid in ids], cost, evals
+        if gap_budget:
+            for oid in hot:
+                if evals >= budget:
+                    break
+                for delta in (1, -1):
+                    if delta > 0 and gap_total >= gap_budget:
+                        continue
+                    if delta < 0 and gap_vec[oid] == 0:
+                        continue
+                    gap_vec[oid] += delta
+                    trial = cost_of()
+                    evals += 1
+                    if trial < cost:
+                        cost = trial
+                        gap_total += delta
+                        improved = True
+                        break  # opposite delta would re-test the state just left
+                    gap_vec[oid] -= delta
+                    if evals >= budget:
+                        break
+    out_gaps = {
+        instance.objects[oid]: int(g)
+        for oid, g in enumerate(gap_vec.tolist())
+        if g
+    }
+    return [instance.objects[oid] for oid in ids], out_gaps, cost, evals
 
 
 # ----------------------------------------------------------------------
@@ -441,7 +631,8 @@ _STRATEGIES: Dict[str, Callable] = {}
 
 def register_placement(name: str, fn: Callable) -> None:
     """Register a placement strategy: ``fn(instance, geometry, policy=...,
-    window=..., budget=...) -> order`` (a full object placement)."""
+    window=..., budget=..., targets=..., gap_budget=...) -> (order, gaps)``
+    (a full object placement plus a per-object gap map, possibly empty)."""
     _STRATEGIES[name] = fn
 
 
@@ -459,28 +650,41 @@ def available_placements() -> Tuple[str, ...]:
     return tuple(sorted(_STRATEGIES))
 
 
-def _topo_strategy(instance, geometry, policy="direct", window=8, budget=400):
-    return list(instance.objects)
+def _topo_strategy(instance, geometry, policy="direct", window=8, budget=400,
+                   targets=None, gap_budget=0):
+    return list(instance.objects), {}
 
 
-def _color_strategy(instance, geometry, policy="direct", window=8, budget=400):
-    return greedy_color_order(instance, geometry, policy=policy, window=window)
+def _color_strategy(instance, geometry, policy="direct", window=8, budget=400,
+                    targets=None, gap_budget=0):
+    if targets:
+        geometry, policy, _w = _primary_target(
+            normalize_targets(targets, block=instance.block)
+        )
+    return greedy_color_order(instance, geometry, policy=policy, window=window), {}
 
 
-def _swap_strategy(instance, geometry, policy="direct", window=8, budget=400):
-    if _conflict_sets(geometry, policy) <= 1:
-        # fully associative: misses are provably placement-invariant, so
-        # burning the budget on full-trace replays cannot ever improve
-        return list(instance.objects)
+def _swap_strategy(instance, geometry, policy="direct", window=8, budget=400,
+                   targets=None, gap_budget=0):
+    if targets:
+        targets_n = normalize_targets(targets, block=instance.block)
+    else:
+        targets_n = [(geometry, policy, 1.0)]
+    if all(_conflict_sets(g, p) <= 1 for g, p, _w in targets_n):
+        # fully associative everywhere: misses are provably placement-
+        # invariant, so burning the budget on full-trace replays cannot
+        # ever improve
+        return list(instance.objects), {}
     weights = conflict_graph(instance, window=window)
+    pg, pp, _w = _primary_target(targets_n)
     start = greedy_color_order(
-        instance, geometry, policy=policy, window=window, weights=weights
+        instance, pg, policy=pp, window=window, weights=weights
     )
-    order, _, _ = swap_refine(
-        instance, start, geometry, policy=policy, window=window,
-        budget=budget, weights=weights,
+    order, gaps, _, _ = swap_refine(
+        instance, start, window=window, budget=budget, weights=weights,
+        targets=targets_n, gap_budget=gap_budget,
     )
-    return order
+    return order, gaps
 
 
 register_placement("topo", _topo_strategy)
@@ -495,63 +699,110 @@ register_placement("swap", _swap_strategy)
 class PlacementResult:
     """An optimized placement and its exact cost accounting.
 
-    ``order`` feeds straight into ``placement=`` of
+    ``order`` and ``gaps`` feed straight into ``placement=`` / ``gaps=`` of
     :func:`~repro.runtime.compiled.compile_trace`,
     :meth:`~repro.runtime.executor.Executor.measure`, or
     :meth:`~repro.mem.layout.MemoryLayout.place_graph`.
+
+    ``cost`` / ``seed_cost`` are miss counts for a single-target run, the
+    weighted miss sums for a multi-target one; ``per_target`` /
+    ``seed_per_target`` carry the individual miss counts in target order
+    (the never-worse-at-every-target guarantee is stated on those).
     """
 
     strategy: str
     order: List[ObjectKey]
-    cost: int
-    seed_cost: int
+    cost: float
+    seed_cost: float
+    gaps: Dict[ObjectKey, int] = field(default_factory=dict)
+    targets: List[PlacementTarget] = field(default_factory=list)
+    per_target: List[int] = field(default_factory=list)
+    seed_per_target: List[int] = field(default_factory=list)
 
     @property
     def improvement(self) -> float:
-        """Fraction of the seed layout's misses removed."""
+        """Fraction of the seed layout's (weighted) misses removed."""
         return 1.0 - self.cost / self.seed_cost if self.seed_cost else 0.0
+
+    @property
+    def gap_blocks(self) -> int:
+        """Total deliberate padding the placement spends, in blocks."""
+        return sum(self.gaps.values())
 
 
 def optimize_instance(
     instance: PlacementInstance,
-    geometry: CacheGeometry,
+    geometry: Optional[CacheGeometry] = None,
     strategy: str = "swap",
     policy: str = "direct",
     window: int = 8,
     budget: int = 400,
+    targets: Optional[Sequence[PlacementTarget]] = None,
+    gap_budget: int = 0,
 ) -> PlacementResult:
     """Run one registered strategy against a prebuilt instance.
 
-    Never worse than the seed: if the strategy's order scores above the
-    seed layout, the seed order is returned instead.
+    Single-target form: ``geometry`` + ``policy``.  Multi-geometry form:
+    ``targets=[(geometry, policy, weight), ...]`` — the objective is the
+    weighted miss sum.  Either way the result is **never worse than the
+    seed at any individual target**: a candidate that regresses anywhere
+    (the A7 cross-geometry failure mode) is discarded for the seed layout.
     """
+    if targets is not None:
+        targets_n = normalize_targets(targets, block=instance.block)
+    else:
+        if geometry is None:
+            raise LayoutError("optimize_instance needs a geometry or targets")
+        targets_n = [(geometry, policy, 1.0)]
     fn = get_placement(strategy)
     seed_order = list(instance.objects)
-    seed_cost = placement_cost(instance, seed_order, geometry, policy=policy)
-    order = fn(instance, geometry, policy=policy, window=window, budget=budget)
-    cost = placement_cost(instance, order, geometry, policy=policy)
-    if cost > seed_cost:
-        order, cost = seed_order, seed_cost
-    return PlacementResult(strategy=strategy, order=order, cost=cost, seed_cost=seed_cost)
+    seed_per = _target_misses(remap_blocks(instance, seed_order), targets_n)
+    seed_cost = sum(w * m for (_, _, w), m in zip(targets_n, seed_per))
+    out = fn(
+        instance, geometry, policy=policy, window=window, budget=budget,
+        targets=targets if targets is not None else None, gap_budget=gap_budget,
+    )
+    order, gaps = out
+    per = _target_misses(remap_blocks(instance, order, gaps=gaps), targets_n)
+    cost = sum(w * m for (_, _, w), m in zip(targets_n, per))
+    if cost > seed_cost or any(c > s for c, s in zip(per, seed_per)):
+        order, gaps, cost, per = seed_order, {}, seed_cost, seed_per
+    if targets is None:
+        # single-target runs keep integer miss counts for cost/seed_cost
+        cost, seed_cost = int(per[0]), int(seed_per[0])
+    return PlacementResult(
+        strategy=strategy, order=order, cost=cost, seed_cost=seed_cost,
+        gaps=dict(gaps), targets=targets_n, per_target=list(per),
+        seed_per_target=list(seed_per),
+    )
 
 
 def optimize_placement(
     graph: StreamGraph,
     schedule,
-    geometry: CacheGeometry,
+    geometry: Optional[CacheGeometry] = None,
     strategy: str = "swap",
     policy: str = "direct",
     capacities: Optional[Dict[int, int]] = None,
     order: Optional[Iterable[str]] = None,
     window: int = 8,
     budget: int = 400,
+    targets: Optional[Sequence[PlacementTarget]] = None,
+    gap_budget: int = 0,
 ) -> PlacementResult:
     """One-shot convenience: compile the seed trace, search, return the
-    best placement for ``policy`` at ``geometry``."""
+    best placement for ``(geometry, policy)`` — or, with ``targets``, the
+    best layout under the multi-geometry weighted objective."""
+    if geometry is not None:
+        block = geometry.block
+    elif targets:
+        block = normalize_targets(targets)[0][0].block
+    else:
+        raise LayoutError("optimize_placement needs a geometry or targets")
     instance = build_instance(
-        graph, schedule, geometry.block, capacities=capacities, order=order
+        graph, schedule, block, capacities=capacities, order=order
     )
     return optimize_instance(
         instance, geometry, strategy=strategy, policy=policy,
-        window=window, budget=budget,
+        window=window, budget=budget, targets=targets, gap_budget=gap_budget,
     )

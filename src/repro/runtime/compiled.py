@@ -187,12 +187,13 @@ class TraceCompiler:
         layout_order: Optional[Iterable[str]] = None,
         count_external: bool = True,
         placement=None,
+        gaps=None,
     ) -> None:
         self.graph = graph
         self.block = block
         caps, self.layout, self._ext_in_base, self._ext_out_base = build_memory_plan(
             graph, block, capacities=capacities, layout_order=layout_order,
-            placement=placement,
+            placement=placement, gaps=gaps,
         )
         self.capacities = caps
         self.count_external = count_external
@@ -327,13 +328,15 @@ def compile_trace(
     layout_order: Optional[Iterable[str]] = None,
     count_external: bool = True,
     placement=None,
+    gaps=None,
 ) -> CompiledTrace:
     """One-shot convenience: compile ``schedule`` against a fresh layout.
 
     ``capacities`` defaults to the schedule's own (the ``Executor.measure``
     convention), overlaid on minBuf.  ``placement`` fixes the complete
-    object order (see :meth:`repro.mem.layout.MemoryLayout.place_graph`) —
-    the path optimized layouts from :mod:`repro.mem.placement` take.
+    object order and ``gaps`` the deliberate per-object padding (see
+    :meth:`repro.mem.layout.MemoryLayout.place_graph`) — the path optimized
+    layouts from :mod:`repro.mem.placement` take.
     """
     if capacities is None:
         capacities = getattr(schedule, "capacities", None)
@@ -344,6 +347,7 @@ def compile_trace(
         layout_order=layout_order,
         count_external=count_external,
         placement=placement,
+        gaps=gaps,
     )
     return compiler.compile(schedule)
 
@@ -414,6 +418,7 @@ def measure_compiled(
     policy: str = "lru",
     workers: Optional[int] = None,
     placement=None,
+    gaps=None,
 ) -> ExecutionResult:
     """Drop-in for ``Executor.measure``, via compilation.
 
@@ -428,5 +433,6 @@ def measure_compiled(
         layout_order=layout_order,
         count_external=count_external,
         placement=placement,
+        gaps=gaps,
     )
     return simulate_trace(trace, [geometry], policy=policy, workers=workers)[0]

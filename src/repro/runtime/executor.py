@@ -83,6 +83,7 @@ def build_memory_plan(
     capacities: Optional[Dict[int, int]] = None,
     layout_order: Optional[Iterable[str]] = None,
     placement=None,
+    gaps=None,
 ):
     """Shared Executor / TraceCompiler memory setup.
 
@@ -95,7 +96,10 @@ def build_memory_plan(
     ``layout_order`` keeps the state-first convention; ``placement`` fixes
     the complete object order (state regions and buffers interleaved) the
     way :meth:`repro.mem.layout.MemoryLayout.place_graph` documents —
-    conflict-aware optimized layouts come through here.
+    conflict-aware optimized layouts come through here.  ``gaps`` inserts
+    deliberate block-granular padding before chosen objects (same
+    semantics as ``place_graph(gaps=)``); the stream arenas shift with the
+    padded footprint, which the placement remap reproduces to the word.
     """
     # Start from minBuf everywhere and overlay the caller's sizes, so a
     # scheduler may specify only the channels it enlarges (cross edges).
@@ -103,7 +107,7 @@ def build_memory_plan(
     if capacities:
         caps.update(capacities)
     layout = MemoryLayout(block=block)
-    layout.place_graph(graph, caps, order=layout_order, placement=placement)
+    layout.place_graph(graph, caps, order=layout_order, placement=placement, gaps=gaps)
     layout.check_disjoint()
     # External streams live beyond the layout footprint, in disjoint
     # half-open arenas that only ever grow forward.  Block-aligned so
@@ -191,6 +195,9 @@ class Executor:
         Complete object placement (state + buffer keys, mutually exclusive
         with ``layout_order``) — optimized layouts from
         :mod:`repro.mem.placement`.
+    gaps:
+        Deliberate block-granular padding per object key (see
+        :meth:`repro.mem.layout.MemoryLayout.place_graph`).
     count_external:
         Charge source input reads / sink output writes against the cache
         (default True).
@@ -205,13 +212,14 @@ class Executor:
         layout_order: Optional[Iterable[str]] = None,
         count_external: bool = True,
         placement=None,
+        gaps=None,
     ) -> None:
         self.graph = graph
         self.geometry = geometry
         self.cache = cache if cache is not None else LRUCache(geometry)
         caps, self.layout, self._ext_in_base, self._ext_out_base = build_memory_plan(
             graph, geometry.block, capacities=capacities, layout_order=layout_order,
-            placement=placement,
+            placement=placement, gaps=gaps,
         )
         self.capacities = caps
         self.buffers: Dict[int, ChannelBuffer] = {
@@ -326,6 +334,7 @@ class Executor:
         count_external: bool = True,
         cache: Optional[CacheModel] = None,
         placement=None,
+        gaps=None,
     ) -> ExecutionResult:
         """One-shot convenience: build an executor with the schedule's own
         capacities, run it, return the result."""
@@ -337,5 +346,6 @@ class Executor:
             count_external=count_external,
             cache=cache,
             placement=placement,
+            gaps=gaps,
         )
         return ex.run(schedule)

@@ -44,6 +44,14 @@ models (:class:`~repro.cache.lru.LRUCache`,
 oracles; ``tests/test_replay.py`` and ``tests/test_hierarchy_replay.py``
 assert exact miss-for-miss agreement on random traces and geometries.
 
+Set indexing is scheme-aware: every kernel hashes block ids to conflict
+classes through the geometry's ``index_scheme`` (``"mod"`` low bits or
+``"xor"`` folded tag bits — :func:`set_index_array`), and shared passes are
+memoized per (class count, scheme) pair, so a sweep mixing mod- and
+xor-indexed organizations still computes each pass once.  Because a block's
+class is a pure function of its id under either scheme, the set-grouped
+reordering argument (and therefore every kernel) carries over unchanged.
+
 The kernels see nothing but a flat ``int64`` block array: traces compiled
 by :mod:`repro.runtime.compiled` under any ``placement=`` object order
 (:mod:`repro.mem.placement`) — including block-remapped candidate layouts
@@ -71,6 +79,7 @@ from repro.cache.policy import get_policy
 from repro.errors import CacheConfigError
 
 __all__ = [
+    "set_index_array",
     "per_set_stack_distances",
     "opt_stack_distances",
     "hierarchy_level_masks",
@@ -84,6 +93,40 @@ __all__ = [
 # ----------------------------------------------------------------------
 # shared distance passes
 # ----------------------------------------------------------------------
+def set_index_array(
+    blocks: np.ndarray, sets: int, scheme: str = "mod"
+) -> np.ndarray:
+    """Vectorized set index of every block id under ``scheme``.
+
+    ``"mod"`` is ``blocks % sets``; ``"xor"`` XOR-folds every tag chunk
+    into the low index bits (``sets`` must be a power of two — geometry
+    validation guarantees it).  This is the vectorized twin of
+    :meth:`repro.cache.base.CacheGeometry.set_of`, implemented
+    independently so the differential suite actually tests two codepaths.
+    """
+    if sets <= 1:
+        return np.zeros(blocks.shape[0], dtype=np.int64)
+    if scheme == "mod":
+        return blocks % sets
+    if scheme != "xor":  # pragma: no cover - geometry validation upstream
+        raise CacheConfigError(f"unknown index scheme {scheme!r}")
+    k = sets.bit_length() - 1
+    mask = sets - 1
+    idx = blocks & mask
+    tag = blocks >> k
+    while bool(tag.any()):
+        idx = idx ^ (tag & mask)
+        tag = tag >> k
+    return idx
+
+
+def _scheme_of(geom: CacheGeometry, classes: int) -> str:
+    """The scheme a pass over ``classes`` conflict classes must hash with
+    (normalized to ``"mod"`` when there is a single class, so geometries
+    differing only in an irrelevant scheme share one pass)."""
+    return "mod" if classes <= 1 else geom.index_scheme
+
+
 def _stable_group_order(key: np.ndarray, n_groups: int) -> np.ndarray:
     """Stable argsort of a small-range grouping key.
 
@@ -96,35 +139,39 @@ def _stable_group_order(key: np.ndarray, n_groups: int) -> np.ndarray:
     return np.argsort(key, kind="stable")
 
 
-def _set_segments(blocks: np.ndarray, sets: int) -> List[np.ndarray]:
+def _set_segments(
+    blocks: np.ndarray, sets: int, scheme: str = "mod"
+) -> List[np.ndarray]:
     """Trace positions grouped by set index, each group time-ordered."""
-    set_idx = blocks % sets
+    set_idx = set_index_array(blocks, sets, scheme)
     order = _stable_group_order(set_idx, sets)
     ss = set_idx[order]
     bounds = np.flatnonzero(ss[1:] != ss[:-1]) + 1
     return np.split(order, bounds)
 
 
-def per_set_stack_distances(blocks: np.ndarray, sets: int = 1) -> np.ndarray:
+def per_set_stack_distances(
+    blocks: np.ndarray, sets: int = 1, scheme: str = "mod"
+) -> np.ndarray:
     """Within-set LRU stack distances; 0 marks cold accesses.
 
     ``sets=1`` is the fully-associative Mattson pass.  An access hits a
     ``sets``-set, ``w``-way LRU cache iff its distance here is in ``[1, w]``.
 
-    The multi-set case needs no per-set loop: a block id determines its set,
-    so distinct sets touch disjoint block ids, and on the *set-grouped*
-    reordering of the trace (each set's subsequence contiguous,
-    time-ordered) every reuse window stays inside one set's span.  One
-    global stack-distance pass over that reordering therefore computes every
-    set's distances at once; scattering back through the grouping
-    permutation restores trace order.
+    The multi-set case needs no per-set loop: a block id determines its set
+    (under either index ``scheme`` — mod or xor folding), so distinct sets
+    touch disjoint block ids, and on the *set-grouped* reordering of the
+    trace (each set's subsequence contiguous, time-ordered) every reuse
+    window stays inside one set's span.  One global stack-distance pass
+    over that reordering therefore computes every set's distances at once;
+    scattering back through the grouping permutation restores trace order.
     """
     from repro.analysis.misscurve import stack_distances_array
 
     blocks = np.ascontiguousarray(blocks, dtype=np.int64)
     if sets <= 1 or blocks.shape[0] == 0:
         return stack_distances_array(blocks)
-    set_idx = blocks % sets
+    set_idx = set_index_array(blocks, sets, scheme)
     order = _stable_group_order(set_idx, sets)
     d = np.empty(blocks.shape[0], dtype=np.int64)
     d[order] = stack_distances_array(blocks[order])
@@ -197,14 +244,14 @@ def _opt_stack_pass(
 
 
 def opt_stack_distances(
-    blocks: np.ndarray, max_depth: int, sets: int = 1
+    blocks: np.ndarray, max_depth: int, sets: int = 1, scheme: str = "mod"
 ) -> np.ndarray:
     """Per-access OPT stack distances, truncated at ``max_depth``.
 
     0 marks accesses that miss at every capacity up to ``max_depth`` (cold,
     or reused only beyond the truncation horizon); distance ``d >= 1`` means
     the access hits any OPT cache holding at least ``d`` blocks (per set
-    when ``sets > 1``).
+    when ``sets > 1``, with sets hashed by ``scheme``).
     """
     if max_depth < 1:
         raise CacheConfigError(f"max_depth must be >= 1, got {max_depth}")
@@ -218,7 +265,7 @@ def opt_stack_distances(
             blocks.tolist(), next_occurrences(blocks).tolist(), max_depth
         )
         return out
-    for seg in _set_segments(blocks, sets):
+    for seg in _set_segments(blocks, sets, scheme):
         sub = blocks[seg]
         out[seg] = _opt_stack_pass(
             sub.tolist(), next_occurrences(sub).tolist(), max_depth
@@ -244,33 +291,36 @@ def _fanout(
 def _lru_kernel(
     blocks: np.ndarray, geometries: Sequence[CacheGeometry], workers: Optional[int]
 ) -> List[np.ndarray]:
-    distances: Dict[int, np.ndarray] = {}
-    for geom in geometries:  # shared pass, once per distinct set count
+    distances: Dict[tuple, np.ndarray] = {}
+    for geom in geometries:  # shared pass, once per distinct (sets, scheme)
         sets = 1 if geom.is_fully_associative else geom.sets
-        if sets not in distances:
-            distances[sets] = per_set_stack_distances(blocks, sets)
+        key = (sets, _scheme_of(geom, sets))
+        if key not in distances:
+            distances[key] = per_set_stack_distances(blocks, *key)
 
     def mask(geom: CacheGeometry) -> np.ndarray:
         sets = 1 if geom.is_fully_associative else geom.sets
         ways = geom.associativity if sets > 1 else geom.n_blocks
-        d = distances[sets]
+        d = distances[(sets, _scheme_of(geom, sets))]
         return (d == 0) | (d > ways)
 
     return _fanout(mask, list(geometries), workers)
 
 
-def _direct_hit_mask(blocks: np.ndarray, frames: int) -> np.ndarray:
+def _direct_hit_mask(
+    blocks: np.ndarray, frames: int, scheme: str = "mod"
+) -> np.ndarray:
     """Per-access hit mask of a direct-mapped cache with ``frames`` frames.
 
-    Per-frame last-block scan: group accesses by frame (stable argsort
-    keeps them time-ordered), hit iff the previous access to the same
-    frame touched the same block.
+    Per-frame last-block scan: group accesses by frame (the ``scheme``'s
+    hash of the block id; stable argsort keeps them time-ordered), hit iff
+    the previous access to the same frame touched the same block.
     """
     n = blocks.shape[0]
     hit_mask = np.zeros(n, dtype=bool)
     if n == 0:
         return hit_mask
-    key = blocks % frames
+    key = set_index_array(blocks, frames, scheme)
     order = _stable_group_order(key, frames)
     sk, sb = key[order], blocks[order]
     same = (sk[1:] == sk[:-1]) & (sb[1:] == sb[:-1])
@@ -281,19 +331,19 @@ def _direct_hit_mask(blocks: np.ndarray, frames: int) -> np.ndarray:
 def _direct_kernel(
     blocks: np.ndarray, geometries: Sequence[CacheGeometry], workers: Optional[int]
 ) -> List[np.ndarray]:
-    hits: Dict[int, np.ndarray] = {}
+    hits: Dict[tuple, np.ndarray] = {}
     for geom in geometries:
         if geom.ways not in (None, 1):
             raise CacheConfigError(
                 f"direct-mapped replay needs ways=1 (or an unspecified "
                 f"associativity), got ways={geom.ways}"
             )
-        frames = geom.n_blocks
-        if frames not in hits:
-            hits[frames] = _direct_hit_mask(blocks, frames)
+        key = (geom.n_blocks, _scheme_of(geom, geom.n_blocks))
+        if key not in hits:
+            hits[key] = _direct_hit_mask(blocks, *key)
 
     def mask(geom: CacheGeometry) -> np.ndarray:
-        return ~hits[geom.n_blocks]
+        return ~hits[(geom.n_blocks, _scheme_of(geom, geom.n_blocks))]
 
     return _fanout(mask, list(geometries), workers)
 
@@ -301,22 +351,23 @@ def _direct_kernel(
 def _opt_kernel(
     blocks: np.ndarray, geometries: Sequence[CacheGeometry], workers: Optional[int]
 ) -> List[np.ndarray]:
-    # one truncated priority-stack pass per distinct set count, deep enough
-    # for the largest capacity sharing that count
-    depth_for: Dict[int, int] = {}
+    # one truncated priority-stack pass per distinct (set count, scheme),
+    # deep enough for the largest capacity sharing that pass
+    depth_for: Dict[tuple, int] = {}
     for geom in geometries:
         sets = 1 if geom.is_fully_associative else geom.sets
         cap = geom.n_blocks if sets == 1 else geom.associativity
-        depth_for[sets] = max(depth_for.get(sets, 1), cap)
+        key = (sets, _scheme_of(geom, sets))
+        depth_for[key] = max(depth_for.get(key, 1), cap)
     distances = {
-        sets: opt_stack_distances(blocks, depth, sets=sets)
-        for sets, depth in depth_for.items()
+        key: opt_stack_distances(blocks, depth, sets=key[0], scheme=key[1])
+        for key, depth in depth_for.items()
     }
 
     def mask(geom: CacheGeometry) -> np.ndarray:
         sets = 1 if geom.is_fully_associative else geom.sets
         cap = geom.n_blocks if sets == 1 else geom.associativity
-        d = distances[sets]
+        d = distances[(sets, _scheme_of(geom, sets))]
         return (d == 0) | (d > cap)
 
     return _fanout(mask, list(geometries), workers)
@@ -334,16 +385,18 @@ def _lru_level_mask(
     hierarchy kernel's amortization unit for both levels.
     """
     if geom.ways == 1:
-        key = ("direct", geom.n_blocks)
+        scheme = _scheme_of(geom, geom.n_blocks)
+        key = ("direct", geom.n_blocks, scheme)
         hit = shared.get(key)
         if hit is None:
-            hit = shared[key] = _direct_hit_mask(blocks, geom.n_blocks)
+            hit = shared[key] = _direct_hit_mask(blocks, geom.n_blocks, scheme)
         return ~hit
     sets = 1 if geom.is_fully_associative else geom.sets
-    key = ("lru", sets)
+    scheme = _scheme_of(geom, sets)
+    key = ("lru", sets, scheme)
     d = shared.get(key)
     if d is None:
-        d = shared[key] = per_set_stack_distances(blocks, sets)
+        d = shared[key] = per_set_stack_distances(blocks, sets, scheme)
     ways = geom.associativity if sets > 1 else geom.n_blocks
     return (d == 0) | (d > ways)
 

@@ -1,19 +1,31 @@
-"""Hypothesis strategies for random stream graphs.
+"""Hypothesis strategies for random stream graphs, cache geometries, and
+placements.
 
 Centralized here so every property-based test draws from the same
-distributions, and so extensions can reuse them.  All strategies emit
+distributions, and so extensions can reuse them.  The graph strategies emit
 graphs satisfying the paper's Section-2 assumptions (dag, rate matched,
-single source/sink) by construction.
+single source/sink) by construction; :func:`geometry_strategy` emits only
+organizations :class:`~repro.cache.base.CacheGeometry` validation accepts
+(power-of-two set counts, both index schemes), and
+:func:`placement_strategy` emits (order, gaps) candidates inside a given
+address-space gap budget — the exact search space
+:mod:`repro.mem.placement` explores.
 """
 
 from __future__ import annotations
 
 from hypothesis import strategies as st
 
+from repro.cache.base import CacheGeometry
 from repro.graphs.sdf import StreamGraph
 from repro.graphs.topologies import pipeline
 
-__all__ = ["rate_matched_pipelines", "small_dags"]
+__all__ = [
+    "rate_matched_pipelines",
+    "small_dags",
+    "geometry_strategy",
+    "placement_strategy",
+]
 
 _rates = st.tuples(st.integers(1, 5), st.integers(1, 5))
 
@@ -35,6 +47,59 @@ def rate_matched_pipelines(draw, max_n: int = 10, max_state: int = 30, with_dela
             g2.add_channel(ch.src, ch.dst, out_rate=ch.out_rate, in_rate=ch.in_rate, delay=d)
         return g2
     return g
+
+
+@st.composite
+def geometry_strategy(
+    draw,
+    block: int = 8,
+    max_ways: int = 8,
+    max_sets: int = 32,
+    schemes=("mod", "xor"),
+    allow_fully_associative: bool = True,
+):
+    """Random *valid* cache organizations: ``ways`` from 1 up to
+    ``max_ways``, a power-of-two set count up to ``max_sets`` (what
+    geometry validation demands), either index scheme, and — when allowed —
+    fully-associative geometries with power-of-two frame counts so the
+    ``"xor"`` scheme stays legal in its direct-mapped reading."""
+    scheme = draw(st.sampled_from(list(schemes)))
+    sets_choices = [s for s in (1, 2, 4, 8, 16, 32) if s <= max_sets]
+    ways_choices = [w for w in (1, 2, 4, 8) if w <= max_ways]
+    if allow_fully_associative and draw(st.booleans()):
+        frames = draw(st.sampled_from(sets_choices))
+        return CacheGeometry(size=frames * block, block=block, index_scheme=scheme)
+    ways = draw(st.sampled_from(ways_choices))
+    sets = draw(st.sampled_from(sets_choices))
+    return CacheGeometry(
+        size=sets * ways * block, block=block, ways=ways, index_scheme=scheme
+    )
+
+
+@st.composite
+def placement_strategy(draw, objects, max_gap: int = 3, gap_budget=None):
+    """Random placement candidates over ``objects``: a permutation plus a
+    per-object gap map (blocks of deliberate padding, each at most
+    ``max_gap``), truncated so the total never exceeds ``gap_budget`` when
+    one is given.  Returns ``(order, gaps)`` ready for
+    :func:`repro.mem.placement.remap_blocks` or
+    :meth:`repro.mem.layout.MemoryLayout.place_graph`."""
+    objects = list(objects)
+    order = draw(st.permutations(objects))
+    gap_list = draw(
+        st.lists(
+            st.integers(0, max_gap), min_size=len(objects), max_size=len(objects)
+        )
+    )
+    gaps = {}
+    spent = 0
+    for key, gap in zip(order, gap_list):
+        if gap_budget is not None:
+            gap = min(gap, gap_budget - spent)
+        if gap > 0:
+            gaps[key] = gap
+            spent += gap
+    return list(order), gaps
 
 
 @st.composite

@@ -87,6 +87,103 @@ class TestCli:
         assert "cluster_0" in text
 
 
+class TestCliPlacementSurface:
+    """The --layout-targets / --index-scheme / --gap-budget surface: bad
+    specs must die as argparse usage errors (exit code 2, no traceback),
+    and the happy paths must run end to end."""
+
+    @pytest.mark.parametrize(
+        "spec",
+        [
+            "direct:1@-3",        # negative weight
+            "direct:1@0",         # zero weight
+            "direct:1@inf",       # non-finite weight
+            "direct:1@abc",       # non-numeric weight
+            "plru:1",             # unknown policy
+            "direct",             # missing ways
+            "direct:x",           # non-integer ways
+            "direct:-2",          # negative ways
+            "",                   # empty spec
+            " , ,",               # only separators
+        ],
+    )
+    def test_bad_layout_targets_are_argparse_errors(self, spec, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["schedule", "des_rounds", "--layout", "swap",
+                  "--layout-targets", spec, "--inputs", "64"])
+        assert exc.value.code == 2  # argparse usage error, not a traceback
+        assert "--layout-targets" in capsys.readouterr().err
+
+    def test_unknown_index_scheme_is_argparse_error(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["schedule", "des_rounds", "--index-scheme", "plru",
+                  "--inputs", "64"])
+        assert exc.value.code == 2
+        assert "--index-scheme" in capsys.readouterr().err
+
+    def test_negative_gap_budget_is_clean_error(self):
+        with pytest.raises(SystemExit, match="invalid placement request"):
+            main(["schedule", "des_rounds", "--cache", "256", "--ways", "1",
+                  "--policy", "direct", "--layout", "swap",
+                  "--gap-budget", "-1", "--inputs", "64"])
+
+    def test_layout_target_ways_zero_means_fully_associative(self, capsys):
+        # even when --ways narrowed the execution cache, a WAYS=0 target is
+        # the fully-associative organization, not the narrowed one: a
+        # direct:0 target must run (direct over all frames), where the
+        # narrowed 2-way geometry would be rejected by the direct kernel
+        rc = main(
+            ["schedule", "des_rounds", "--cache", "256", "--ways", "2",
+             "--layout", "swap", "--layout-targets", "direct:0,lru:2",
+             "--layout-budget", "10", "--inputs", "64"]
+        )
+        assert rc == 0
+        assert "over 2 targets" in capsys.readouterr().out
+
+    def test_layout_targets_require_non_topo_layout(self):
+        with pytest.raises(SystemExit, match="--layout-targets"):
+            main(["schedule", "des_rounds", "--layout-targets", "direct:1",
+                  "--inputs", "64"])
+
+    def test_xor_scheme_without_valid_frames_is_clean_error(self):
+        # fm_radio's O(M) geometry has a non-power-of-two frame count, so
+        # xor folding has nothing to fold over without --ways
+        with pytest.raises(SystemExit, match="invalid cache organization"):
+            main(["schedule", "fm_radio", "--cache", "256", "--inputs", "128",
+                  "--index-scheme", "xor"])
+
+    def test_schedule_swap_with_xor_scheme_end_to_end(self, capsys):
+        rc = main(
+            ["schedule", "des_rounds", "--cache", "256", "--ways", "1",
+             "--policy", "direct", "--layout", "swap", "--index-scheme", "xor",
+             "--layout-budget", "60", "--inputs", "64"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "xor-indexed" in out
+        assert "swap placement" in out
+        assert "misses" in out
+
+    def test_schedule_multi_target_layout_end_to_end(self, capsys):
+        rc = main(
+            ["schedule", "des_rounds", "--cache", "256", "--ways", "1",
+             "--policy", "direct", "--layout", "swap",
+             "--layout-targets", "direct:1@2,lru:2,lru:4@0.5",
+             "--gap-budget", "2", "--layout-budget", "30", "--inputs", "64"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "over 3 targets" in out
+        assert "never worse than the seed at any target" in out
+
+    def test_experiment_a9_dispatch(self, capsys):
+        # the registry must resolve a9 (smallest workload the driver allows)
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(["experiment", "a9"])
+        assert args.id == "a9"
+
+
 class TestCliExtended:
     def test_experiment_extension_ids(self, capsys):
         from repro.cli import main

@@ -27,6 +27,7 @@ from repro.runtime.replay import (
     replay_miss_masks,
     replay_misses,
 )
+from repro.testing.harness import differential_grid, replay_kernel, stepwise_oracle
 
 B = 8
 
@@ -37,21 +38,40 @@ def stepwise_mask(trace, geometry):
 
 def _grid():
     """(L1, L2) organizations covering the interesting corners: direct and
-    set-associative L1s, L2 == L1 (equal geometries), and L2 >> L1."""
+    set-associative L1s (both index schemes), L2 == L1 (equal geometries),
+    and L2 >> L1."""
     points = []
-    for l1_frames, l1_ways in ((2, None), (4, None), (4, 1), (8, 2), (16, 1)):
-        l1 = CacheGeometry(size=l1_frames * B, block=B, ways=l1_ways)
-        for l2_frames, l2_ways in (
-            (l1_frames, None),  # equal capacity
-            (2 * l1_frames, None),
-            (32, None),
-            (32, 4),
-            (64, 1),  # direct-mapped L2
+    for l1_frames, l1_ways, l1_scheme in (
+        (2, None, "mod"),
+        (4, None, "mod"),
+        (4, 1, "mod"),
+        (4, 1, "xor"),
+        (8, 2, "mod"),
+        (8, 2, "xor"),
+        (16, 1, "mod"),
+    ):
+        l1 = CacheGeometry(
+            size=l1_frames * B, block=B, ways=l1_ways, index_scheme=l1_scheme
+        )
+        for l2_frames, l2_ways, l2_scheme in (
+            (l1_frames, None, "mod"),  # equal capacity
+            (2 * l1_frames, None, "mod"),
+            (32, None, "mod"),
+            (32, 4, "mod"),
+            (32, 4, "xor"),  # skewed L2 behind any L1
+            (64, 1, "mod"),  # direct-mapped L2
+            (64, 1, "xor"),
         ):
             if l2_frames < l1_frames:
                 continue
             points.append(
-                TwoLevelGeometry(l1, CacheGeometry(size=l2_frames * B, block=B, ways=l2_ways))
+                TwoLevelGeometry(
+                    l1,
+                    CacheGeometry(
+                        size=l2_frames * B, block=B, ways=l2_ways,
+                        index_scheme=l2_scheme,
+                    ),
+                )
             )
     return points
 
@@ -92,18 +112,16 @@ class TestTwoLevelDifferential:
     @given(trace=st.lists(st.integers(0, 40), max_size=300))
     @settings(max_examples=40, deadline=None)
     def test_masks_match_stepwise(self, trace):
-        geoms = _grid()
-        masks = replay_miss_masks(np.asarray(trace, dtype=np.int64), geoms, "two_level")
-        for tg, mask in zip(geoms, masks):
-            assert mask.tolist() == stepwise_mask(trace, tg), tg.describe()
+        differential_grid(
+            replay_kernel("two_level"), stepwise_oracle("two_level"), _grid(), trace
+        )
 
     def test_long_skewed_trace(self):
         rng = np.random.default_rng(17)
         trace = (rng.zipf(1.4, size=10_000) % 120).astype(np.int64)
-        geoms = _grid()
-        masks = replay_miss_masks(trace, geoms, "two_level")
-        for tg, mask in zip(geoms, masks):
-            assert mask.tolist() == stepwise_mask(trace.tolist(), tg), tg.describe()
+        differential_grid(
+            replay_kernel("two_level"), stepwise_oracle("two_level"), _grid(), trace
+        )
 
     def test_empty_trace(self):
         empty = np.zeros(0, dtype=np.int64)

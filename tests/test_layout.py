@@ -91,3 +91,67 @@ class TestMemoryLayout:
         lay = MemoryLayout(block=8)
         lay.place_graph(g, min_buffers(g))
         assert lay.state_region("m0").length == 0
+
+
+class TestPaddingAccounting:
+    """Regression suite for the padding/alignment bookkeeping: the module
+    docstring's "at most one block of padding per object" claim holds for
+    *alignment*, and deliberate gaps are accounted separately so they can
+    never masquerade as (or hide inside) alignment cost."""
+
+    def test_alignment_padding_at_most_one_block_per_object(self):
+        # 1-word objects maximize alignment waste: block - 1 words each
+        g = pipeline([1, 1, 1, 1])
+        lay = MemoryLayout(block=8)
+        lay.place_graph(g, min_buffers(g))
+        n_objects = len(g.module_names()) + g.n_channels
+        assert lay.alignment_words <= (lay.block - 1) * n_objects
+        assert lay.gap_words == 0
+        assert lay.total_words == lay.payload_words + lay.alignment_words
+
+    def test_total_words_decomposes_exactly(self):
+        g = diamond(branch_len=3, ways=2, state=7)
+        caps = min_buffers(g)
+        from repro.mem.layout import layout_objects
+
+        plan = layout_objects(g)
+        gaps = {plan[0]: 2, plan[3]: 1}
+        lay = MemoryLayout(block=4)
+        lay.place_graph(g, caps, placement=plan, gaps=gaps)
+        lay.check_disjoint()
+        assert lay.gap_words == 3 * 4  # deliberate: 3 blocks of 4 words
+        assert lay.total_words == lay.footprint
+        assert lay.total_words == (
+            lay.payload_words + lay.alignment_words + lay.gap_words
+        )
+        # the deliberate gaps must NOT be counted as alignment
+        ref = MemoryLayout(block=4)
+        ref.place_graph(g, caps, placement=plan)
+        assert lay.alignment_words == ref.alignment_words
+        assert lay.total_words == ref.total_words + lay.gap_words
+
+    def test_gaps_shift_following_regions_by_whole_blocks(self):
+        g = pipeline([8, 8, 8])
+        caps = min_buffers(g)
+        plain = MemoryLayout(block=8)
+        plain.place_graph(g, caps)
+        gapped = MemoryLayout(block=8)
+        gapped.place_graph(g, caps, gaps={("state", "m1"): 3})
+        assert gapped.state_region("m0") == plain.state_region("m0")
+        delta = gapped.state_region("m1").start - plain.state_region("m1").start
+        assert delta == 3 * 8
+        assert gapped.state_region("m1").start % 8 == 0
+        gapped.check_disjoint()
+
+    def test_gap_for_unplaced_object_rejected(self):
+        g = pipeline([8, 8])
+        lay = MemoryLayout(block=8)
+        with pytest.raises(LayoutError, match="does not place"):
+            lay.place_graph(g, min_buffers(g), gaps={("state", "ghost"): 1})
+
+    @pytest.mark.parametrize("bad", [-1, 1.5, True])
+    def test_non_integer_or_negative_gap_rejected(self, bad):
+        g = pipeline([8, 8])
+        lay = MemoryLayout(block=8)
+        with pytest.raises(LayoutError, match="non-negative block count"):
+            lay.place_graph(g, min_buffers(g), gaps={("state", "m0"): bad})

@@ -33,15 +33,18 @@ from repro.mem.placement import (
     conflict_graph,
     get_placement,
     greedy_color_order,
+    normalize_targets,
     optimize_instance,
     optimize_placement,
     placement_cost,
+    placement_costs,
     remap_blocks,
     remap_trace,
     swap_refine,
 )
 from repro.runtime.compiled import compile_trace, simulate_trace
 from repro.runtime.executor import Executor
+from repro.testing.harness import differential_grid, replay_kernel, stepwise_oracle
 
 B = 8
 
@@ -148,7 +151,9 @@ class TestRemapExactness:
 
     @pytest.mark.parametrize("policy", ["direct", "lru", "opt"])
     def test_cost_matches_stepwise_simulation(self, policy):
-        """Acceptance: cost-model scores == stepwise-simulated miss counts."""
+        """Acceptance: cost-model scores == stepwise-simulated miss counts,
+        and the replay masks on remapped traces agree per access (the
+        differential harness runs the comparison on both index schemes)."""
         g, sched = small_workload()
         inst = build_instance(g, sched, B)
         geoms = {
@@ -157,8 +162,13 @@ class TestRemapExactness:
             "opt": CacheGeometry(size=16 * B, block=B),
         }
         geom = geoms[policy]
+        grid = [geom, geom.with_index_scheme("xor")]
         for seed in range(4):
             order = shuffled(inst.objects, seed)
+            blocks = remap_blocks(inst, order)
+            differential_grid(
+                replay_kernel(policy), stepwise_oracle(policy), grid, blocks
+            )
             cost = placement_cost(inst, order, geom, policy=policy)
             fresh = compile_trace(g, sched, B, placement=order)
             ref = sum(map(bool, stepwise_trace_misses(fresh.blocks.tolist(), geom, policy)))
@@ -249,11 +259,15 @@ class TestFullyAssociativeInvariance:
         for seed in (0, 5):
             order = shuffled(inst.objects, seed)
             blocks = remap_blocks(inst, order)
+            differential_grid(replay_kernel("lru"), stepwise_oracle("lru"), [geom], blocks)
             fast = placement_cost(inst, order, geom, policy="lru")
             ref = sum(map(bool, stepwise_trace_misses(blocks.tolist(), geom, "lru")))
             assert fast == ref
             # direct-mapped at that many frames: same story via the direct kernel
             dgeom = CacheGeometry(size=sets * B, block=B)
+            differential_grid(
+                replay_kernel("direct"), stepwise_oracle("direct"), [dgeom], blocks
+            )
             dfast = placement_cost(inst, order, dgeom, policy="direct")
             dref = sum(map(bool, stepwise_trace_misses(blocks.tolist(), dgeom, "direct")))
             assert dfast == dref
@@ -315,7 +329,8 @@ class TestStrategies:
         assert greedy_color_order(inst, geom, policy="lru") == list(inst.objects)
         # swap must short-circuit too: placement cannot change FA misses,
         # so the search budget is pure waste there
-        assert get_placement("swap")(inst, geom, policy="lru") == list(inst.objects)
+        order, gaps = get_placement("swap")(inst, geom, policy="lru")
+        assert order == list(inst.objects) and gaps == {}
 
     def test_swap_refine_monotone_and_budgeted(self):
         g, sched = small_workload()
@@ -323,10 +338,40 @@ class TestStrategies:
         geom = CacheGeometry(size=16 * B, block=B)
         start = list(inst.objects)
         start_cost = placement_cost(inst, start, geom, policy="direct")
-        order, cost, evals = swap_refine(inst, start, geom, policy="direct", budget=50)
+        order, gaps, cost, evals = swap_refine(
+            inst, start, geom, policy="direct", budget=50
+        )
         assert cost <= start_cost
         assert evals <= 50
+        assert gaps == {}  # no gap budget: pure permutation search
         assert placement_cost(inst, order, geom, policy="direct") == cost
+
+    def test_swap_refine_gap_budget_respected_and_exact(self):
+        g, sched = small_workload()
+        inst = build_instance(g, sched, B)
+        geom = CacheGeometry(size=16 * B, block=B)
+        start = list(inst.objects)
+        order, gaps, cost, _ = swap_refine(
+            inst, start, geom, policy="direct", budget=200, gap_budget=3
+        )
+        assert sum(gaps.values()) <= 3
+        assert all(g > 0 for g in gaps.values())
+        # reported cost is the true cost of (order, gaps)
+        assert placement_cost(inst, order, geom, policy="direct", gaps=gaps) == cost
+
+    def test_swap_refine_rejects_bad_budgets(self):
+        g, sched = small_workload()
+        inst = build_instance(g, sched, B)
+        geom = CacheGeometry(size=16 * B, block=B)
+        with pytest.raises(LayoutError, match="gap_budget"):
+            swap_refine(inst, list(inst.objects), geom, gap_budget=-1)
+        with pytest.raises(LayoutError, match="over gap_budget"):
+            swap_refine(
+                inst, list(inst.objects), geom, gap_budget=1,
+                gaps={inst.objects[0]: 2},
+            )
+        with pytest.raises(LayoutError, match="geometry or explicit targets"):
+            swap_refine(inst, list(inst.objects))
 
     def test_optimizer_never_worse_than_seed(self):
         g, sched = small_workload()
@@ -348,6 +393,151 @@ class TestStrategies:
         res = optimize_placement(g, sched, geom, strategy="swap", budget=60)
         assert res.cost <= res.seed_cost
         assert 0.0 <= res.improvement <= 1.0
+
+
+# ----------------------------------------------------------------------
+# padding: (order, gaps) candidates must be exact, not estimated
+# ----------------------------------------------------------------------
+class TestPadding:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_remap_with_gaps_equals_fresh_compile(self, seed):
+        """The padding lever keeps the cost model exact: a gapped remap is
+        bit-identical to recompiling under place_graph(gaps=)."""
+        g, sched = small_workload()
+        inst = build_instance(g, sched, B)
+        order = shuffled(inst.objects, seed)
+        rng = np.random.default_rng(seed)
+        gaps = {
+            key: int(gap)
+            for key, gap in zip(order, rng.integers(0, 4, size=len(order)))
+            if gap
+        }
+        fresh = compile_trace(g, sched, B, placement=order, gaps=gaps)
+        assert (remap_blocks(inst, order, gaps=gaps) == fresh.blocks).all()
+
+    def test_zero_gaps_is_pure_permutation(self):
+        g, sched = small_workload()
+        inst = build_instance(g, sched, B)
+        order = shuffled(inst.objects, 11)
+        zero = {key: 0 for key in order}
+        assert (
+            remap_blocks(inst, order, gaps=zero) == remap_blocks(inst, order)
+        ).all()
+        assert (
+            remap_blocks(inst, order, gaps=None) == remap_blocks(inst, order, gaps={})
+        ).all()
+
+    def test_gap_shifts_downstream_objects_only(self):
+        g, sched = small_workload()
+        inst = build_instance(g, sched, B)
+        order = list(inst.objects)
+        base = remap_blocks(inst, order)
+        gapped = remap_blocks(inst, order, gaps={order[2]: 2})
+        obj = inst.obj_of_access
+        # objects placed before the gap keep their addresses ...
+        upstream = np.isin(obj, [inst.index_of(order[0]), inst.index_of(order[1])])
+        assert (gapped[upstream] == base[upstream]).all()
+        # ... everything after (stream arenas included) shifts by 2 blocks
+        assert (gapped[~upstream] == base[~upstream] + 2).all()
+
+    def test_bad_gaps_rejected(self):
+        g, sched = small_workload()
+        inst = build_instance(g, sched, B)
+        order = list(inst.objects)
+        with pytest.raises(LayoutError, match="unknown placement object"):
+            remap_blocks(inst, order, gaps={("state", "nope"): 1})
+        for bad in (-1, 1.5, True):
+            with pytest.raises(LayoutError, match="non-negative block count"):
+                remap_blocks(inst, order, gaps={order[0]: bad})
+
+    def test_gapped_cost_matches_stepwise_executor(self):
+        from repro.cache.direct import DirectMappedCache
+
+        g, sched = small_workload()
+        inst = build_instance(g, sched, B)
+        order = shuffled(inst.objects, 7)
+        gaps = {order[1]: 1, order[4]: 2}
+        geom = CacheGeometry(size=16 * B, block=B)
+        ref = Executor.measure(
+            g, geom, sched, placement=order, gaps=gaps,
+            cache=DirectMappedCache(geom),
+        )
+        assert placement_cost(inst, order, geom, policy="direct", gaps=gaps) == ref.misses
+
+
+# ----------------------------------------------------------------------
+# multi-geometry objective: deployable layouts
+# ----------------------------------------------------------------------
+class TestMultiTarget:
+    def _targets(self, inst):
+        direct = CacheGeometry(size=16 * B, block=B)
+        return [
+            (direct, "direct", 2.0),
+            (CacheGeometry(size=16 * B, block=B, ways=2), "lru", 1.0),
+            (CacheGeometry(size=32 * B, block=B, ways=4), "lru", 1.0),
+        ]
+
+    def test_normalize_targets_validation(self):
+        g, sched = small_workload()
+        inst = build_instance(g, sched, B)
+        geom = CacheGeometry(size=16 * B, block=B)
+        with pytest.raises(LayoutError, match="at least one"):
+            normalize_targets([])
+        with pytest.raises(LayoutError, match="triple"):
+            normalize_targets([geom])
+        with pytest.raises(LayoutError, match="CacheGeometry"):
+            normalize_targets([(42, "lru", 1.0)])
+        for w in (0, -1, float("nan"), float("inf")):
+            with pytest.raises(LayoutError, match="weight"):
+                normalize_targets([(geom, "lru", w)])
+        with pytest.raises(LayoutError, match="block"):
+            normalize_targets([(CacheGeometry(size=16, block=4), "lru", 1.0)], block=B)
+
+    def test_placement_costs_matches_single_target_costs(self):
+        g, sched = small_workload()
+        inst = build_instance(g, sched, B)
+        targets = self._targets(inst)
+        order = shuffled(inst.objects, 3)
+        per = placement_costs(inst, order, targets)
+        for (geom, policy, _w), m in zip(targets, per):
+            assert m == placement_cost(inst, order, geom, policy=policy)
+
+    def test_optimizer_never_worse_at_every_target(self):
+        g, sched = small_workload()
+        inst = build_instance(g, sched, B)
+        targets = self._targets(inst)
+        for strategy in available_placements():
+            res = optimize_instance(
+                inst, strategy=strategy, targets=targets, budget=80, gap_budget=2
+            )
+            assert len(res.per_target) == len(targets)
+            for c, s in zip(res.per_target, res.seed_per_target):
+                assert c <= s, (strategy, res.per_target, res.seed_per_target)
+            assert res.cost <= res.seed_cost
+            # reported per-target costs are the true costs of (order, gaps)
+            assert res.per_target == placement_costs(
+                inst, res.order, targets, gaps=res.gaps
+            )
+
+    def test_single_target_form_unchanged(self):
+        g, sched = small_workload()
+        inst = build_instance(g, sched, B)
+        geom = CacheGeometry(size=16 * B, block=B)
+        res = optimize_instance(inst, geom, strategy="swap", policy="direct", budget=60)
+        assert isinstance(res.cost, int) and isinstance(res.seed_cost, int)
+        assert res.targets == [(geom, "direct", 1.0)]
+        assert res.per_target == [res.cost] and res.seed_per_target == [res.seed_cost]
+
+    def test_optimize_placement_multi_entry_point(self):
+        g, sched = small_workload()
+        targets = [
+            (CacheGeometry(size=16 * B, block=B), "direct", 1.0),
+            (CacheGeometry(size=16 * B, block=B, ways=2), "lru", 1.0),
+        ]
+        res = optimize_placement(g, sched, strategy="swap", targets=targets, budget=60)
+        assert all(c <= s for c, s in zip(res.per_target, res.seed_per_target))
+        with pytest.raises(LayoutError, match="geometry or targets"):
+            optimize_placement(g, sched, strategy="swap")
 
 
 # ----------------------------------------------------------------------

@@ -33,6 +33,7 @@ from repro.runtime.replay import (
     replay_miss_masks,
     replay_misses,
 )
+from repro.testing.harness import differential_grid, replay_kernel, stepwise_oracle
 
 B = 8
 
@@ -108,9 +109,44 @@ class TestGeometryValidation:
         with pytest.raises(CacheConfigError):
             CacheGeometry(size=128, block=8).with_ways(ways)
 
+    def test_unknown_index_scheme_rejected(self):
+        with pytest.raises(CacheConfigError, match="unknown index_scheme"):
+            CacheGeometry(size=128, block=8, index_scheme="plru")
+
+    def test_xor_needs_power_of_two_frames_when_fully_associative(self):
+        # 12 frames, no ways: the direct-mapped reading has nothing to fold over
+        with pytest.raises(CacheConfigError, match="power-of-two"):
+            CacheGeometry(size=96, block=8, index_scheme="xor")
+        # but with an explicit ways the set count is already validated
+        g = CacheGeometry(size=128, block=8, ways=2, index_scheme="xor")
+        assert g.sets == 8
+
+    def test_xor_set_of_differs_from_mod_and_stays_in_range(self):
+        mod = CacheGeometry(size=256, block=8, ways=1)
+        xor = CacheGeometry(size=256, block=8, ways=1, index_scheme="xor")
+        idx = [xor.set_of(b) for b in range(200)]
+        assert all(0 <= i < xor.sets for i in idx)
+        assert idx != [mod.set_of(b) for b in range(200)]
+        # blocks inside one tag stride agree with mod; the stride above XORs
+        assert xor.set_of(3) == 3 and xor.set_of(32 + 3) != mod.set_of(32 + 3)
+
+    def test_with_ways_and_with_index_scheme_preserve_scheme(self):
+        g = CacheGeometry(size=1024, block=8, index_scheme="mod")  # 128 frames
+        assert g.with_ways(4).index_scheme == "mod"
+        gx = g.with_index_scheme("xor")
+        assert gx.index_scheme == "xor" and gx.size == g.size
+        assert gx.with_ways(4).index_scheme == "xor"
+        assert gx.with_index_scheme("xor") is gx
+        # snapping a non-power-of-two frame count up keeps xor legal
+        assert CacheGeometry(size=920, block=8).with_ways(4).with_index_scheme(
+            "xor"
+        ).sets == 32
+
 
 # ----------------------------------------------------------------------
-# random-trace differentials against the stepwise oracles
+# random-trace differentials against the stepwise oracles, all through the
+# shared harness (repro.testing.harness) — per-access mask equality with a
+# pretty-printed first divergence on failure
 # ----------------------------------------------------------------------
 def _fa_geometries():
     return [CacheGeometry(size=c * B, block=B) for c in (1, 2, 3, 5, 8, 16, 40)]
@@ -118,9 +154,10 @@ def _fa_geometries():
 
 def _sa_geometries():
     return [
-        CacheGeometry(size=sets * ways * B, block=B, ways=ways)
+        CacheGeometry(size=sets * ways * B, block=B, ways=ways, index_scheme=scheme)
         for ways in (1, 2, 4, 8)
         for sets in (1, 2, 8, 16)
+        for scheme in ("mod", "xor")
     ]
 
 
@@ -129,27 +166,25 @@ class TestReplayDifferential:
     @settings(max_examples=40, deadline=None)
     def test_lru_masks_match_stepwise(self, trace):
         geoms = _fa_geometries() + _sa_geometries()
-        masks = replay_miss_masks(np.asarray(trace, dtype=np.int64), geoms, "lru")
-        for geom, mask in zip(geoms, masks):
-            assert mask.tolist() == stepwise_mask(trace, geom, "lru"), geom
+        differential_grid(replay_kernel("lru"), stepwise_oracle("lru"), geoms, trace)
 
     @given(trace=st.lists(st.integers(0, 40), max_size=300))
     @settings(max_examples=40, deadline=None)
     def test_direct_masks_match_stepwise(self, trace):
         geoms = _fa_geometries() + [
-            CacheGeometry(size=s * B, block=B, ways=1) for s in (1, 2, 4, 16)
+            CacheGeometry(size=s * B, block=B, ways=1, index_scheme=scheme)
+            for s in (1, 2, 4, 16)
+            for scheme in ("mod", "xor")
         ]
-        masks = replay_miss_masks(np.asarray(trace, dtype=np.int64), geoms, "direct")
-        for geom, mask in zip(geoms, masks):
-            assert mask.tolist() == stepwise_mask(trace, geom, "direct"), geom
+        differential_grid(
+            replay_kernel("direct"), stepwise_oracle("direct"), geoms, trace
+        )
 
     @given(trace=st.lists(st.integers(0, 40), max_size=300))
     @settings(max_examples=40, deadline=None)
     def test_opt_masks_match_stepwise(self, trace):
         geoms = _fa_geometries() + _sa_geometries()
-        masks = replay_miss_masks(np.asarray(trace, dtype=np.int64), geoms, "opt")
-        for geom, mask in zip(geoms, masks):
-            assert mask.tolist() == stepwise_mask(trace, geom, "opt"), geom
+        differential_grid(replay_kernel("opt"), stepwise_oracle("opt"), geoms, trace)
 
     def test_long_skewed_trace_all_policies(self):
         from repro.cache.hierarchy import TwoLevelGeometry
@@ -167,19 +202,36 @@ class TestReplayDifferential:
                 swept = [TwoLevelGeometry(l1, g) for g in geoms if g.size >= l1.size]
             else:
                 swept = geoms
-            masks = replay_miss_masks(trace, swept, policy)
-            for geom, mask in zip(swept, masks):
-                assert mask.tolist() == stepwise_mask(trace.tolist(), geom, policy), (
-                    policy,
-                    geom,
-                )
+            differential_grid(
+                replay_kernel(policy), stepwise_oracle(policy), swept, trace
+            )
+
+    def test_harness_reports_first_divergence(self):
+        # the harness's own contract: a lying kernel fails with a pinpointed
+        # access, not a bare list comparison
+        geom = CacheGeometry(size=2 * B, block=B)
+        trace = [0, 1, 0, 1]
+
+        def lying_kernel(blocks, grid):
+            masks = replay_miss_masks(blocks, grid, "lru")
+            masks[0] = masks[0].copy()
+            masks[0][2] = ~masks[0][2]
+            return masks
+
+        with pytest.raises(AssertionError, match=r"first divergence at access 2"):
+            differential_grid(lying_kernel, stepwise_oracle("lru"), [geom], trace)
+        # and an honest run reports how many points it covered
+        assert differential_grid(
+            replay_kernel("lru"), stepwise_oracle("lru"), [geom], trace
+        ) == 1
 
     def test_trace_shorter_than_cache(self):
         trace = [3, 1, 3]
+        geom = CacheGeometry(size=1024, block=B)  # 128 frames >> trace
         for policy in ("lru", "direct", "opt"):
-            geom = CacheGeometry(size=1024, block=B)  # 128 frames >> trace
-            (mask,) = replay_miss_masks(np.asarray(trace), [geom], policy)
-            assert mask.tolist() == stepwise_mask(trace, geom, policy)
+            differential_grid(
+                replay_kernel(policy), stepwise_oracle(policy), [geom], trace
+            )
 
     def test_empty_trace(self):
         empty = np.zeros(0, dtype=np.int64)
@@ -191,8 +243,9 @@ class TestReplayDifferential:
         trace = [0, 1, 0, 1, 0]
         geom = CacheGeometry(size=B, block=B)  # one frame total
         for policy in ("lru", "direct", "opt"):
-            (mask,) = replay_miss_masks(np.asarray(trace), [geom], policy)
-            assert mask.tolist() == stepwise_mask(trace, geom, policy)
+            differential_grid(
+                replay_kernel(policy), stepwise_oracle(policy), [geom], trace
+            )
 
 
 # ----------------------------------------------------------------------

@@ -1,10 +1,11 @@
 """Tests for the robustness sweep drivers (E12/E13) and the layout /
-hierarchy ablations (A6/A8)."""
+hierarchy ablations (A6/A8/A9)."""
 
 import pytest
 
 from repro.analysis.sweeps import (
     ablation_a8_inclusion,
+    ablation_a9_cross_geometry,
     experiment_e12_cache_models,
     experiment_e13_seed_distribution,
 )
@@ -66,6 +67,40 @@ class TestA6Layout:
         assert len(dm_counts) >= 2  # conflicts depend on placement
         for r in rows:
             assert r["direct_mapped_misses"] >= r["lru_misses"]
+
+
+class TestA9CrossGeometry:
+    """A9 acceptance: the multi-geometry-optimized layout is never worse
+    than the seed at *any* target geometry (no A7-style cross-geometry
+    regression)."""
+
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return ablation_a9_cross_geometry(inputs=128, budget=150, gap_budget=4)
+
+    def test_rows_and_shape(self, rows):
+        assert [r["placement"] for r in rows] == [
+            "seed (topo)", "swap@direct", "swap@multi", "xor-index",
+        ]
+        cols = [k for k in rows[0] if k.endswith("w")]
+        assert len(cols) == 3  # direct, 2way, 4way — sizes in the labels
+        for r in rows:
+            assert r["worst_vs_seed"] >= 0
+            assert r["gap_blocks"] >= 0
+
+    def test_multi_never_worse_at_every_target(self, rows):
+        by = {r["placement"]: r for r in rows}
+        cols = [k for k in rows[0] if k.endswith("w")]
+        for col in cols:
+            assert by["swap@multi"][col] <= by["seed (topo)"][col], col
+        assert by["swap@multi"]["worst_vs_seed"] <= 1.0
+
+    def test_multi_beats_seed_overall(self, rows):
+        by = {r["placement"]: r for r in rows}
+        cols = [k for k in rows[0] if k.endswith("w")]
+        total_seed = sum(by["seed (topo)"][c] for c in cols)
+        total_multi = sum(by["swap@multi"][c] for c in cols)
+        assert total_multi < total_seed
 
 
 class TestA8Inclusion:

@@ -10,6 +10,14 @@ fraction (default 30%).  With fewer than two history entries there is
 nothing to compare yet and the check passes (that is the "once history
 exists" contract: the first run of a fresh clone seeds the baseline).
 
+Before comparing, every record is validated against the explicit schema
+(:func:`validate_record`): ``history`` must be a list of dicts, each entry
+must carry a numeric non-decreasing ``ts``, and every tracked metric that
+is present must be numeric.  Older entries may legitimately *lack* newer
+metrics (``multi_gain`` and ``xor_gain`` post-date the placement record's
+first runs) — absence is fine, a wrong type or a time-travelling timestamp
+is a named error, never a traceback.
+
 Usage::
 
     python benchmarks/check_bench_trends.py                  # both defaults
@@ -37,6 +45,61 @@ METRICS_BY_FILE = {
 }
 DEFAULT_JSONS = [_ROOT / name for name in METRICS_BY_FILE]
 
+#: keys every history entry must carry; everything else is optional
+REQUIRED_ENTRY_KEYS = ("ts",)
+
+
+def _is_number(value: object) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def validate_record(record: object, name: str, metrics: tuple) -> list:
+    """Schema-check one benchmark record; return a list of named errors.
+
+    Every message names the offending key (and entry index), so a corrupt
+    record fails with ``history[3].ts: expected a number, got str`` instead
+    of a ``KeyError`` five frames deep in the comparison loop.
+    """
+    errors = []
+    if not isinstance(record, dict):
+        return [f"{name}: top level must be a JSON object, got {type(record).__name__}"]
+    history = record.get("history")
+    if history is None:
+        return [f"{name}: required key 'history' is missing"]
+    if not isinstance(history, list):
+        return [f"{name}: 'history' must be a list, got {type(history).__name__}"]
+    prev_ts = None
+    for i, entry in enumerate(history):
+        where = f"{name}: history[{i}]"
+        if not isinstance(entry, dict):
+            errors.append(f"{where}: must be an object, got {type(entry).__name__}")
+            continue
+        for key in REQUIRED_ENTRY_KEYS:
+            if key not in entry:
+                errors.append(f"{where}.{key}: required key is missing")
+            elif not _is_number(entry[key]):
+                errors.append(
+                    f"{where}.{key}: expected a number, "
+                    f"got {type(entry[key]).__name__}"
+                )
+        ts = entry.get("ts")
+        if _is_number(ts):
+            if prev_ts is not None and ts < prev_ts:
+                errors.append(
+                    f"{where}.ts: timestamps must be non-decreasing "
+                    f"({ts} after {prev_ts})"
+                )
+            prev_ts = ts
+        # tracked metrics are optional per entry (older records predate
+        # newer metrics) but must be numeric when present
+        for metric in metrics:
+            if metric in entry and not _is_number(entry[metric]):
+                errors.append(
+                    f"{where}.{metric}: expected a number, "
+                    f"got {type(entry[metric]).__name__}"
+                )
+    return errors
+
 
 def check(path: Path, tolerance: float) -> int:
     if not path.exists():
@@ -46,6 +109,12 @@ def check(path: Path, tolerance: float) -> int:
         record = json.loads(path.read_text())
     except json.JSONDecodeError as exc:
         print(f"trend check: cannot parse {path}: {exc}")
+        return 1
+    known_metrics = METRICS_BY_FILE.get(path.name, ())
+    schema_errors = validate_record(record, path.name, known_metrics)
+    if schema_errors:
+        for err in schema_errors:
+            print(f"trend check: schema error - {err}")
         return 1
     history = record.get("history", [])
     if len(history) < 2:

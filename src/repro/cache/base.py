@@ -16,6 +16,7 @@ from abc import ABC, abstractmethod
 from dataclasses import dataclass
 from typing import Optional
 
+from repro.cache.indexing import xor_fold_index
 from repro.cache.stats import CacheStats
 from repro.errors import CacheConfigError
 
@@ -24,28 +25,11 @@ __all__ = ["CacheGeometry", "CacheModel", "INDEX_SCHEMES", "xor_fold_index"]
 #: Set-index hash functions a geometry may carry.  ``"mod"`` is the classic
 #: ``block % sets`` (low address bits); ``"xor"`` folds every tag chunk into
 #: the index bits by XOR — the single-hash form of skewed set indexing that
-#: spreads power-of-two-strided conflicts across sets.
+#: spreads power-of-two-strided conflicts across sets.  The fold itself
+#: (scalar :func:`~repro.cache.indexing.xor_fold_index`, re-exported here)
+#: lives in :mod:`repro.cache.indexing`, the one module both the stepwise
+#: engines and the vectorized replay kernels read their fold constants from.
 INDEX_SCHEMES = ("mod", "xor")
-
-
-def xor_fold_index(block: int, sets: int) -> int:
-    """Set index of ``block`` under XOR folding over ``sets`` (power of two).
-
-    The index starts as the low ``log2(sets)`` bits; every higher chunk of
-    the same width is XORed in, so any two blocks differing only in tag bits
-    land in different sets more often than under ``mod``.  This is the
-    scalar reference the stepwise simulators use; the vectorized twin lives
-    in :mod:`repro.runtime.replay` and the differential suite pins the two
-    together.
-    """
-    if sets <= 1:
-        return 0
-    index = block & (sets - 1)
-    tag = block >> sets.bit_length() - 1
-    while tag:
-        index ^= tag & (sets - 1)
-        tag >>= sets.bit_length() - 1
-    return index
 
 
 @dataclass(frozen=True)

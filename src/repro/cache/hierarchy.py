@@ -166,7 +166,7 @@ class TwoLevelCache(CacheModel):
         return self.l2.resident_blocks()
 
 
-def _make_two_level(geometry) -> TwoLevelCache:
+def _make_two_level(geometry: object) -> TwoLevelCache:
     """Stepwise-engine factory for ``policy="two_level"``.
 
     The registry hands the caller's geometry straight through, so this is

@@ -1,0 +1,84 @@
+"""Shared XOR set-index fold: one source of truth for both engines.
+
+The skewed ("xor") set-indexing scheme hashes a block id to a conflict
+class by XOR-folding every tag chunk into the low index bits.  Two engines
+need that hash: the stepwise simulators
+(:meth:`repro.cache.base.CacheGeometry.set_of`) fold one scalar block id at
+a time, and the vectorized replay kernels
+(:func:`repro.runtime.replay.set_index_array`) fold a whole ``int64`` trace
+in a few numpy ops.  The *implementations* stay deliberately distinct —
+the differential grids in ``tests/test_properties_indexing.py`` pin two
+genuinely different codepaths against each other — but the fold
+*parameters* (chunk shift and index mask, :func:`fold_parameters`) live
+here, once, so the twins cannot drift apart in what they fold over.
+Lint rule R5 (``docs/STATIC_ANALYSIS.md``) statically enforces that both
+consumers import their fold from this module and define no private copy.
+
+Example (both engines, same classes)::
+
+    >>> from repro.cache.indexing import xor_fold_index, xor_fold_index_array
+    >>> import numpy as np
+    >>> [xor_fold_index(b, 4) for b in (0, 5, 21)]
+    [0, 0, 1]
+    >>> xor_fold_index_array(np.array([0, 5, 21]), 4).tolist()
+    [0, 0, 1]
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+__all__ = ["fold_parameters", "xor_fold_index", "xor_fold_index_array"]
+
+
+def fold_parameters(sets: int) -> Tuple[int, int]:
+    """``(shift, mask)`` of the XOR fold over ``sets`` conflict classes.
+
+    ``shift`` is the chunk width ``log2(sets)`` (how far the tag moves down
+    per fold step) and ``mask`` keeps the low index bits.  ``sets`` must be
+    a power of two — geometry validation upstream guarantees it for every
+    caller.  Both the scalar and the vectorized fold read their constants
+    from here; nothing else in the tree may recompute them.
+    """
+    return sets.bit_length() - 1, sets - 1
+
+
+def xor_fold_index(block: int, sets: int) -> int:
+    """Set index of ``block`` under XOR folding over ``sets`` (power of two).
+
+    The index starts as the low ``log2(sets)`` bits; every higher chunk of
+    the same width is XORed in, so any two blocks differing only in tag bits
+    land in different sets more often than under ``mod``.  This is the
+    scalar reference the stepwise simulators use; the vectorized twin is
+    :func:`xor_fold_index_array` and the differential suite pins the two
+    together.
+    """
+    if sets <= 1:
+        return 0
+    shift, mask = fold_parameters(sets)
+    index = block & mask
+    tag = block >> shift
+    while tag:
+        index ^= tag & mask
+        tag >>= shift
+    return index
+
+
+def xor_fold_index_array(blocks: np.ndarray, sets: int) -> np.ndarray:
+    """Vectorized twin of :func:`xor_fold_index` over an int64 block array.
+
+    Same fold, same :func:`fold_parameters`, but whole-array numpy ops —
+    the loop runs ``max_tag_bits / log2(sets)`` times, not once per access.
+    ``sets <= 1`` returns the all-zero class array.
+    """
+    if sets <= 1:
+        return np.zeros(blocks.shape[0], dtype=np.int64)
+    shift, mask = fold_parameters(sets)
+    idx = blocks & mask
+    tag = blocks >> shift
+    while bool(tag.any()):
+        idx = idx ^ (tag & mask)
+        tag = tag >> shift
+    return idx

@@ -1,0 +1,10 @@
+"""Entry point so ``python -m repro.lint`` runs the analyzer (see
+:mod:`repro.lint.cli` for flags and exit codes)."""
+
+from __future__ import annotations
+
+import sys
+
+from repro.lint.cli import main
+
+sys.exit(main())

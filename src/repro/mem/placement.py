@@ -64,7 +64,7 @@ experiments A7/A9, CLI ``schedule --layout {topo,color,swap}
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -73,6 +73,10 @@ from repro.errors import LayoutError
 from repro.graphs.sdf import StreamGraph
 from repro.mem.layout import ObjectKey, layout_objects
 from repro.runtime.executor import EXT_OUT_SPAN
+
+if TYPE_CHECKING:  # import cycle: the runtime layer sits above repro.mem
+    from repro.runtime.compiled import CompiledTrace
+    from repro.runtime.schedule import Schedule
 
 __all__ = [
     "PlacementInstance",
@@ -131,7 +135,7 @@ class PlacementInstance:
 
 def build_instance(
     graph: StreamGraph,
-    schedule,
+    schedule: "Schedule",
     block: int,
     capacities: Optional[Dict[int, int]] = None,
     order: Optional[Iterable[str]] = None,
@@ -291,7 +295,7 @@ def remap_trace(
     instance: PlacementInstance,
     order: Sequence[ObjectKey],
     gaps: Optional[Dict[ObjectKey, int]] = None,
-):
+) -> "CompiledTrace":
     """A full :class:`~repro.runtime.compiled.CompiledTrace` under ``(order,
     gaps)`` (same phases/firings metadata; only addresses move), ready for
     :func:`~repro.runtime.compiled.simulate_trace`."""
@@ -650,13 +654,17 @@ def available_placements() -> Tuple[str, ...]:
     return tuple(sorted(_STRATEGIES))
 
 
-def _topo_strategy(instance, geometry, policy="direct", window=8, budget=400,
-                   targets=None, gap_budget=0):
+def _topo_strategy(instance: PlacementInstance, geometry: CacheGeometry,
+                   policy: str = "direct", window: int = 8, budget: int = 400,
+                   targets: Optional[Sequence[PlacementTarget]] = None,
+                   gap_budget: int = 0) -> Tuple[List[ObjectKey], Dict[ObjectKey, int]]:
     return list(instance.objects), {}
 
 
-def _color_strategy(instance, geometry, policy="direct", window=8, budget=400,
-                    targets=None, gap_budget=0):
+def _color_strategy(instance: PlacementInstance, geometry: CacheGeometry,
+                    policy: str = "direct", window: int = 8, budget: int = 400,
+                    targets: Optional[Sequence[PlacementTarget]] = None,
+                    gap_budget: int = 0) -> Tuple[List[ObjectKey], Dict[ObjectKey, int]]:
     if targets:
         geometry, policy, _w = _primary_target(
             normalize_targets(targets, block=instance.block)
@@ -664,8 +672,10 @@ def _color_strategy(instance, geometry, policy="direct", window=8, budget=400,
     return greedy_color_order(instance, geometry, policy=policy, window=window), {}
 
 
-def _swap_strategy(instance, geometry, policy="direct", window=8, budget=400,
-                   targets=None, gap_budget=0):
+def _swap_strategy(instance: PlacementInstance, geometry: CacheGeometry,
+                   policy: str = "direct", window: int = 8, budget: int = 400,
+                   targets: Optional[Sequence[PlacementTarget]] = None,
+                   gap_budget: int = 0) -> Tuple[List[ObjectKey], Dict[ObjectKey, int]]:
     if targets:
         targets_n = normalize_targets(targets, block=instance.block)
     else:
@@ -779,7 +789,7 @@ def optimize_instance(
 
 def optimize_placement(
     graph: StreamGraph,
-    schedule,
+    schedule: "Schedule",
     geometry: Optional[CacheGeometry] = None,
     strategy: str = "swap",
     policy: str = "direct",

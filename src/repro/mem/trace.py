@@ -15,11 +15,14 @@ and reuse the same vectorized single-pass geometry sweep.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import TYPE_CHECKING, List, Optional
 
 import numpy as np
 
 from repro.cache.base import CacheGeometry, CacheModel
+
+if TYPE_CHECKING:  # import cycle: compiled.py is downstream of mem
+    from repro.runtime.compiled import CompiledTrace
 
 __all__ = ["TraceRecorder", "TracingCache"]
 
@@ -41,7 +44,7 @@ class TraceRecorder:
         """The recorded trace as an int64 array (for the vectorized kernels)."""
         return np.asarray(self.blocks, dtype=np.int64)
 
-    def to_compiled(self, block: int, label: str = "recorded"):
+    def to_compiled(self, block: int, label: str = "recorded") -> "CompiledTrace":
         """Wrap the recording as a :class:`repro.runtime.compiled.CompiledTrace`
         so :func:`repro.runtime.compiled.simulate_trace` can answer every
         LRU geometry of this block size in one pass.  Phase attribution and

@@ -35,6 +35,13 @@ every cache size in a single Mattson stack-distance pass
 * :func:`measure_compiled` is the drop-in replacement for
   ``Executor.measure`` on any replay-capable policy.
 
+Array dtype contract (statically enforced by lint rule R4, see
+``docs/STATIC_ANALYSIS.md``): block-id arrays are ``int64`` (the replay
+kernels' input type), per-access phase codes are ``uint8`` (three codes),
+and any per-access flag masks are ``bool``.  Every array constructor in
+this module passes its dtype explicitly so a refactor cannot silently
+change what the kernels replay.
+
 Which path is vectorized, which is reference: the compiled replay above is
 the production path for every geometry sweep — every registered policy has
 a replay kernel; the stepwise engines — the
@@ -52,13 +59,14 @@ to sweep — is drawn end to end in ``docs/ARCHITECTURE.md``.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.cache.base import CacheGeometry
 from repro.errors import CacheConfigError
-from repro.graphs.sdf import StreamGraph
+from repro.graphs.sdf import Channel, StreamGraph
+from repro.mem.layout import ObjectKey
 from repro.runtime.buffers import ChannelBuffer
 from repro.runtime.executor import (
     ExecutionResult,
@@ -68,6 +76,7 @@ from repro.runtime.executor import (
     sink_stream_words,
     source_stream_words,
 )
+from repro.runtime.schedule import Schedule
 
 __all__ = [
     "CompiledTrace",
@@ -127,7 +136,7 @@ class _ChannelPlan:
 
     __slots__ = ("buf", "src", "dst", "in_rate", "out_rate", "_block", "_cache")
 
-    def __init__(self, ch, buf: ChannelBuffer, block: int) -> None:
+    def __init__(self, ch: Channel, buf: ChannelBuffer, block: int) -> None:
         self.buf = buf
         self.src = ch.src
         self.dst = ch.dst
@@ -136,7 +145,7 @@ class _ChannelPlan:
         self._block = block
         self._cache: Dict[tuple, np.ndarray] = {}
 
-    def _blocks(self, ranges) -> np.ndarray:
+    def _blocks(self, ranges: Iterable[Tuple[int, int]]) -> np.ndarray:
         key = tuple(ranges)
         arr = self._cache.get(key)
         if arr is None:
@@ -186,8 +195,8 @@ class TraceCompiler:
         capacities: Optional[Dict[int, int]] = None,
         layout_order: Optional[Iterable[str]] = None,
         count_external: bool = True,
-        placement=None,
-        gaps=None,
+        placement: Optional[Sequence[ObjectKey]] = None,
+        gaps: Optional[Dict[ObjectKey, int]] = None,
     ) -> None:
         self.graph = graph
         self.block = block
@@ -226,7 +235,7 @@ class TraceCompiler:
             self._plans[mod.name] = plan
         self._buffers = buffers
 
-    def compile(self, schedule) -> CompiledTrace:
+    def compile(self, schedule: Schedule) -> CompiledTrace:
         """Compile every firing of ``schedule`` (flat or looped) to a trace.
 
         Validates feasibility exactly like ``Executor.fire`` and raises
@@ -322,13 +331,13 @@ class TraceCompiler:
 
 def compile_trace(
     graph: StreamGraph,
-    schedule,
+    schedule: Schedule,
     block: int,
     capacities: Optional[Dict[int, int]] = None,
     layout_order: Optional[Iterable[str]] = None,
     count_external: bool = True,
-    placement=None,
-    gaps=None,
+    placement: Optional[Sequence[ObjectKey]] = None,
+    gaps: Optional[Dict[ObjectKey, int]] = None,
 ) -> CompiledTrace:
     """One-shot convenience: compile ``schedule`` against a fresh layout.
 
@@ -412,13 +421,13 @@ def simulate_trace(
 def measure_compiled(
     graph: StreamGraph,
     geometry: CacheGeometry,
-    schedule,
+    schedule: Schedule,
     layout_order: Optional[Iterable[str]] = None,
     count_external: bool = True,
     policy: str = "lru",
     workers: Optional[int] = None,
-    placement=None,
-    gaps=None,
+    placement: Optional[Sequence[ObjectKey]] = None,
+    gaps: Optional[Dict[ObjectKey, int]] = None,
 ) -> ExecutionResult:
     """Drop-in for ``Executor.measure``, via compilation.
 

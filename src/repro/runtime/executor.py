@@ -28,14 +28,14 @@ experiments can decompose cost the way Lemma 4 and Lemma 8 do.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.cache.base import CacheGeometry, CacheModel
 from repro.cache.lru import LRUCache
 from repro.errors import ScheduleError
 from repro.graphs.minbuf import min_buffers
 from repro.graphs.sdf import StreamGraph
-from repro.mem.layout import MemoryLayout
+from repro.mem.layout import MemoryLayout, ObjectKey
 from repro.runtime.buffers import ChannelBuffer
 from repro.runtime.schedule import Schedule
 
@@ -82,9 +82,9 @@ def build_memory_plan(
     block: int,
     capacities: Optional[Dict[int, int]] = None,
     layout_order: Optional[Iterable[str]] = None,
-    placement=None,
-    gaps=None,
-):
+    placement: Optional[Sequence[ObjectKey]] = None,
+    gaps: Optional[Dict[ObjectKey, int]] = None,
+) -> Tuple[Dict[int, int], MemoryLayout, int, int]:
     """Shared Executor / TraceCompiler memory setup.
 
     Returns ``(caps, layout, ext_in_base, ext_out_base)``: the minBuf-overlaid
@@ -211,8 +211,8 @@ class Executor:
         cache: Optional[CacheModel] = None,
         layout_order: Optional[Iterable[str]] = None,
         count_external: bool = True,
-        placement=None,
-        gaps=None,
+        placement: Optional[Sequence[ObjectKey]] = None,
+        gaps: Optional[Dict[ObjectKey, int]] = None,
     ) -> None:
         self.graph = graph
         self.geometry = geometry
@@ -295,7 +295,7 @@ class Executor:
         if name in self._sink_set:
             self._sink_fires += 1
 
-    def run(self, schedule) -> ExecutionResult:
+    def run(self, schedule: Schedule) -> ExecutionResult:
         """Execute every firing of ``schedule`` and return the accounting.
 
         Accepts a flat :class:`Schedule` or a
@@ -333,8 +333,8 @@ class Executor:
         layout_order: Optional[Iterable[str]] = None,
         count_external: bool = True,
         cache: Optional[CacheModel] = None,
-        placement=None,
-        gaps=None,
+        placement: Optional[Sequence[ObjectKey]] = None,
+        gaps: Optional[Dict[ObjectKey, int]] = None,
     ) -> ExecutionResult:
         """One-shot convenience: build an executor with the schedule's own
         capacities, run it, return the result."""

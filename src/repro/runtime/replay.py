@@ -52,6 +52,12 @@ xor-indexed organizations still computes each pass once.  Because a block's
 class is a pure function of its id under either scheme, the set-grouped
 reordering argument (and therefore every kernel) carries over unchanged.
 
+Array dtype contract (statically enforced by lint rule R4, see
+``docs/STATIC_ANALYSIS.md``): block ids and stack distances are ``int64``,
+per-access miss masks are ``bool``, and grouping keys may narrow to
+``int16`` for the radix-sort fast path — nothing else, and always with an
+explicit ``dtype=``.
+
 The kernels see nothing but a flat ``int64`` block array: traces compiled
 by :mod:`repro.runtime.compiled` under any ``placement=`` object order
 (:mod:`repro.mem.placement`) — including block-remapped candidate layouts
@@ -68,12 +74,13 @@ algorithms, their complexity, and the oracle contract.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, List, Optional, Sequence
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.cache.base import CacheGeometry
 from repro.cache.hierarchy import TwoLevelGeometry
+from repro.cache.indexing import xor_fold_index_array
 from repro.cache.opt import next_occurrences
 from repro.cache.policy import get_policy
 from repro.errors import CacheConfigError
@@ -101,8 +108,11 @@ def set_index_array(
     ``"mod"`` is ``blocks % sets``; ``"xor"`` XOR-folds every tag chunk
     into the low index bits (``sets`` must be a power of two — geometry
     validation guarantees it).  This is the vectorized twin of
-    :meth:`repro.cache.base.CacheGeometry.set_of`, implemented
-    independently so the differential suite actually tests two codepaths.
+    :meth:`repro.cache.base.CacheGeometry.set_of`: a distinct codepath the
+    differential suite diffs against the scalar fold, but both read their
+    fold constants from :mod:`repro.cache.indexing`
+    (:func:`~repro.cache.indexing.xor_fold_index_array`) so the twins
+    cannot drift in what they fold over.
     """
     if sets <= 1:
         return np.zeros(blocks.shape[0], dtype=np.int64)
@@ -110,14 +120,7 @@ def set_index_array(
         return blocks % sets
     if scheme != "xor":  # pragma: no cover - geometry validation upstream
         raise CacheConfigError(f"unknown index scheme {scheme!r}")
-    k = sets.bit_length() - 1
-    mask = sets - 1
-    idx = blocks & mask
-    tag = blocks >> k
-    while bool(tag.any()):
-        idx = idx ^ (tag & mask)
-        tag = tag >> k
-    return idx
+    return xor_fold_index_array(blocks, sets)
 
 
 def _scheme_of(geom: CacheGeometry, classes: int) -> str:
@@ -426,7 +429,7 @@ def _two_level_kernel(
         groups.setdefault(tg.l1, []).append(i)
     l1_shared: Dict = {}  # L1 passes shared even across distinct L1 geometries
 
-    def run_group(item) -> List:
+    def run_group(item: Tuple[CacheGeometry, List[int]]) -> List:
         l1, idxs = item
         l1_mask = _lru_level_mask(blocks, l1, l1_shared)
         pos = np.flatnonzero(l1_mask)

@@ -27,7 +27,7 @@ same pretty-printed first divergence for free.
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, List, Sequence
+from typing import Callable, Iterable, List, Optional, Sequence
 
 import numpy as np
 
@@ -45,7 +45,7 @@ Kernel = Callable[[np.ndarray, Sequence], Sequence[Sequence[bool]]]
 Oracle = Callable[[np.ndarray, object], Sequence[bool]]
 
 
-def replay_kernel(policy: str, workers=None) -> Kernel:
+def replay_kernel(policy: str, workers: Optional[int] = None) -> Kernel:
     """The vectorized replay engine of ``policy`` as a harness kernel."""
     from repro.runtime.replay import replay_miss_masks
 
@@ -59,21 +59,21 @@ def stepwise_oracle(policy: str) -> Oracle:
     """The stepwise engine of ``policy`` as a harness oracle."""
     from repro.cache.policy import stepwise_trace_misses
 
-    def oracle(blocks: np.ndarray, point) -> List[bool]:
+    def oracle(blocks: np.ndarray, point: object) -> List[bool]:
         trace = blocks.tolist() if hasattr(blocks, "tolist") else list(blocks)
         return [bool(m) for m in stepwise_trace_misses(trace, point, policy)]
 
     return oracle
 
 
-def _describe_point(point) -> str:
+def _describe_point(point: object) -> str:
     describe = getattr(point, "describe", None)
     return describe() if callable(describe) else repr(point)
 
 
 def format_divergence(
     blocks: np.ndarray,
-    point,
+    point: object,
     kernel_mask: Sequence[bool],
     oracle_mask: Sequence[bool],
     index: int,
@@ -105,7 +105,7 @@ def differential_grid(
     kernel: Kernel,
     oracle: Oracle,
     grids: Iterable,
-    workload,
+    workload: Sequence[int],
     context: int = 8,
 ) -> int:
     """Assert per-access agreement of ``kernel`` and ``oracle`` over a grid.

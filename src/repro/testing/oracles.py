@@ -25,6 +25,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.graphs.repetition import compute_gains
 from repro.graphs.sdf import StreamGraph
+from repro.runtime.schedule import Schedule
 
 __all__ = [
     "NaiveLRU",
@@ -148,12 +149,12 @@ def bruteforce_pipeline_partition(
 
 def assert_trace_equivalent(
     graph: StreamGraph,
-    schedule,
+    schedule: Schedule,
     block: int,
     sizes: Iterable[int],
     layout_order: Optional[Iterable[str]] = None,
     count_external: bool = True,
-):
+) -> None:
     """Differential oracle for the compiled-trace engine.
 
     Runs the schedule twice per call: once through the stepwise

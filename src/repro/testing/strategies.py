@@ -14,11 +14,14 @@ address-space gap budget — the exact search space
 
 from __future__ import annotations
 
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
 from hypothesis import strategies as st
 
 from repro.cache.base import CacheGeometry
 from repro.graphs.sdf import StreamGraph
 from repro.graphs.topologies import pipeline
+from repro.mem.layout import ObjectKey
 
 __all__ = [
     "rate_matched_pipelines",
@@ -31,7 +34,10 @@ _rates = st.tuples(st.integers(1, 5), st.integers(1, 5))
 
 
 @st.composite
-def rate_matched_pipelines(draw, max_n: int = 10, max_state: int = 30, with_delays: bool = False):
+def rate_matched_pipelines(
+    draw: st.DrawFn, max_n: int = 10, max_state: int = 30,
+    with_delays: bool = False,
+) -> StreamGraph:
     """Random pipelines: arbitrary states, arbitrary per-edge rates (always
     rate matched on a chain), optionally with small SDF delays."""
     n = draw(st.integers(2, max_n))
@@ -51,13 +57,13 @@ def rate_matched_pipelines(draw, max_n: int = 10, max_state: int = 30, with_dela
 
 @st.composite
 def geometry_strategy(
-    draw,
+    draw: st.DrawFn,
     block: int = 8,
     max_ways: int = 8,
     max_sets: int = 32,
-    schemes=("mod", "xor"),
+    schemes: Sequence[str] = ("mod", "xor"),
     allow_fully_associative: bool = True,
-):
+) -> CacheGeometry:
     """Random *valid* cache organizations: ``ways`` from 1 up to
     ``max_ways``, a power-of-two set count up to ``max_sets`` (what
     geometry validation demands), either index scheme, and — when allowed —
@@ -77,7 +83,10 @@ def geometry_strategy(
 
 
 @st.composite
-def placement_strategy(draw, objects, max_gap: int = 3, gap_budget=None):
+def placement_strategy(
+    draw: st.DrawFn, objects: Iterable[ObjectKey], max_gap: int = 3,
+    gap_budget: Optional[int] = None,
+) -> Tuple[List[ObjectKey], Dict[ObjectKey, int]]:
     """Random placement candidates over ``objects``: a permutation plus a
     per-object gap map (blocks of deliberate padding, each at most
     ``max_gap``), truncated so the total never exceeds ``gap_budget`` when
@@ -91,7 +100,7 @@ def placement_strategy(draw, objects, max_gap: int = 3, gap_budget=None):
             st.integers(0, max_gap), min_size=len(objects), max_size=len(objects)
         )
     )
-    gaps = {}
+    gaps: Dict[ObjectKey, int] = {}
     spent = 0
     for key, gap in zip(order, gap_list):
         if gap_budget is not None:
@@ -103,7 +112,10 @@ def placement_strategy(draw, objects, max_gap: int = 3, gap_budget=None):
 
 
 @st.composite
-def small_dags(draw, max_layers: int = 4, max_width: int = 3, max_state: int = 20):
+def small_dags(
+    draw: st.DrawFn, max_layers: int = 4, max_width: int = 3,
+    max_state: int = 20,
+) -> StreamGraph:
     """Random homogeneous layered dags, small enough for exact partition
     search: a single source/sink, every layer fully reachable."""
     layers = draw(st.integers(1, max_layers))

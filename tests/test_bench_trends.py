@@ -1,0 +1,144 @@
+"""Schema validation + regression detection of ``check_bench_trends``.
+
+The trend checker is a CI gate: a corrupt ``BENCH_*.json`` must fail with
+an error naming the offending key and entry, never an uncaught
+``KeyError``/``TypeError`` — and legitimately sparse history (older runs
+predating newer metrics) must stay green.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+_SPEC = importlib.util.spec_from_file_location(
+    "check_bench_trends",
+    Path(__file__).resolve().parent.parent / "benchmarks" / "check_bench_trends.py",
+)
+cbt = importlib.util.module_from_spec(_SPEC)
+_SPEC.loader.exec_module(cbt)
+
+PLACEMENT_METRICS = cbt.METRICS_BY_FILE["BENCH_placement.json"]
+
+
+def _record(*entries):
+    return {"history": list(entries)}
+
+
+def _errors(record, metrics=PLACEMENT_METRICS):
+    return cbt.validate_record(record, "BENCH_placement.json", metrics)
+
+
+class TestValidateRecord:
+    def test_well_formed_record_passes(self):
+        rec = _record(
+            {"ts": 1.0, "score": 20.0, "swap_gain": 5.0},
+            {"ts": 2.0, "score": 21.0, "swap_gain": 6.0, "xor_gain": 1.2},
+        )
+        assert _errors(rec) == []
+
+    def test_older_entries_may_lack_newer_metrics(self):
+        # multi_gain/xor_gain post-date the record's first runs
+        rec = _record({"ts": 1, "score": 20.0}, {"ts": 2, "score": 21.0,
+                                                 "multi_gain": 6.4, "xor_gain": 1.1})
+        assert _errors(rec) == []
+
+    def test_non_dict_top_level_named(self):
+        (err,) = _errors([1, 2, 3])
+        assert "top level must be a JSON object" in err and "list" in err
+
+    def test_missing_history_named(self):
+        (err,) = _errors({"machine": "ci"})
+        assert "'history' is missing" in err
+
+    def test_non_list_history_named(self):
+        (err,) = _errors({"history": {"ts": 1}})
+        assert "'history' must be a list" in err and "dict" in err
+
+    def test_non_dict_entry_names_index(self):
+        (err,) = _errors(_record({"ts": 1}, "oops"))
+        assert "history[1]" in err and "str" in err
+
+    def test_missing_ts_names_entry_and_key(self):
+        (err,) = _errors(_record({"ts": 1}, {"score": 2.0}))
+        assert "history[1].ts" in err and "missing" in err
+
+    def test_non_numeric_ts_named(self):
+        (err,) = _errors(_record({"ts": "2026-08-08"}))
+        assert "history[0].ts" in err and "expected a number, got str" in err
+
+    def test_bool_is_not_a_number(self):
+        (err,) = _errors(_record({"ts": True}))
+        assert "history[0].ts" in err and "bool" in err
+
+    def test_decreasing_timestamps_named(self):
+        (err,) = _errors(_record({"ts": 5}, {"ts": 3}))
+        assert "history[1].ts" in err and "non-decreasing" in err
+        assert "3" in err and "5" in err
+
+    def test_equal_timestamps_allowed(self):
+        assert _errors(_record({"ts": 5}, {"ts": 5})) == []
+
+    def test_non_numeric_metric_named(self):
+        (err,) = _errors(_record({"ts": 1, "score": "fast"}))
+        assert "history[0].score" in err and "got str" in err
+
+    def test_multiple_errors_all_collected(self):
+        errs = _errors(_record({"score": "x"}, {"ts": "y"}))
+        assert len(errs) == 3  # missing ts, bad score, bad ts
+        assert all("history[" in e for e in errs)
+
+
+class TestCheckIntegration:
+    def _write(self, tmp_path, payload, name="BENCH_placement.json"):
+        p = tmp_path / name
+        p.write_text(json.dumps(payload))
+        return p
+
+    def test_corrupt_record_fails_with_named_key(self, tmp_path, capsys):
+        p = self._write(tmp_path, _record({"ts": 1, "score": 10.0},
+                                          {"ts": 2, "score": None}))
+        assert cbt.check(p, tolerance=0.3) == 1
+        out = capsys.readouterr().out
+        assert "schema error" in out and "history[1].score" in out
+
+    def test_time_travel_fails_before_comparison(self, tmp_path, capsys):
+        p = self._write(tmp_path, _record({"ts": 9, "score": 10.0},
+                                          {"ts": 1, "score": 10.0}))
+        assert cbt.check(p, tolerance=0.3) == 1
+        assert "non-decreasing" in capsys.readouterr().out
+
+    def test_valid_record_still_detects_regression(self, tmp_path, capsys):
+        p = self._write(tmp_path, _record({"ts": 1, "score": 10.0},
+                                          {"ts": 2, "score": 2.0}))
+        assert cbt.check(p, tolerance=0.3) == 1
+        assert "REGRESSED" in capsys.readouterr().out
+
+    def test_valid_record_within_tolerance_passes(self, tmp_path, capsys):
+        p = self._write(tmp_path, _record({"ts": 1, "score": 10.0},
+                                          {"ts": 2, "score": 9.0}))
+        assert cbt.check(p, tolerance=0.3) == 0
+        assert "ok" in capsys.readouterr().out
+
+    def test_single_entry_seeds_baseline(self, tmp_path, capsys):
+        p = self._write(tmp_path, _record({"ts": 1, "score": 10.0}))
+        assert cbt.check(p, tolerance=0.3) == 0
+        assert "need two runs" in capsys.readouterr().out
+
+    def test_unknown_record_gets_generic_numeric_tracking(self, tmp_path):
+        p = self._write(tmp_path, _record({"ts": 1, "foo": 10.0},
+                                          {"ts": 2, "foo": 1.0}),
+                        name="BENCH_custom.json")
+        assert cbt.check(p, tolerance=0.3) == 1
+
+    def test_live_records_validate(self):
+        root = Path(__file__).resolve().parent.parent
+        for name, metrics in cbt.METRICS_BY_FILE.items():
+            path = root / name
+            if not path.exists():
+                continue
+            record = json.loads(path.read_text())
+            assert cbt.validate_record(record, name, metrics) == []

@@ -23,6 +23,29 @@ def test_docs_links_and_snippets():
 
 def test_required_doc_pages_exist_and_are_linked():
     readme = (ROOT / "README.md").read_text(encoding="utf-8")
-    for page in ("docs/ARCHITECTURE.md", "docs/REPLAY.md"):
+    for page in ("docs/ARCHITECTURE.md", "docs/REPLAY.md",
+                 "docs/STATIC_ANALYSIS.md"):
         assert (ROOT / page).exists(), page
         assert page in readme, f"README does not link {page}"
+
+
+def test_module_docstring_doctests():
+    """The docstring examples of the lint package and the shared fold
+    module are runnable, not decorative."""
+    import doctest
+
+    import repro.cache.indexing
+    import repro.lint
+
+    for mod in (repro.lint, repro.cache.indexing):
+        result = doctest.testmod(mod, optionflags=doctest.ELLIPSIS)
+        assert result.attempted > 0, f"{mod.__name__}: no doctests found"
+        assert result.failed == 0, f"{mod.__name__}: {result.failed} failed"
+
+
+def test_static_analysis_doc_has_runnable_lint_invocation():
+    # check_docs executes docs/*.md fences; this pins that the static-
+    # analysis page keeps a live run_lint() example among them
+    doc = (ROOT / "docs" / "STATIC_ANALYSIS.md").read_text(encoding="utf-8")
+    assert ">>> report = run_lint()" in doc
+    assert "```python\n" in doc

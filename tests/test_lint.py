@@ -1,0 +1,470 @@
+"""repro.lint: the analyzer is clean on the live tree, and every rule both
+passes and fires on synthetic violations (exact file:line anchors).
+
+The synthetic projects use the ``Project(files={...})`` overlay: the rules
+see *only* the given relative-path -> source mapping, so each test builds
+the smallest tree that violates (or satisfies) exactly one invariant.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.lint import Project, all_rules, main, run_lint
+from repro.lint.rules import BENCH_EXEMPT, DTYPE_CONTRACTS
+
+
+def _violations(files, rules):
+    return run_lint(Project(files=files), rules=rules).violations
+
+
+def _messages(files, rules):
+    return [str(v) for v in _violations(files, rules)]
+
+
+class TestLiveTree:
+    """The shipped tree satisfies every invariant the linter enforces."""
+
+    def test_all_rules_clean(self):
+        report = run_lint()
+        assert report.rules_run == tuple(r.id for r in all_rules())
+        assert report.violations == [], report.format()
+
+    def test_all_five_rule_families_registered(self):
+        assert [r.id for r in all_rules()] == ["R1", "R2", "R3", "R4", "R5"]
+
+    def test_bench_exemptions_all_carry_reasons(self):
+        for exp_id, reason in BENCH_EXEMPT.items():
+            assert "bench" in reason, (exp_id, reason)
+
+
+# ---------------------------------------------------------------------------
+# R1 — registry completeness
+# ---------------------------------------------------------------------------
+_R1_REGISTRATION = (
+    'register_policy(ReplacementPolicy(name="zap", description="d"))\n'
+)
+
+
+class TestR1RegistryCompleteness:
+    def _files(self, **overrides):
+        files = {
+            "src/repro/cache/zap.py": _R1_REGISTRATION,
+            "src/repro/runtime/replay.py": (
+                'register_replay_kernel("zap", _zap_kernel)\n'
+            ),
+            "src/repro/cli.py": 'POLICY_CHOICES = ("zap",)\n',
+            "docs/REPLAY.md": "# replay\n### `zap` — the zap policy\n",
+            "README.md": "",
+            "tests/test_zap.py": (
+                "from repro.testing.harness import differential_grid, "
+                "replay_kernel, stepwise_oracle\n"
+                'differential_grid(replay_kernel("zap"), '
+                'stepwise_oracle("zap"), [], [])\n'
+            ),
+        }
+        files.update(overrides)
+        return files
+
+    def test_complete_policy_passes(self):
+        assert _violations(self._files(), ["R1"]) == []
+
+    def test_missing_kernel_reported_with_file_line(self):
+        files = self._files(**{"src/repro/runtime/replay.py": ""})
+        (v,) = _violations(files, ["R1"])
+        assert v.rule == "R1"
+        assert v.path == "src/repro/cache/zap.py" and v.line == 1
+        assert "register_replay_kernel" in v.message and "'zap'" in v.message
+        assert str(v).startswith("src/repro/cache/zap.py:1: R1:")
+
+    def test_missing_differential_test_reported(self):
+        files = self._files(**{"tests/test_zap.py": "import os\n"})
+        (v,) = _violations(files, ["R1"])
+        assert "differential test" in v.message
+
+    def test_test_without_differential_grid_does_not_count(self):
+        # naming the policy in a test that never uses the harness is not a pin
+        files = self._files(
+            **{"tests/test_zap.py": 'x = replay_kernel("zap")\n'}
+        )
+        (v,) = _violations(files, ["R1"])
+        assert "differential test" in v.message
+
+    def test_missing_docs_heading_reported(self):
+        files = self._files(**{"docs/REPLAY.md": "# replay\nzap in prose only\n"})
+        (v,) = _violations(files, ["R1"])
+        assert "docs/REPLAY.md heading" in v.message
+
+    def test_missing_cli_surface_reported(self):
+        files = self._files(**{"src/repro/cli.py": "pass\n"})
+        (v,) = _violations(files, ["R1"])
+        assert "CLI" in v.message
+
+    def test_missing_required_file_is_itself_a_violation(self):
+        files = self._files()
+        del files["docs/REPLAY.md"]
+        msgs = _messages(files, ["R1"])
+        assert any("docs/REPLAY.md is missing" in m for m in msgs)
+
+    def test_incomplete_policy_counts_every_gap(self):
+        files = {
+            "src/repro/cache/zap.py": _R1_REGISTRATION,
+            "src/repro/runtime/replay.py": "",
+            "src/repro/cli.py": "",
+            "docs/REPLAY.md": "# replay\n",
+            "README.md": "",
+        }
+        vs = _violations(files, ["R1"])
+        assert len(vs) == 4  # kernel, test, docs heading, CLI
+        assert all(v.path == "src/repro/cache/zap.py" for v in vs)
+
+
+# ---------------------------------------------------------------------------
+# R2 — experiment completeness
+# ---------------------------------------------------------------------------
+_R2_CLI = (
+    "def cmd_experiment(args):\n"
+    "    prefix = {\n"
+    '        **{f"e{i}": f"experiment_e{i}_" for i in range(1, 2)},\n'
+    '        **{f"a{i}": f"ablation_a{i}_" for i in range(1, 2)},\n'
+    "    }.get(key)\n"
+)
+
+
+class TestR2ExperimentCompleteness:
+    def _files(self, **overrides):
+        files = {
+            "src/repro/analysis/experiments.py": (
+                "def experiment_e1_demo():\n    return []\n"
+            ),
+            "src/repro/cli.py": _R2_CLI,
+            "README.md": "| E1 | demo | `experiment_e1_demo` |\n",
+            "benchmarks/bench_e1_demo.py": (
+                "from repro.analysis.experiments import experiment_e1_demo\n"
+            ),
+        }
+        files.update(overrides)
+        return files
+
+    def test_complete_experiment_passes(self):
+        assert _violations(self._files(), ["R2"]) == []
+
+    def test_missing_cli_dispatch_reported(self):
+        files = self._files(
+            **{
+                "src/repro/analysis/experiments.py": (
+                    "def experiment_e1_demo():\n    return []\n"
+                    "def experiment_e2_extra():\n    return []\n"
+                ),
+                "README.md": "`experiment_e1_demo` `experiment_e2_extra`\n",
+                "benchmarks/bench_e1_demo.py": (
+                    "from repro.analysis.experiments import "
+                    "experiment_e1_demo, experiment_e2_extra\n"
+                ),
+            }
+        )
+        (v,) = _violations(files, ["R2"])
+        assert v.path == "src/repro/analysis/experiments.py" and v.line == 3
+        assert "'e2'" in v.message and "CLI" in v.message
+
+    def test_unrecognizable_dispatch_is_reported_once(self):
+        files = self._files(**{"src/repro/cli.py": "def cmd_experiment(a):\n    pass\n"})
+        msgs = _messages(files, ["R2"])
+        assert any("cannot recover the experiment dispatch" in m for m in msgs)
+
+    def test_missing_benchmark_reported_unless_exempt(self):
+        files = self._files()
+        del files["benchmarks/bench_e1_demo.py"]
+        (v,) = _violations(files, ["R2"])
+        assert "bench" in v.message and "'e1'" in v.message
+
+    def test_documented_exemption_silences_benchmark_gap(self):
+        some_exempt_id = next(iter(BENCH_EXEMPT))  # e.g. "a7"
+        n = some_exempt_id[1:]
+        files = {
+            "src/repro/analysis/experiments.py": (
+                f"def ablation_{some_exempt_id}_demo():\n    return []\n"
+            ),
+            "src/repro/cli.py": _R2_CLI.replace(
+                "range(1, 2)},\n        **{f\"a{i}\": f\"ablation_a{i}_\" "
+                "for i in range(1, 2)",
+                f"range(1, 2)}},\n        **{{f\"a{{i}}\": f\"ablation_a{{i}}_\" "
+                f"for i in range({n}, {int(n) + 1})",
+            ),
+            "README.md": f"`ablation_{some_exempt_id}_demo`\n",
+        }
+        msgs = _messages(files, ["R2"])
+        assert not any("bench" in m for m in msgs), msgs
+
+    def test_missing_readme_row_reported(self):
+        files = self._files(**{"README.md": "nothing here\n"})
+        (v,) = _violations(files, ["R2"])
+        assert "README.md row" in v.message
+
+
+# ---------------------------------------------------------------------------
+# R3 — hot-path purity
+# ---------------------------------------------------------------------------
+class TestR3HotPathPurity:
+    def test_clean_hot_path_passes(self):
+        files = {
+            "src/repro/runtime/replay.py": (
+                "from repro.cache.policy import get_policy\n"
+                "from repro.cache.opt import next_occurrences\n"
+            ),
+            "src/repro/runtime/compiled.py": (
+                "from repro.runtime.executor import build_memory_plan\n"
+            ),
+        }
+        assert _violations(files, ["R3"]) == []
+
+    def test_executor_import_reported_with_line(self):
+        files = {
+            "src/repro/runtime/replay.py": (
+                "import numpy as np\n"
+                "from repro.runtime.executor import Executor\n"
+            ),
+            "src/repro/runtime/compiled.py": "",
+        }
+        (v,) = _violations(files, ["R3"])
+        assert (v.path, v.line) == ("src/repro/runtime/replay.py", 2)
+        assert "Executor" in v.message
+
+    @pytest.mark.parametrize(
+        "stmt",
+        [
+            "from repro.cache.lru import LRUCache\n",
+            "from repro.cache.hierarchy import TwoLevelCache\n",
+            "from repro.cache.opt import simulate_opt\n",
+            "from repro.testing.oracles import assert_trace_equivalent\n",
+            "import repro.testing.oracles\n",
+        ],
+    )
+    def test_each_banned_import_fires(self, stmt):
+        files = {
+            "src/repro/runtime/compiled.py": stmt,
+            "src/repro/runtime/replay.py": "",
+        }
+        vs = _violations(files, ["R3"])
+        assert len(vs) == 1 and vs[0].path == "src/repro/runtime/compiled.py"
+
+
+# ---------------------------------------------------------------------------
+# R4 — dtype contracts
+# ---------------------------------------------------------------------------
+_R4_DOC = '"""doc: int64, uint8, int16, bool arrays."""\n'
+
+
+class TestR4DtypeContracts:
+    def test_contract_covers_both_hot_path_modules(self):
+        assert set(DTYPE_CONTRACTS) == {
+            "src/repro/runtime/compiled.py",
+            "src/repro/runtime/replay.py",
+        }
+
+    def _files(self, compiled_body=""):
+        return {
+            "src/repro/runtime/compiled.py": _R4_DOC + compiled_body,
+            "src/repro/runtime/replay.py": _R4_DOC,
+        }
+
+    def test_explicit_contract_dtypes_pass(self):
+        files = self._files(
+            "import numpy as np\n"
+            "a = np.zeros(4, dtype=np.int64)\n"
+            "b = np.asarray([1], dtype=np.uint8)\n"
+            "c = np.empty(0, dtype=bool)\n"
+        )
+        assert _violations(files, ["R4"]) == []
+
+    def test_missing_dtype_reported_with_line(self):
+        files = self._files("import numpy as np\nx = np.zeros(4)\n")
+        (v,) = _violations(files, ["R4"])
+        assert (v.path, v.line) == ("src/repro/runtime/compiled.py", 3)
+        assert "without an explicit dtype" in v.message
+
+    def test_off_contract_dtype_reported(self):
+        files = self._files(
+            "import numpy as np\ny = np.zeros(4, dtype=np.float32)\n"
+        )
+        (v,) = _violations(files, ["R4"])
+        assert "float32" in v.message and "contract" in v.message
+
+    def test_undocumented_contract_dtype_reported(self):
+        files = self._files()
+        files["src/repro/runtime/replay.py"] = '"""doc: int64 and bool."""\n'
+        (v,) = _violations(files, ["R4"])
+        assert "'int16'" in v.message and "docstring" in v.message
+
+    def test_non_constructor_numpy_calls_ignored(self):
+        files = self._files(
+            "import numpy as np\n"
+            "n = np.count_nonzero(np.asarray([1], dtype=np.int64))\n"
+            "m = np.concatenate([])\n"
+        )
+        assert _violations(files, ["R4"]) == []
+
+    def test_line_suppression_comment_filters_violation(self):
+        files = self._files(
+            "import numpy as np\n"
+            "x = np.zeros(4)  # repro-lint: disable=R4\n"
+        )
+        report = run_lint(Project(files=files), rules=["R4"])
+        assert report.violations == [] and report.suppressed == 1
+
+    def test_suppression_on_preceding_line_counts(self):
+        files = self._files(
+            "import numpy as np\n"
+            "# repro-lint: disable=R4\n"
+            "x = np.zeros(4)\n"
+        )
+        assert _violations(files, ["R4"]) == []
+
+    def test_file_wide_suppression(self):
+        files = self._files(
+            "# repro-lint: disable-file=R4\n"
+            "import numpy as np\n"
+            "x = np.zeros(4)\n"
+            "y = np.zeros(4, dtype=np.float16)\n"
+        )
+        assert _violations(files, ["R4"]) == []
+
+    def test_suppressing_one_rule_keeps_others(self):
+        files = self._files(
+            "from repro.cache.lru import LRUCache  # repro-lint: disable=R4\n"
+        )
+        assert _violations(files, ["R4"]) == []
+        assert len(_violations(files, ["R3"])) == 1
+
+
+# ---------------------------------------------------------------------------
+# R5 — twin-fold pinning
+# ---------------------------------------------------------------------------
+_R5_INDEXING = (
+    "def fold_parameters(sets):\n    return sets.bit_length() - 1, sets - 1\n"
+    "def xor_fold_index(block, sets):\n    return 0\n"
+    "def xor_fold_index_array(blocks, sets):\n    return blocks\n"
+)
+
+
+class TestR5TwinFoldPinning:
+    def _files(self, **overrides):
+        files = {
+            "src/repro/cache/indexing.py": _R5_INDEXING,
+            "src/repro/cache/base.py": (
+                "from repro.cache.indexing import xor_fold_index\n"
+            ),
+            "src/repro/runtime/replay.py": (
+                "from repro.cache.indexing import xor_fold_index_array\n"
+            ),
+        }
+        files.update(overrides)
+        return files
+
+    def test_pinned_twins_pass(self):
+        assert _violations(self._files(), ["R5"]) == []
+
+    def test_missing_shared_helper_reported(self):
+        files = self._files(
+            **{
+                "src/repro/cache/indexing.py": (
+                    "def fold_parameters(sets):\n    return 0, 0\n"
+                    "def xor_fold_index(block, sets):\n    return 0\n"
+                )
+            }
+        )
+        (v,) = _violations(files, ["R5"])
+        assert v.path == "src/repro/cache/indexing.py"
+        assert "xor_fold_index_array" in v.message
+
+    def test_consumer_without_import_reported(self):
+        files = self._files(**{"src/repro/cache/base.py": "X = 1\n"})
+        (v,) = _violations(files, ["R5"])
+        assert v.path == "src/repro/cache/base.py"
+        assert "import xor_fold_index" in v.message
+
+    def test_local_duplicate_fold_reported(self):
+        files = self._files(
+            **{
+                "src/repro/runtime/replay.py": (
+                    "from repro.cache.indexing import xor_fold_index_array\n"
+                    "def xor_fold_local(blocks, sets):\n"
+                    "    k = sets.bit_length() - 1\n"
+                    "    return blocks\n"
+                )
+            }
+        )
+        msgs = _messages(files, ["R5"])
+        assert any("duplicates repro.cache.indexing" in m for m in msgs)
+        assert any("bit_length" in m for m in msgs)
+
+
+# ---------------------------------------------------------------------------
+# runner + CLI behavior
+# ---------------------------------------------------------------------------
+class TestRunnerAndCli:
+    def test_crashing_rule_becomes_a_violation(self):
+        from repro.lint.core import LintReport, register_rule, _RULES
+
+        @register_rule("R99", "self-test", "always crashes")
+        def _boom(project):
+            raise RuntimeError("kaput")
+
+        try:
+            report = run_lint(Project(files={}), rules=["R99"])
+            assert isinstance(report, LintReport)
+            (v,) = report.violations
+            assert "crashed" in v.message and "kaput" in v.message
+        finally:
+            del _RULES["R99"]
+
+    def test_unknown_rule_id_raises_keyerror(self):
+        with pytest.raises(KeyError, match="R77"):
+            run_lint(Project(files={}), rules=["R77"])
+
+    def test_violations_sorted_by_path_line(self):
+        files = {
+            "src/repro/runtime/replay.py": (
+                "from repro.testing.oracles import x\n"
+                "from repro.runtime.executor import Executor\n"
+            ),
+            "src/repro/runtime/compiled.py": (
+                "from repro.cache.lru import LRUCache\n"
+            ),
+        }
+        vs = _violations(files, ["R3"])
+        assert [(v.path, v.line) for v in vs] == [
+            ("src/repro/runtime/compiled.py", 1),
+            ("src/repro/runtime/replay.py", 1),
+            ("src/repro/runtime/replay.py", 2),
+        ]
+
+    def test_cli_clean_on_live_tree(self, capsys):
+        assert main([]) == 0
+        assert "repro.lint: ok" in capsys.readouterr().out
+
+    def test_cli_list_rules(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rid in ("R1", "R2", "R3", "R4", "R5"):
+            assert rid in out
+
+    def test_cli_rule_subset_and_json(self, capsys):
+        assert main(["--rules", "R3,R5", "--format", "json"]) == 0
+        assert json.loads(capsys.readouterr().out) == []
+
+    def test_cli_unknown_rule_is_usage_error(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["--rules", "R9"])
+        assert exc.value.code == 2
+        assert "R9" in capsys.readouterr().err
+
+    def test_cli_reports_violations_nonzero(self, tmp_path, capsys):
+        # a root missing every anchor file: the linter must fail loudly,
+        # not crash — exercised through --root end to end
+        (tmp_path / "src").mkdir()
+        assert main(["--root", str(tmp_path), "--rules", "R5"]) == 1
+        out = capsys.readouterr().out
+        assert "repro.lint: FAIL" in out and "indexing.py is missing" in out

@@ -1,0 +1,70 @@
+"""The static-analysis gate, as far as it can run locally.
+
+``repro.lint`` always runs (it is stdlib-only; see ``test_lint.py`` for the
+per-rule suites).  mypy and ruff are *not* vendored into the runtime image,
+so their gates self-skip when the tools are absent — the CI
+``static-analysis`` job installs both and runs them unconditionally, which
+keeps the strict-typing promise enforced where it matters without making
+the tier-1 suite depend on optional tooling.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+ROOT = Path(__file__).resolve().parent.parent
+
+
+def _have(module: str) -> bool:
+    return importlib.util.find_spec(module) is not None
+
+
+def test_lint_module_is_clean_via_subprocess():
+    # the real CI invocation, end to end: interpreter boot, __main__, exit 0
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.lint"],
+        cwd=ROOT,
+        env={"PYTHONPATH": "src", "PATH": "/usr/bin:/bin"},
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert "repro.lint: ok" in proc.stdout
+
+
+def test_typing_gate_artifacts_exist():
+    assert (ROOT / "src" / "repro" / "py.typed").exists()
+    mypy_cfg = (ROOT / "mypy.ini").read_text()
+    assert "disallow_untyped_defs = True" in mypy_cfg
+    ruff_cfg = (ROOT / "ruff.toml").read_text()
+    assert "[lint]" in ruff_cfg
+
+
+@pytest.mark.skipif(not _have("mypy"), reason="mypy not installed (CI-only gate)")
+def test_mypy_strict_on_typed_packages():
+    proc = subprocess.run(
+        [sys.executable, "-m", "mypy", "--config-file", "mypy.ini"],
+        cwd=ROOT,
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+
+
+@pytest.mark.skipif(not _have("ruff"), reason="ruff not installed (CI-only gate)")
+def test_ruff_clean():
+    proc = subprocess.run(
+        [sys.executable, "-m", "ruff", "check", "src"],
+        cwd=ROOT,
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr

@@ -1,0 +1,6 @@
+"""Repo tooling: ``python -m tools.check_docs`` / ``python -m tools.run_lint``.
+
+Package-ness is only here so the tools are runnable with ``-m`` from the
+repo root (the CI convention); each script still works as a plain
+``python tools/<name>.py`` invocation too.
+"""

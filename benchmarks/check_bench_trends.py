@@ -1,12 +1,18 @@
 #!/usr/bin/env python
 """Fail when tracked benchmark metrics regress against their history.
 
-``benchmarks/bench_trace_engine.py`` and ``benchmarks/bench_placement.py``
-each append one summary per run to the ``history`` array of their JSON
-record (``BENCH_trace_engine.json`` / ``BENCH_placement.json``).  This
-script compares the latest entry against the previous one, per file, and
-exits non-zero when any tracked metric fell by more than the tolerated
-fraction (default 30%).  With fewer than two history entries there is
+``benchmarks/bench_trace_engine.py``, ``benchmarks/bench_placement.py``
+and ``benchmarks/bench_service.py`` each append one summary per run to the
+``history`` array of their JSON record (``BENCH_trace_engine.json`` /
+``BENCH_placement.json`` / ``BENCH_service.json``).  This script compares
+the latest entry against the previous one, per file, and exits non-zero
+when any tracked metric fell by more than the tolerated fraction (default
+30%).  The service record additionally carries *absolute* floors
+(:data:`FLOORS_BY_FILE`) that hold from the very first run: the warm-cache
+speedup must be >= 5x everywhere, while the pool-scaling and
+search-speedup floors apply only when the entry's recorded ``cores`` says
+the machine could parallelize at all (>= 4 cores) — a 1-core runner
+records its honest ratios without failing.  With fewer than two history entries there is
 nothing to compare yet and the check passes (that is the "once history
 exists" contract: the first run of a fresh clone seeds the baseline).
 
@@ -42,11 +48,33 @@ METRICS_BY_FILE = {
     "BENCH_placement.json": (
         "score", "swap_gain", "color_gain", "multi_gain", "xor_gain",
     ),
+    "BENCH_service.json": (
+        "warm_speedup", "dedup_factor", "pool_scaling", "search_speedup",
+    ),
 }
 DEFAULT_JSONS = [_ROOT / name for name in METRICS_BY_FILE]
 
+#: absolute floors on the *latest* entry: ``(metric, floor, min_cores)``.
+#: Unlike the relative trend gate these hold from the very first run — but
+#: pool metrics only mean anything with real parallelism, so a floor with
+#: ``min_cores > 1`` is skipped (with a note) when the entry's recorded
+#: ``cores`` is absent or below it.  A 1-core CI runner records honest
+#: sub-1x pool ratios without failing; a 4-core runner is held to them.
+FLOORS_BY_FILE = {
+    "BENCH_service.json": (
+        ("warm_speedup", 5.0, 1),
+        ("pool_scaling", 1.5, 4),
+        ("search_speedup", 2.0, 4),
+    ),
+}
+
 #: keys every history entry must carry; everything else is optional
 REQUIRED_ENTRY_KEYS = ("ts",)
+
+#: entry keys that are optional but must be numeric when present (``cores``
+#: is machine provenance, not a tracked metric — it gates floors, it is
+#: never compared run-to-run)
+OPTIONAL_NUMERIC_KEYS = ("cores",)
 
 
 def _is_number(value: object) -> bool:
@@ -92,7 +120,7 @@ def validate_record(record: object, name: str, metrics: tuple) -> list:
             prev_ts = ts
         # tracked metrics are optional per entry (older records predate
         # newer metrics) but must be numeric when present
-        for metric in metrics:
+        for metric in tuple(metrics) + OPTIONAL_NUMERIC_KEYS:
             if metric in entry and not _is_number(entry[metric]):
                 errors.append(
                     f"{where}.{metric}: expected a number, "
@@ -123,7 +151,8 @@ def check(path: Path, tolerance: float) -> int:
             f"{'y' if len(history) == 1 else 'ies'} in {path.name} - "
             "need two runs before regressions can be detected"
         )
-        return 0
+        # the absolute floors hold from the very first run
+        return 1 if check_floors(path.name, history) else 0
     prev, last = history[-2], history[-1]
     metrics = METRICS_BY_FILE.get(path.name)
     if metrics is None:
@@ -145,14 +174,47 @@ def check(path: Path, tolerance: float) -> int:
         )
         if last[metric] < floor:
             failures.append(metric)
+    floor_failures = check_floors(path.name, history)
     if failures:
         print(
             f"trend check: FAIL - {', '.join(failures)} fell more than "
             f"{tolerance:.0%} below the previous run"
         )
         return 1
+    if floor_failures:
+        return 1
     print(f"trend check: ok ({len(history)} runs tracked)")
     return 0
+
+
+def check_floors(name: str, history: list) -> list:
+    """Absolute floors on the newest entry; returns failed metric names."""
+    floors = FLOORS_BY_FILE.get(name)
+    if not floors or not history or not isinstance(history[-1], dict):
+        return []
+    last = history[-1]
+    cores = last.get("cores")
+    failures = []
+    for metric, floor, min_cores in floors:
+        value = last.get(metric)
+        if not _is_number(value):
+            continue
+        if min_cores > 1 and (not _is_number(cores) or cores < min_cores):
+            print(
+                f"  {metric:14s} {value:8.2f}x  floor {floor:.2f}x skipped "
+                f"(needs >= {min_cores} cores, entry has {cores})"
+            )
+            continue
+        status = "ok" if value >= floor else "BELOW FLOOR"
+        print(f"  {metric:14s} {value:8.2f}x  (absolute floor {floor:.2f}x)  {status}")
+        if value < floor:
+            failures.append(metric)
+    if failures:
+        print(
+            f"trend check: FAIL - {', '.join(failures)} below the absolute "
+            f"floor for {name}"
+        )
+    return failures
 
 
 def main(argv=None) -> int:

@@ -21,9 +21,15 @@ Commands
                          up to N blocks of deliberate padding, and
                          ``--layout-targets POLICY:WAYS[@WEIGHT],...``
                          switches it to the multi-geometry objective
-                         (never worse than the seed at any target)
+                         (never worse than the seed at any target);
+                         ``--backend {serial,thread,process}`` +
+                         ``--workers N`` pick the execution backend
+                         (process pools receive compiled traces via shared
+                         memory) and ``--cache-dir PATH`` persists compiled
+                         traces content-addressed on disk
 ``experiment``           run one experiment driver (e1..e15, a1..a9) and
-                         print its table
+                         print its table; accepts the same
+                         ``--backend``/``--workers``/``--cache-dir`` flags
 ``export-dot``           write a Graphviz DOT of a (partitioned) graph
 ``misscurve``            misses-vs-cache-size curve of partitioned and naive
                          schedules (compiled traces + Mattson stack
@@ -135,6 +141,24 @@ def _parse_layout_targets(spec: str):
     return triples
 
 
+def _apply_runtime_flags(args: argparse.Namespace) -> None:
+    """Install ``--backend``/``--workers``/``--cache-dir`` as the process-wide
+    runtime defaults (:func:`repro.runtime.backend.configure`,
+    :func:`repro.runtime.trace_cache.configure`) so every simulation and
+    compilation this command performs — including inside experiment drivers
+    that take no backend parameters — inherits them."""
+    backend = getattr(args, "backend", None)
+    workers = getattr(args, "workers", None)
+    if backend is not None or workers is not None:
+        from repro.runtime.backend import configure as configure_backend
+
+        configure_backend(backend=backend, workers=workers)
+    if getattr(args, "cache_dir", None):
+        from repro.runtime.trace_cache import configure as configure_cache
+
+        configure_cache(args.cache_dir)
+
+
 def _partition_for(graph: StreamGraph, cache: int, c: float):
     from repro.core.dagpart import interval_dp_partition, refine_partition
     from repro.core.pipeline import optimal_pipeline_partition
@@ -183,6 +207,7 @@ def cmd_schedule(args: argparse.Namespace) -> int:
     from repro.core.tuning import choose_batch, required_geometry
     from repro.runtime.compiled import measure_compiled
 
+    _apply_runtime_flags(args)
     g = _resolve_graph(args.graph)
     geom = CacheGeometry(size=args.cache, block=args.block)
     part = _partition_for(g, args.cache, args.c)
@@ -249,10 +274,18 @@ def cmd_schedule(args: argparse.Namespace) -> int:
                     (run_geom.with_ways(w) if w else fully, pol, weight)
                     for pol, w, weight in args.layout_targets
                 ]
+            # a process backend scores candidates in parallel: batch the
+            # steepest-descent wide enough to keep every worker busy
+            batch = 1
+            if args.backend == "process":
+                import os as _os
+
+                batch = max(2, args.workers or _os.cpu_count() or 1)
             pres = optimize_instance(
                 instance, run_geom, strategy=args.layout, policy=args.policy,
                 targets=targets, gap_budget=args.gap_budget,
-                budget=args.layout_budget,
+                budget=args.layout_budget, batch=batch,
+                backend=args.backend, workers=args.workers,
             )
             if targets:
                 per = ", ".join(
@@ -320,6 +353,7 @@ def cmd_experiment(args: argparse.Namespace) -> int:
     from repro.analysis import sweeps as S
     from repro.analysis.report import rows_to_table
 
+    _apply_runtime_flags(args)
     key = args.id.lower()
     prefix = {
         **{f"e{i}": f"experiment_e{i}_" for i in range(1, 16)},
@@ -401,6 +435,26 @@ def cmd_export_dot(args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_runtime_flags(sub: argparse.ArgumentParser) -> None:
+    """Execution-backend flags shared by the simulating subcommands."""
+    from repro.runtime.backend import BACKENDS
+
+    sub.add_argument("--backend", default=None, choices=BACKENDS,
+                     help="execution backend for replay and placement "
+                          "search: serial (no pool), thread (numpy releases "
+                          "the GIL in the kernels), or process (fan out over "
+                          "a process pool; compiled traces travel via "
+                          "shared memory)")
+    sub.add_argument("--workers", type=int, default=None,
+                     help="pool width, clamped to min(workers, items, "
+                          "cores); default: every core for --backend "
+                          "process, serial otherwise")
+    sub.add_argument("--cache-dir", default=None, metavar="PATH",
+                     help="persistent compiled-trace cache directory: "
+                          "identical (graph, schedule, layout, block) "
+                          "inputs load off disk instead of recompiling")
+
+
 def build_parser() -> argparse.ArgumentParser:
     p = argparse.ArgumentParser(
         prog="repro",
@@ -463,10 +517,12 @@ def build_parser() -> argparse.ArgumentParser:
                    help="cost evaluations the placement local search may "
                         "spend (each one scores a full candidate layout "
                         "through the remap cost model)")
+    _add_runtime_flags(s)
     s.set_defaults(fn=cmd_schedule)
 
     e = sub.add_parser("experiment", help="run an experiment driver")
-    e.add_argument("id", help="e1..e15 or a1..a8")
+    e.add_argument("id", help="e1..e15 or a1..a9")
+    _add_runtime_flags(e)
     e.set_defaults(fn=cmd_experiment)
 
     mc = sub.add_parser("misscurve", help="misses-vs-cache-size curves")

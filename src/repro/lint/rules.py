@@ -46,6 +46,8 @@ __all__ = [
 CACHE_GLOB = "src/repro/cache/*.py"
 REPLAY_PATH = "src/repro/runtime/replay.py"
 COMPILED_PATH = "src/repro/runtime/compiled.py"
+BACKEND_PATH = "src/repro/runtime/backend.py"
+TRACE_CACHE_PATH = "src/repro/runtime/trace_cache.py"
 CLI_PATH = "src/repro/cli.py"
 REPLAY_DOC = "docs/REPLAY.md"
 README = "README.md"
@@ -88,6 +90,15 @@ _BANNED_NAMES = frozenset(
 )
 #: Module prefixes hot-path modules may not import from at all.
 _BANNED_MODULE_PREFIXES = ("repro.testing",)
+
+#: Service-path modules that must stay benchmarked (rule R2): if the module
+#: exists, some ``benchmarks/bench_*.py`` must reference the named symbol —
+#: a backend or cache nobody measures silently rots.  Keyed by path so
+#: synthetic overlay projects (which omit these files) are exempt.
+SERVICE_BENCH_REQUIRED: Dict[str, str] = {
+    BACKEND_PATH: "run_batch",
+    TRACE_CACHE_PATH: "TraceCache",
+}
 
 
 # ---------------------------------------------------------------------------
@@ -361,6 +372,20 @@ def rule_experiment_completeness(project: Project) -> Iterator[Violation]:
                 f"row: add it to the experiments table",
             )
 
+    # service-path modules carry the same "stays measured" obligation as
+    # experiment drivers; only checked where the module actually exists so
+    # partial overlay projects stay silent
+    for rel, symbol in SERVICE_BENCH_REQUIRED.items():
+        if not project.exists(rel):
+            continue
+        if symbol not in bench_text:
+            yield Violation(
+                rule="R2", path=rel, line=1,
+                message=f"service module {rel} is not exercised by any "
+                f"benchmarks/bench_*.py ({symbol!r} is never referenced): "
+                f"wire it into benchmarks/bench_service.py",
+            )
+
 
 # ---------------------------------------------------------------------------
 # R3 — hot-path purity
@@ -372,7 +397,13 @@ def rule_experiment_completeness(project: Project) -> Iterator[Violation]:
     "oracle classes",
 )
 def rule_hot_path_purity(project: Project) -> Iterator[Violation]:
-    for rel in (REPLAY_PATH, COMPILED_PATH):
+    # the two compile/replay kernels are mandatory; the service-path
+    # modules obey the same purity contract wherever they exist (partial
+    # overlay projects omit them, which is not a violation)
+    targets = [REPLAY_PATH, COMPILED_PATH] + [
+        rel for rel in (BACKEND_PATH, TRACE_CACHE_PATH) if project.exists(rel)
+    ]
+    for rel in targets:
         tree, errs = _tree(project, rel, "R3")
         yield from errs
         if tree is None:

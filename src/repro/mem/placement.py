@@ -506,6 +506,83 @@ def greedy_color_order(
     return [instance.objects[oid] for oid in order_ids]
 
 
+def _batched_refine(
+    instance: PlacementInstance,
+    scorer: object,
+    ids: List[int],
+    gap_vec: np.ndarray,
+    ranked: Sequence[Tuple[int, int]],
+    hot: Sequence[int],
+    gap_budget: int,
+    gap_total: int,
+    cost: float,
+    evals: int,
+    budget: int,
+    batch: int,
+) -> Tuple[float, int]:
+    """Steepest-descent-within-batch local search (``swap_refine(batch>1)``).
+
+    Enumerates every move legal in the *current* state (ranked swaps, then
+    ±1 gap moves), scores ``batch`` of them at a time through ``scorer``
+    (which may fan over a process pool), applies the best improving one,
+    and regenerates the move list.  Deterministic in ``batch`` alone: the
+    scorer is bit-identical across backends, candidate order is fixed, and
+    ties break to the earliest candidate — so the trajectory, final state,
+    and evaluation count never depend on where scoring ran.  Mutates
+    ``ids``/``gap_vec`` in place; returns ``(cost, evals)``.
+    """
+    pos_of = {oid: p for p, oid in enumerate(ids)}
+    improved = True
+    while improved and evals < budget:
+        improved = False
+        moves: List[Tuple[str, int, int]] = []
+        for a, b in ranked:
+            if instance.nblocks[a] == 0 and instance.nblocks[b] == 0:
+                continue  # zero-length objects own no blocks: swap is a no-op
+            moves.append(("swap", a, b))
+        if gap_budget:
+            for oid in hot:
+                if gap_total < gap_budget:
+                    moves.append(("gap", oid, 1))
+                if gap_vec[oid] > 0:
+                    moves.append(("gap", oid, -1))
+        pos = 0
+        while pos < len(moves) and evals < budget:
+            chunk = moves[pos:pos + batch][: budget - evals]
+            pos += len(chunk)
+            starts_list: List[np.ndarray] = []
+            for kind, x, y in chunk:
+                if kind == "swap":
+                    i, j = pos_of[x], pos_of[y]
+                    ids[i], ids[j] = ids[j], ids[i]
+                    starts_list.append(_placed_starts(instance, ids, gap_vec))
+                    ids[i], ids[j] = ids[j], ids[i]
+                else:
+                    gap_vec[x] += y
+                    starts_list.append(_placed_starts(instance, ids, gap_vec))
+                    gap_vec[x] -= y
+            costs = scorer.score(starts_list)  # type: ignore[attr-defined]
+            evals += len(chunk)
+            best_k = -1
+            best_c = cost
+            for k, c in enumerate(costs):
+                if c < best_c:  # strict: ties keep the earlier candidate
+                    best_k, best_c = k, c
+            if best_k >= 0:
+                kind, x, y = chunk[best_k]
+                if kind == "swap":
+                    i, j = pos_of[x], pos_of[y]
+                    ids[i], ids[j] = ids[j], ids[i]
+                    pos_of[x], pos_of[y] = j, i
+                else:
+                    gap_vec[x] += y
+                    gap_total += y
+                cost = best_c
+                improved = True
+                break  # state changed: regenerate the move list
+    return cost, evals
+
+
 def swap_refine(
     instance: PlacementInstance,
     order: Sequence[ObjectKey],
@@ -517,6 +594,9 @@ def swap_refine(
     targets: Optional[Sequence[PlacementTarget]] = None,
     gap_budget: int = 0,
     gaps: Optional[Dict[ObjectKey, int]] = None,
+    batch: int = 1,
+    backend: Optional[str] = None,
+    workers: Optional[int] = None,
 ) -> Tuple[List[ObjectKey], Dict[ObjectKey, int], float, int]:
     """FLIP-style local search over (order, gaps) on the true remap cost.
 
@@ -537,6 +617,18 @@ def swap_refine(
     The search stops at a local optimum or after ``budget`` cost
     evaluations.  Returns ``(order, gaps, cost, evaluations)``; ``gaps``
     maps object keys to their padding in blocks (zero entries omitted).
+
+    **Parallel scoring.**  ``batch > 1`` switches to steepest-descent over
+    batches: the next ``batch`` untried moves are scored together (through
+    a :class:`repro.runtime.backend.CandidateScorer`, which ships the remap
+    arrays to a process pool once via shared memory when
+    ``backend="process"``) and the best improving one is applied.  The
+    search *trajectory* depends only on ``batch`` — never on ``backend`` or
+    ``workers``, which only choose where candidate scoring runs — so serial
+    and process runs of the same ``batch`` return identical placements at
+    an identical evaluation count, and the process pool buys pure
+    wall-time.  ``batch=1`` (default) is the historical first-improvement
+    loop, unchanged.
     """
     if gap_budget < 0:
         raise LayoutError(f"gap_budget must be >= 0, got {gap_budget}")
@@ -573,52 +665,63 @@ def swap_refine(
         degree[b] += w
     hot = sorted(range(n_obj), key=lambda o: (-degree[o], o))
 
-    def cost_of() -> float:
-        starts = _placed_starts(instance, ids, gap_vec)
-        blocks = starts[instance.obj_of_access] + instance.block_offset
-        per = _target_misses(blocks, targets_n)
-        return sum(w * m for (_, _, w), m in zip(targets_n, per))
+    if batch < 1:
+        raise LayoutError(f"batch must be >= 1, got {batch}")
+    from repro.runtime.backend import CandidateScorer
 
-    cost = cost_of()
-    evals = 1
-    improved = True
-    while improved and evals < budget:
-        improved = False
-        for a, b in ranked:
-            if evals >= budget:
-                break
-            if instance.nblocks[a] == 0 and instance.nblocks[b] == 0:
-                continue  # zero-length objects own no blocks: swap is a no-op
-            i, j = pos_of[a], pos_of[b]
-            ids[i], ids[j] = ids[j], ids[i]
-            trial = cost_of()
-            evals += 1
-            if trial < cost:
-                cost = trial
-                pos_of[a], pos_of[b] = j, i
-                improved = True
-            else:
-                ids[i], ids[j] = ids[j], ids[i]
-        if gap_budget:
-            for oid in hot:
-                if evals >= budget:
-                    break
-                for delta in (1, -1):
-                    if delta > 0 and gap_total >= gap_budget:
-                        continue
-                    if delta < 0 and gap_vec[oid] == 0:
-                        continue
-                    gap_vec[oid] += delta
+    with CandidateScorer(
+        instance, targets_n, backend=backend, workers=workers
+    ) as scorer:
+
+        def cost_of() -> float:
+            return scorer.score([_placed_starts(instance, ids, gap_vec)])[0]
+
+        cost = cost_of()
+        evals = 1
+        if batch > 1:
+            cost, evals = _batched_refine(
+                instance, scorer, ids, gap_vec, ranked, hot,
+                gap_budget, gap_total, cost, evals, budget, batch,
+            )
+        else:
+            improved = True
+            while improved and evals < budget:
+                improved = False
+                for a, b in ranked:
+                    if evals >= budget:
+                        break
+                    if instance.nblocks[a] == 0 and instance.nblocks[b] == 0:
+                        continue  # zero-length objects own no blocks: no-op
+                    i, j = pos_of[a], pos_of[b]
+                    ids[i], ids[j] = ids[j], ids[i]
                     trial = cost_of()
                     evals += 1
                     if trial < cost:
                         cost = trial
-                        gap_total += delta
+                        pos_of[a], pos_of[b] = j, i
                         improved = True
-                        break  # opposite delta would re-test the state just left
-                    gap_vec[oid] -= delta
-                    if evals >= budget:
-                        break
+                    else:
+                        ids[i], ids[j] = ids[j], ids[i]
+                if gap_budget:
+                    for oid in hot:
+                        if evals >= budget:
+                            break
+                        for delta in (1, -1):
+                            if delta > 0 and gap_total >= gap_budget:
+                                continue
+                            if delta < 0 and gap_vec[oid] == 0:
+                                continue
+                            gap_vec[oid] += delta
+                            trial = cost_of()
+                            evals += 1
+                            if trial < cost:
+                                cost = trial
+                                gap_total += delta
+                                improved = True
+                                break  # opposite delta re-tests the state left
+                            gap_vec[oid] -= delta
+                            if evals >= budget:
+                                break
     out_gaps = {
         instance.objects[oid]: int(g)
         for oid, g in enumerate(gap_vec.tolist())
@@ -635,8 +738,10 @@ _STRATEGIES: Dict[str, Callable] = {}
 
 def register_placement(name: str, fn: Callable) -> None:
     """Register a placement strategy: ``fn(instance, geometry, policy=...,
-    window=..., budget=..., targets=..., gap_budget=...) -> (order, gaps)``
-    (a full object placement plus a per-object gap map, possibly empty)."""
+    window=..., budget=..., targets=..., gap_budget=..., batch=...,
+    backend=..., workers=...) -> (order, gaps)`` (a full object placement
+    plus a per-object gap map, possibly empty; the last three knobs only
+    parallelize scoring and must not change the returned placement)."""
     _STRATEGIES[name] = fn
 
 
@@ -657,14 +762,20 @@ def available_placements() -> Tuple[str, ...]:
 def _topo_strategy(instance: PlacementInstance, geometry: CacheGeometry,
                    policy: str = "direct", window: int = 8, budget: int = 400,
                    targets: Optional[Sequence[PlacementTarget]] = None,
-                   gap_budget: int = 0) -> Tuple[List[ObjectKey], Dict[ObjectKey, int]]:
+                   gap_budget: int = 0, batch: int = 1,
+                   backend: Optional[str] = None,
+                   workers: Optional[int] = None,
+                   ) -> Tuple[List[ObjectKey], Dict[ObjectKey, int]]:
     return list(instance.objects), {}
 
 
 def _color_strategy(instance: PlacementInstance, geometry: CacheGeometry,
                     policy: str = "direct", window: int = 8, budget: int = 400,
                     targets: Optional[Sequence[PlacementTarget]] = None,
-                    gap_budget: int = 0) -> Tuple[List[ObjectKey], Dict[ObjectKey, int]]:
+                    gap_budget: int = 0, batch: int = 1,
+                    backend: Optional[str] = None,
+                    workers: Optional[int] = None,
+                    ) -> Tuple[List[ObjectKey], Dict[ObjectKey, int]]:
     if targets:
         geometry, policy, _w = _primary_target(
             normalize_targets(targets, block=instance.block)
@@ -675,7 +786,10 @@ def _color_strategy(instance: PlacementInstance, geometry: CacheGeometry,
 def _swap_strategy(instance: PlacementInstance, geometry: CacheGeometry,
                    policy: str = "direct", window: int = 8, budget: int = 400,
                    targets: Optional[Sequence[PlacementTarget]] = None,
-                   gap_budget: int = 0) -> Tuple[List[ObjectKey], Dict[ObjectKey, int]]:
+                   gap_budget: int = 0, batch: int = 1,
+                   backend: Optional[str] = None,
+                   workers: Optional[int] = None,
+                   ) -> Tuple[List[ObjectKey], Dict[ObjectKey, int]]:
     if targets:
         targets_n = normalize_targets(targets, block=instance.block)
     else:
@@ -692,7 +806,8 @@ def _swap_strategy(instance: PlacementInstance, geometry: CacheGeometry,
     )
     order, gaps, _, _ = swap_refine(
         instance, start, window=window, budget=budget, weights=weights,
-        targets=targets_n, gap_budget=gap_budget,
+        targets=targets_n, gap_budget=gap_budget, batch=batch,
+        backend=backend, workers=workers,
     )
     return order, gaps
 
@@ -749,6 +864,9 @@ def optimize_instance(
     budget: int = 400,
     targets: Optional[Sequence[PlacementTarget]] = None,
     gap_budget: int = 0,
+    batch: int = 1,
+    backend: Optional[str] = None,
+    workers: Optional[int] = None,
 ) -> PlacementResult:
     """Run one registered strategy against a prebuilt instance.
 
@@ -757,6 +875,10 @@ def optimize_instance(
     weighted miss sum.  Either way the result is **never worse than the
     seed at any individual target**: a candidate that regresses anywhere
     (the A7 cross-geometry failure mode) is discarded for the seed layout.
+
+    ``batch``/``backend``/``workers`` parallelize candidate scoring (see
+    :func:`swap_refine`): the returned placement depends only on ``batch``,
+    never on where scoring ran.
     """
     if targets is not None:
         targets_n = normalize_targets(targets, block=instance.block)
@@ -771,6 +893,7 @@ def optimize_instance(
     out = fn(
         instance, geometry, policy=policy, window=window, budget=budget,
         targets=targets if targets is not None else None, gap_budget=gap_budget,
+        batch=batch, backend=backend, workers=workers,
     )
     order, gaps = out
     per = _target_misses(remap_blocks(instance, order, gaps=gaps), targets_n)
@@ -799,10 +922,16 @@ def optimize_placement(
     budget: int = 400,
     targets: Optional[Sequence[PlacementTarget]] = None,
     gap_budget: int = 0,
+    batch: int = 1,
+    backend: Optional[str] = None,
+    workers: Optional[int] = None,
 ) -> PlacementResult:
     """One-shot convenience: compile the seed trace, search, return the
     best placement for ``(geometry, policy)`` — or, with ``targets``, the
-    best layout under the multi-geometry weighted objective."""
+    best layout under the multi-geometry weighted objective.
+    ``batch``/``backend``/``workers`` fan candidate scoring over the
+    selected execution backend (:mod:`repro.runtime.backend`) without
+    changing the search trajectory."""
     if geometry is not None:
         block = geometry.block
     elif targets:
@@ -815,4 +944,5 @@ def optimize_placement(
     return optimize_instance(
         instance, geometry, strategy=strategy, policy=policy,
         window=window, budget=budget, targets=targets, gap_budget=gap_budget,
+        batch=batch, backend=backend, workers=workers,
     )

@@ -1,9 +1,20 @@
 """Execution substrate: FIFO channel buffers bound to memory addresses, the
 firing engine that moves tokens through the cache simulator, the trace
 compiler and the policy-aware replay kernels that answer whole geometry
-families in one pass, schedule representation/validation, and deadlock
-analysis."""
+families in one pass, the execution backends (serial/thread/process fan-out
+with shared-memory trace shipping and the ``run_batch`` service front door),
+the persistent content-addressed trace cache, schedule
+representation/validation, and deadlock analysis."""
 
+from repro.runtime.backend import (
+    BACKENDS,
+    ServiceAnswer,
+    ServiceQuery,
+    effective_workers,
+    fan_out,
+    geometry_sweep,
+    run_batch,
+)
 from repro.runtime.buffers import ChannelBuffer
 from repro.runtime.compiled import (
     CompiledTrace,
@@ -11,6 +22,12 @@ from repro.runtime.compiled import (
     compile_trace,
     measure_compiled,
     simulate_trace,
+)
+from repro.runtime.trace_cache import (
+    TraceCache,
+    cached_compile_trace,
+    query_digest,
+    trace_digest,
 )
 from repro.runtime.replay import (
     opt_stack_distances,
@@ -29,6 +46,17 @@ from repro.runtime.executor import (
 from repro.runtime.deadlock import fireable_modules, demand_driven_schedule
 
 __all__ = [
+    "BACKENDS",
+    "ServiceAnswer",
+    "ServiceQuery",
+    "TraceCache",
+    "cached_compile_trace",
+    "effective_workers",
+    "fan_out",
+    "geometry_sweep",
+    "query_digest",
+    "run_batch",
+    "trace_digest",
     "ChannelBuffer",
     "CompiledTrace",
     "TraceCompiler",

@@ -1,0 +1,603 @@
+"""Execution backends: serial / thread / process fan-out behind ``workers=``.
+
+Everything the replay engine parallelizes is an ordered map — per-geometry
+mask evaluation in :func:`repro.runtime.replay.replay_miss_masks`,
+per-candidate scoring in :func:`repro.mem.placement.swap_refine`, per-query
+evaluation in :func:`run_batch` — so this module centralizes one contract:
+
+* **Ordering.**  Every backend returns results in the exact order of its
+  inputs: ``fan_out(fn, items)[i] == fn(items[i])`` for all ``i``,
+  regardless of which worker finished first.  (Pools preserve submission
+  order by construction — ``Executor.map`` yields in input order — and the
+  serial path is a list comprehension.)  Callers never re-sort.
+* **Clamping.**  Pool width is ``min(workers, len(items), os.cpu_count())``
+  (:func:`effective_workers`): a pool wider than the item list or the
+  machine only adds startup cost.  Zero/negative/None worker counts mean
+  "serial".
+* **Three names** (:data:`BACKENDS`): ``"serial"`` never builds a pool;
+  ``"thread"`` uses a thread pool (numpy releases the GIL inside the heavy
+  ufuncs, so threads help exactly when the work is vectorized);
+  ``"process"`` uses a process pool for Python-heavy work the GIL would
+  serialize.  An explicitly requested process backend keeps its pool even
+  at one worker — a distinct process either way, so differential tests
+  exercise the real cross-process path on any machine.
+
+**Shipping traces to workers.**  A compiled trace is one or two large flat
+arrays (``int64`` block ids, ``uint8`` phase codes — often 100k+ accesses).
+Pickling them per task would dwarf the work, so :class:`SharedTrace`
+publishes them once into a :mod:`multiprocessing.shared_memory` segment and
+workers reconstruct zero-copy ``np.ndarray`` views over the mapped buffer
+(:func:`process_sweep`); per-task payloads are just geometry lists.  The
+placement scorer (:class:`CandidateScorer`) does the same with the
+remap-instance arrays (``obj_of_access``/``block_offset``): candidates ship
+as tiny per-object start vectors, never as traces.
+
+**Batch front door.**  :func:`run_batch` answers N
+(graph, schedule, geometries, policy) queries the way a many-user service
+must: queries are grouped by their content digest
+(:func:`repro.runtime.trace_cache.trace_digest`), each distinct trace is
+compiled **once** (through the persistent cache when one is configured),
+geometry sweeps sharing a (trace, policy) pair are evaluated together so
+the replay kernels' shared passes amortize across users, and evaluation
+fans out over the selected backend.  Answers come back in query order.
+
+Geometry presets default to ``index_scheme="mod"``: BENCH_placement.json
+measured ``xor_gain`` flat at 1.0 on the paper's workloads, so the service
+path never pays the xor fold for zero gain (pass ``index_scheme="xor"``
+explicitly to get skewed indexing — see docs/REPLAY.md).
+
+Results are bit-identical across backends: the kernels are pure functions
+of ``(blocks, geometries)``, so where the map runs cannot change what it
+computes — ``tests/test_backend.py`` pins this differentially for every
+registered policy under both index schemes.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+import numpy as np
+
+from repro.errors import CacheConfigError
+
+if TYPE_CHECKING:
+    from repro.cache.base import CacheGeometry
+    from repro.graphs.sdf import StreamGraph
+    from repro.mem.layout import ObjectKey
+    from repro.mem.placement import PlacementInstance, PlacementTarget
+    from repro.runtime.executor import ExecutionResult
+    from repro.runtime.schedule import Schedule
+    from repro.runtime.trace_cache import TraceCache
+
+__all__ = [
+    "BACKENDS",
+    "DEFAULT_INDEX_SCHEME",
+    "normalize_backend",
+    "effective_workers",
+    "resolve",
+    "configure",
+    "fan_out",
+    "SharedTrace",
+    "process_sweep",
+    "CandidateScorer",
+    "geometry_sweep",
+    "ServiceQuery",
+    "ServiceAnswer",
+    "run_batch",
+]
+
+#: The three execution backends, in "least machinery" order.
+BACKENDS = ("serial", "thread", "process")
+
+#: Service presets index sets with low block bits: BENCH_placement.json's
+#: ``xor_gain`` is flat at 1.0, so xor folding is opt-in, never default.
+DEFAULT_INDEX_SCHEME = "mod"
+
+
+# ----------------------------------------------------------------------
+# backend selection
+# ----------------------------------------------------------------------
+def normalize_backend(backend: str) -> str:
+    """Validate a backend name against :data:`BACKENDS`."""
+    if backend not in BACKENDS:
+        raise CacheConfigError(
+            f"unknown backend {backend!r}; choose one of {BACKENDS}"
+        )
+    return backend
+
+
+def effective_workers(workers: Optional[int], n_items: int) -> int:
+    """The pool width actually worth building:
+    ``min(workers, n_items, os.cpu_count())``, floored at 1.
+
+    ``None`` or a non-positive count means serial (width 1).  A pool wider
+    than the item list idles from the first task; wider than the machine,
+    it only adds scheduler pressure — neither can go faster.
+    """
+    if not workers or workers <= 1:
+        return 1
+    return max(1, min(int(workers), n_items, os.cpu_count() or 1))
+
+
+_DEFAULTS: Dict[str, object] = {"backend": "thread", "workers": None}
+
+
+def configure(
+    backend: Optional[str] = None, workers: Optional[int] = None
+) -> Tuple[str, Optional[int]]:
+    """Set the process-wide default ``(backend, workers)`` pair.
+
+    This is what the CLI's ``--backend``/``--workers`` flags install so
+    experiment drivers (which take no backend parameters) inherit the
+    choice.  Returns the previous pair so callers can restore it.  The
+    initial default — ``("thread", None)`` — reproduces the historical
+    behaviour exactly: no pool unless a caller passes ``workers=``.
+    """
+    previous = (str(_DEFAULTS["backend"]), _DEFAULTS["workers"])  # type: ignore[arg-type]
+    if backend is not None:
+        _DEFAULTS["backend"] = normalize_backend(backend)
+    _DEFAULTS["workers"] = workers
+    return previous
+
+
+def resolve(
+    backend: Optional[str], workers: Optional[int], n_items: int
+) -> Tuple[str, int]:
+    """Resolve ``(backend, workers)`` call parameters to a concrete plan.
+
+    ``backend=None`` reads the configured default (and, when ``workers`` is
+    also ``None``, the configured default width).  An explicit ``"process"``
+    request with no width gets every core; an unconfigured thread backend
+    with no width stays serial (the pre-backend contract of ``workers=``).
+    Returns ``(name, width)`` with width already clamped.
+    """
+    if backend is None:
+        backend = str(_DEFAULTS["backend"])
+        if workers is None:
+            workers = _DEFAULTS["workers"]  # type: ignore[assignment]
+        explicit = _DEFAULTS["workers"] is not None
+    else:
+        explicit = True
+    backend = normalize_backend(backend)
+    if backend == "serial":
+        return "serial", 1
+    if workers is None:
+        if backend == "process" and explicit:
+            workers = os.cpu_count() or 1
+        else:
+            return backend, 1
+    width = effective_workers(workers, n_items)
+    if width <= 1:
+        # a process backend honoured at width 1 still crosses the process
+        # boundary (differential tests rely on this); threads at width 1
+        # are pure overhead and collapse to serial
+        return ("process", 1) if backend == "process" else ("serial", 1)
+    return backend, width
+
+
+def _mp_context():
+    import multiprocessing as mp
+
+    if "fork" in mp.get_all_start_methods():
+        return mp.get_context("fork")
+    return mp.get_context()  # pragma: no cover - non-fork platforms
+
+
+def fan_out(
+    fn: Callable,
+    items: Sequence,
+    backend: Optional[str] = None,
+    workers: Optional[int] = None,
+) -> List:
+    """Ordered map: ``fan_out(fn, items)[i] == fn(items[i])``, always.
+
+    The backend only chooses *where* each call runs; submission-order
+    ``Executor.map`` (or the serial comprehension) guarantees the results
+    come back in input order.  The process backend requires ``fn`` and each
+    item to be picklable — module-level functions, not closures.
+    """
+    name, width = resolve(backend, workers, len(items))
+    if name == "serial" or width <= 1 and name != "process":
+        return [fn(it) for it in items]
+    if name == "thread":
+        from concurrent.futures import ThreadPoolExecutor
+
+        with ThreadPoolExecutor(max_workers=width) as pool:
+            return list(pool.map(fn, items))
+    from concurrent.futures import ProcessPoolExecutor
+
+    with ProcessPoolExecutor(max_workers=width, mp_context=_mp_context()) as pool:
+        return list(pool.map(fn, items))
+
+
+# ----------------------------------------------------------------------
+# shared-memory trace shipping
+# ----------------------------------------------------------------------
+class SharedTrace:
+    """A compiled trace published once into shared memory.
+
+    Layout: ``n * 8`` bytes of ``int64`` block ids, then (optionally) ``n``
+    bytes of ``uint8`` phase codes, in one segment.  Workers attach by name
+    and build zero-copy ``np.ndarray`` views (:func:`_attach_trace`) — the
+    arrays are never pickled, no matter how many tasks replay them.  Use as
+    a context manager; the parent unlinks the segment on exit.
+    """
+
+    def __init__(self, blocks: np.ndarray, phases: Optional[np.ndarray]) -> None:
+        from multiprocessing import shared_memory
+
+        blocks = np.ascontiguousarray(blocks, dtype=np.int64)
+        self.n = int(blocks.shape[0])
+        self.has_phases = phases is not None
+        nbytes = self.n * 8 + (self.n if self.has_phases else 0)
+        self._shm = shared_memory.SharedMemory(create=True, size=max(1, nbytes))
+        view = np.ndarray((self.n,), dtype=np.int64, buffer=self._shm.buf)
+        view[:] = blocks
+        if phases is not None:
+            pview = np.ndarray(
+                (self.n,), dtype=np.uint8, buffer=self._shm.buf, offset=self.n * 8
+            )
+            pview[:] = np.ascontiguousarray(phases, dtype=np.uint8)
+        self.name = self._shm.name
+
+    def close(self) -> None:
+        try:
+            self._shm.close()
+            self._shm.unlink()
+        except (FileNotFoundError, OSError):  # pragma: no cover - double close
+            pass
+
+    def __enter__(self) -> "SharedTrace":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+
+_WORKER_TRACE: Dict[str, object] = {}
+
+
+def _attach_trace(shm_name: str, n: int, has_phases: bool) -> None:
+    """Pool initializer: map the published trace into this worker, zero-copy.
+
+    Workers never unlink (or unregister) the segment — its lifetime belongs
+    to the parent's :class:`SharedTrace`, which unlinks once the pool is
+    drained.  Attach-side registrations are set-idempotent in the resource
+    tracker shared by the forked children, so the parent's single unlink
+    leaves the books balanced.
+    """
+    from multiprocessing import shared_memory
+
+    shm = shared_memory.SharedMemory(name=shm_name)
+    _WORKER_TRACE["shm"] = shm  # keep the mapping alive for the views below
+    _WORKER_TRACE["blocks"] = np.ndarray((n,), dtype=np.int64, buffer=shm.buf)
+    _WORKER_TRACE["phases"] = (
+        np.ndarray((n,), dtype=np.uint8, buffer=shm.buf, offset=n * 8)
+        if has_phases
+        else None
+    )
+
+
+def _sweep_chunk(task: Tuple[int, List, str]) -> Tuple[int, List]:
+    """Worker body: replay one geometry chunk over the attached trace.
+
+    Returns per-geometry ``(misses, phase_bincount-or-None)`` — the reduced
+    statistics, never the per-access masks, so nothing big crosses back.
+    """
+    from repro.runtime.compiled import PHASE_NAMES
+    from repro.runtime.replay import replay_miss_masks
+
+    chunk_index, geometries, policy = task
+    blocks = _WORKER_TRACE["blocks"]
+    phases = _WORKER_TRACE["phases"]
+    out: List[Tuple[int, Optional[List[int]]]] = []
+    for mask in replay_miss_masks(blocks, geometries, policy=policy):
+        misses = int(np.count_nonzero(mask))
+        counts: Optional[List[int]] = None
+        if phases is not None:
+            counts = (
+                np.bincount(phases[mask], minlength=len(PHASE_NAMES)).tolist()
+                if misses
+                else [0] * len(PHASE_NAMES)
+            )
+        out.append((misses, counts))
+    return chunk_index, out
+
+
+def _chunk_slices(n_items: int, width: int) -> List[Tuple[int, int]]:
+    """Contiguous, order-preserving chunk bounds: one-ish chunk per worker."""
+    n_chunks = min(max(1, width), n_items)
+    bounds = np.linspace(0, n_items, n_chunks + 1, dtype=np.int64)
+    return [
+        (int(bounds[i]), int(bounds[i + 1]))
+        for i in range(n_chunks)
+        if bounds[i] < bounds[i + 1]
+    ]
+
+
+def process_sweep(
+    blocks: np.ndarray,
+    phases: Optional[np.ndarray],
+    geometries: Sequence,
+    policy: str,
+    workers: int,
+) -> List[Tuple[int, Optional[List[int]]]]:
+    """Per-geometry ``(misses, phase_bincount)`` via a process pool.
+
+    The trace is published to shared memory once; geometry chunks (tiny,
+    picklable) are the only per-task payload.  Results come back in
+    geometry order.  Bit-identical to the in-process replay: the kernels
+    are deterministic functions of ``(blocks, geometries)``.
+    """
+    from concurrent.futures import ProcessPoolExecutor
+
+    slices = _chunk_slices(len(geometries), workers)
+    tasks = [(i, list(geometries[lo:hi]), policy) for i, (lo, hi) in enumerate(slices)]
+    out: List[Optional[List]] = [None] * len(slices)
+    with SharedTrace(blocks, phases) as shared:
+        with ProcessPoolExecutor(
+            max_workers=min(workers, len(slices)),
+            mp_context=_mp_context(),
+            initializer=_attach_trace,
+            initargs=(shared.name, shared.n, shared.has_phases),
+        ) as pool:
+            for chunk_index, stats in pool.map(_sweep_chunk, tasks):
+                out[chunk_index] = stats
+    flat: List[Tuple[int, Optional[List[int]]]] = []
+    for stats in out:
+        assert stats is not None
+        flat.extend(stats)
+    return flat
+
+
+# ----------------------------------------------------------------------
+# placement candidate scoring
+# ----------------------------------------------------------------------
+_SCORER_STATE: Dict[str, object] = {}
+
+
+def _attach_scorer(
+    shm_name: str, n: int, targets: List[Tuple["CacheGeometry", str, float]]
+) -> None:
+    """Pool initializer: map the remap-instance arrays; keep targets local."""
+    from multiprocessing import shared_memory
+
+    shm = shared_memory.SharedMemory(name=shm_name)
+    _SCORER_STATE["shm"] = shm
+    _SCORER_STATE["obj"] = np.ndarray((n,), dtype=np.int64, buffer=shm.buf)
+    _SCORER_STATE["off"] = np.ndarray(
+        (n,), dtype=np.int64, buffer=shm.buf, offset=n * 8
+    )
+    _SCORER_STATE["targets"] = targets
+
+
+def _score_candidate_remote(task: Tuple[int, np.ndarray]) -> Tuple[int, float]:
+    """Worker body: weighted miss sum of one candidate's start vector."""
+    from repro.mem.placement import _target_misses
+
+    index, starts = task
+    obj = _SCORER_STATE["obj"]
+    off = _SCORER_STATE["off"]
+    targets = _SCORER_STATE["targets"]
+    blocks = starts[obj] + off
+    per = _target_misses(blocks, targets)  # type: ignore[arg-type]
+    return index, sum(w * m for (_g, _p, w), m in zip(targets, per))  # type: ignore[misc]
+
+
+class CandidateScorer:
+    """Scores placement candidates — (order, gaps) start vectors — on the
+    exact remap cost model, optionally across a process pool.
+
+    The instance's ``obj_of_access``/``block_offset`` arrays (one entry per
+    trace access — the big data) are published to shared memory once at
+    construction; each candidate ships as its ``starts`` vector (one entry
+    per object — tiny).  Serial and process scoring are bit-identical, so a
+    search driven by this scorer takes the same trajectory on every
+    backend; only wall-time changes.  Use as a context manager or call
+    :meth:`close` — the pool and segment live until then.
+    """
+
+    def __init__(
+        self,
+        instance: "PlacementInstance",
+        targets: Sequence["PlacementTarget"],
+        backend: Optional[str] = None,
+        workers: Optional[int] = None,
+    ) -> None:
+        self.instance = instance
+        self.targets = list(targets)
+        name, width = resolve(backend, workers, os.cpu_count() or 1)
+        self._pool = None
+        if name == "process":
+            from concurrent.futures import ProcessPoolExecutor
+            from multiprocessing import shared_memory
+
+            obj = np.ascontiguousarray(instance.obj_of_access, dtype=np.int64)
+            off = np.ascontiguousarray(instance.block_offset, dtype=np.int64)
+            n = int(obj.shape[0])
+            shm = shared_memory.SharedMemory(create=True, size=max(1, n * 16))
+            np.ndarray((n,), dtype=np.int64, buffer=shm.buf)[:] = obj
+            np.ndarray((n,), dtype=np.int64, buffer=shm.buf, offset=n * 8)[:] = off
+            self._shm = shm
+            self._pool = ProcessPoolExecutor(
+                max_workers=width,
+                mp_context=_mp_context(),
+                initializer=_attach_scorer,
+                initargs=(shm.name, n, self.targets),
+            )
+        else:
+            self._shm = None
+
+    def score(self, starts_list: Sequence[np.ndarray]) -> List[float]:
+        """Weighted miss sums, one per candidate, in candidate order."""
+        if self._pool is None:
+            from repro.mem.placement import _target_misses
+
+            out = []
+            for starts in starts_list:
+                blocks = starts[self.instance.obj_of_access] + self.instance.block_offset
+                per = _target_misses(blocks, self.targets)
+                out.append(sum(w * m for (_g, _p, w), m in zip(self.targets, per)))
+            return out
+        tasks = [(i, starts) for i, starts in enumerate(starts_list)]
+        out_arr: List[float] = [0.0] * len(tasks)
+        for i, cost in self._pool.map(_score_candidate_remote, tasks):
+            out_arr[i] = cost
+        return out_arr
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+        if self._shm is not None:
+            try:
+                self._shm.close()
+                self._shm.unlink()
+            except (FileNotFoundError, OSError):  # pragma: no cover
+                pass
+            self._shm = None
+
+    def __enter__(self) -> "CandidateScorer":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+
+# ----------------------------------------------------------------------
+# batch front door
+# ----------------------------------------------------------------------
+def geometry_sweep(
+    sizes: Iterable[int],
+    block: int,
+    ways: Optional[int] = None,
+    index_scheme: str = DEFAULT_INDEX_SCHEME,
+) -> List["CacheGeometry"]:
+    """Service preset: one :class:`~repro.cache.base.CacheGeometry` per
+    capacity, mod-indexed unless ``index_scheme="xor"`` is requested
+    explicitly (the measured xor gain on the paper's workloads is 1.0 —
+    see docs/REPLAY.md)."""
+    from repro.cache.base import CacheGeometry
+
+    return [
+        CacheGeometry(
+            size=int(s), block=int(block), ways=ways, index_scheme=index_scheme
+        )
+        for s in sizes
+    ]
+
+
+@dataclass
+class ServiceQuery:
+    """One user's question: misses of ``policy`` at every geometry for this
+    (graph, schedule, layout) — the unit :func:`run_batch` deduplicates."""
+
+    graph: "StreamGraph"
+    schedule: "Schedule"
+    block: int
+    geometries: Sequence
+    policy: str = "lru"
+    capacities: Optional[Dict[int, int]] = None
+    layout_order: Optional[Sequence[str]] = None
+    count_external: bool = True
+    placement: Optional[Sequence["ObjectKey"]] = None
+    gaps: Optional[Dict["ObjectKey", int]] = None
+
+
+@dataclass
+class ServiceAnswer:
+    """One query's results plus its provenance within the batch.
+
+    ``trace_key`` is the content digest the trace was filed under;
+    ``cache_hit`` says the compiled trace came off the persistent cache,
+    ``deduped`` that an earlier query in the same batch already owned the
+    trace (so this one compiled nothing at all).
+    """
+
+    index: int
+    trace_key: str
+    cache_hit: bool
+    deduped: bool
+    results: List["ExecutionResult"] = field(default_factory=list)
+
+
+def run_batch(
+    queries: Sequence[ServiceQuery],
+    backend: Optional[str] = None,
+    workers: Optional[int] = None,
+    cache: Optional["TraceCache"] = None,
+) -> List[ServiceAnswer]:
+    """Answer N queries with shared compilation, shared passes, one pool.
+
+    1. Every query's compilation input is digested
+       (:func:`repro.runtime.trace_cache.trace_digest`); queries with equal
+       digests share one compiled trace — the batch compiles each distinct
+       trace exactly once, through the persistent cache when ``cache`` (or
+       a configured default) is present.
+    2. Queries sharing a (trace, policy) pair are evaluated in one replay
+       call, concatenating their geometry lists so the kernels' shared
+       passes (stack distances, set partitions) amortize across users.
+    3. Evaluation fans out over ``backend``; answers return in query order,
+       each tagged with its digest, cache-hit, and intra-batch dedup flags.
+    """
+    from repro.runtime.compiled import simulate_trace
+    from repro.runtime.trace_cache import cached_compile_trace, trace_digest
+
+    keys = [
+        trace_digest(
+            q.graph, q.schedule, q.block, capacities=q.capacities,
+            layout_order=q.layout_order, count_external=q.count_external,
+            placement=q.placement, gaps=q.gaps,
+        )
+        for q in queries
+    ]
+    # compile each distinct trace once, in first-appearance order
+    traces: Dict[str, Tuple[object, bool]] = {}
+    deduped = [False] * len(queries)
+    for i, (q, key) in enumerate(zip(queries, keys)):
+        if key in traces:
+            deduped[i] = True
+            continue
+        trace, _key, was_hit = cached_compile_trace(
+            q.graph, q.schedule, q.block, capacities=q.capacities,
+            layout_order=q.layout_order, count_external=q.count_external,
+            placement=q.placement, gaps=q.gaps, cache=cache, key=key,
+        )
+        traces[key] = (trace, was_hit)
+
+    # group evaluation by (trace, policy): one replay call per group
+    groups: Dict[Tuple[str, str], List[int]] = {}
+    for i, (q, key) in enumerate(zip(queries, keys)):
+        groups.setdefault((key, q.policy), []).append(i)
+
+    answers: List[Optional[ServiceAnswer]] = [None] * len(queries)
+    for (key, policy), idxs in groups.items():
+        trace, was_hit = traces[key]
+        geoms: List = []
+        bounds = [0]
+        for i in idxs:
+            geoms.extend(queries[i].geometries)
+            bounds.append(len(geoms))
+        results = simulate_trace(
+            trace, geoms, policy=policy, workers=workers, backend=backend  # type: ignore[arg-type]
+        )
+        for slot, i in enumerate(idxs):
+            answers[i] = ServiceAnswer(
+                index=i,
+                trace_key=key,
+                cache_hit=was_hit,
+                deduped=deduped[i],
+                results=results[bounds[slot]:bounds[slot + 1]],
+            )
+    return [a for a in answers if a is not None]

@@ -82,6 +82,7 @@ __all__ = [
     "CompiledTrace",
     "TraceCompiler",
     "compile_trace",
+    "compile_trace_uncached",
     "simulate_trace",
     "measure_compiled",
 ]
@@ -329,6 +330,33 @@ class TraceCompiler:
         )
 
 
+def compile_trace_uncached(
+    graph: StreamGraph,
+    schedule: Schedule,
+    block: int,
+    capacities: Optional[Dict[int, int]] = None,
+    layout_order: Optional[Iterable[str]] = None,
+    count_external: bool = True,
+    placement: Optional[Sequence[ObjectKey]] = None,
+    gaps: Optional[Dict[ObjectKey, int]] = None,
+) -> CompiledTrace:
+    """Always-compile core of :func:`compile_trace` (never reads the cache;
+    what :func:`repro.runtime.trace_cache.cached_compile_trace` calls on a
+    miss — routing it through :func:`compile_trace` would recurse)."""
+    if capacities is None:
+        capacities = getattr(schedule, "capacities", None)
+    compiler = TraceCompiler(
+        graph,
+        block,
+        capacities=capacities,
+        layout_order=layout_order,
+        count_external=count_external,
+        placement=placement,
+        gaps=gaps,
+    )
+    return compiler.compile(schedule)
+
+
 def compile_trace(
     graph: StreamGraph,
     schedule: Schedule,
@@ -346,19 +374,52 @@ def compile_trace(
     object order and ``gaps`` the deliberate per-object padding (see
     :meth:`repro.mem.layout.MemoryLayout.place_graph`) — the path optimized
     layouts from :mod:`repro.mem.placement` take.
+
+    When a persistent trace cache is configured
+    (:func:`repro.runtime.trace_cache.configure`, the CLI's ``--cache-dir``),
+    the compilation is content-addressed through it: a previously compiled
+    identical input loads off disk instead of recompiling — bit-identical
+    by the digest contract.  With no cache configured (the default), this
+    compiles unconditionally and touches no disk.
     """
-    if capacities is None:
-        capacities = getattr(schedule, "capacities", None)
-    compiler = TraceCompiler(
-        graph,
-        block,
-        capacities=capacities,
-        layout_order=layout_order,
-        count_external=count_external,
-        placement=placement,
-        gaps=gaps,
+    from repro.runtime.trace_cache import cached_compile_trace, default_cache
+
+    if default_cache() is not None:
+        trace, _key, _hit = cached_compile_trace(
+            graph, schedule, block, capacities=capacities,
+            layout_order=layout_order, count_external=count_external,
+            placement=placement, gaps=gaps,
+        )
+        return trace
+    return compile_trace_uncached(
+        graph, schedule, block, capacities=capacities,
+        layout_order=layout_order, count_external=count_external,
+        placement=placement, gaps=gaps,
     )
-    return compiler.compile(schedule)
+
+
+def _result_from_stats(
+    trace: CompiledTrace, misses: int, phase_counts: Optional[List[int]]
+) -> ExecutionResult:
+    """Assemble one :class:`ExecutionResult` from reduced replay statistics
+    (what the process backend ships back instead of per-access masks)."""
+    phase_misses: Dict[str, int] = {}
+    if phase_counts is not None and misses:
+        phase_misses = {
+            PHASE_NAMES[code]: int(c)
+            for code, c in enumerate(phase_counts)
+            if c and PHASE_NAMES[code]
+        }
+    return ExecutionResult(
+        label=trace.label,
+        firings=trace.firings,
+        misses=misses,
+        accesses=trace.accesses,
+        phase_misses=phase_misses,
+        fire_counts=dict(trace.fire_counts),
+        source_fires=trace.source_fires,
+        sink_fires=trace.sink_fires,
+    )
 
 
 def simulate_trace(
@@ -366,6 +427,7 @@ def simulate_trace(
     geometries: Sequence[CacheGeometry],
     policy: str = "lru",
     workers: Optional[int] = None,
+    backend: Optional[str] = None,
 ) -> List[ExecutionResult]:
     """Miss counts of ``policy`` at every geometry from one compiled trace.
 
@@ -380,41 +442,52 @@ def simulate_trace(
     trace's block size — the trace's addresses were laid out for it.  Each
     result is identical to running the stepwise engine for that policy on
     the same trace: same misses, same accesses, same per-phase miss
-    attribution.  ``workers`` threads the per-geometry evaluation after the
-    shared distance passes.
-    """
-    from repro.runtime.replay import replay_miss_masks
+    attribution.
 
+    ``backend`` selects where the evaluation runs
+    (:mod:`repro.runtime.backend`): ``"serial"``/``"thread"`` run the
+    kernels in-process (threads fan the per-geometry mask evaluation out
+    after the shared distance passes, clamped per
+    :func:`~repro.runtime.backend.effective_workers`); ``"process"`` ships
+    the trace to a process pool once via shared memory and chunks the
+    geometry list over it — bit-identical results in input order either
+    way, since the kernels are pure functions of ``(blocks, geometries)``.
+    ``backend=None`` (default) follows the configured process-wide default,
+    preserving the historical ``workers=``-threads behaviour.
+    """
+    geometries = list(geometries)
     for geom in geometries:
         if geom.block != trace.block:
             raise CacheConfigError(
                 f"geometry block {geom.block} does not match trace block "
                 f"{trace.block}; recompile the trace for this block size"
             )
-    masks = replay_miss_masks(trace.blocks, geometries, policy=policy, workers=workers)
+    from repro.runtime.backend import process_sweep, resolve
+
+    name, width = resolve(backend, workers, len(geometries))
+    if name == "process" and geometries and trace.accesses:
+        from repro.cache.policy import get_policy
+
+        get_policy(policy)  # fail on unknown names here, not in a worker
+        stats = process_sweep(
+            trace.blocks, trace.phases, geometries, policy, width
+        )
+        return [_result_from_stats(trace, m, counts) for m, counts in stats]
+    from repro.runtime.replay import replay_miss_masks
+
+    masks = replay_miss_masks(
+        trace.blocks, geometries, policy=policy,
+        workers=width if name == "thread" else None,
+    )
     results: List[ExecutionResult] = []
     for geom, miss_mask in zip(geometries, masks):
         misses = int(np.count_nonzero(miss_mask))
-        phase_misses: Dict[str, int] = {}
-        if trace.phases is not None and misses:
-            counts = np.bincount(trace.phases[miss_mask], minlength=len(PHASE_NAMES))
-            phase_misses = {
-                PHASE_NAMES[code]: int(c)
-                for code, c in enumerate(counts)
-                if c and PHASE_NAMES[code]
-            }
-        results.append(
-            ExecutionResult(
-                label=trace.label,
-                firings=trace.firings,
-                misses=misses,
-                accesses=trace.accesses,
-                phase_misses=phase_misses,
-                fire_counts=dict(trace.fire_counts),
-                source_fires=trace.source_fires,
-                sink_fires=trace.sink_fires,
-            )
-        )
+        counts: Optional[List[int]] = None
+        if trace.phases is not None:
+            counts = np.bincount(
+                trace.phases[miss_mask], minlength=len(PHASE_NAMES)
+            ).tolist()
+        results.append(_result_from_stats(trace, misses, counts))
     return results
 
 
@@ -428,20 +501,41 @@ def measure_compiled(
     workers: Optional[int] = None,
     placement: Optional[Sequence[ObjectKey]] = None,
     gaps: Optional[Dict[ObjectKey, int]] = None,
+    backend: Optional[str] = None,
+    cache: Optional[object] = None,
 ) -> ExecutionResult:
     """Drop-in for ``Executor.measure``, via compilation.
 
     Compiles the schedule once and evaluates the single geometry with the
     vectorized kernel of ``policy`` — exact same result, no stepwise cache
-    simulation.
+    simulation.  ``cache`` (a :class:`repro.runtime.trace_cache.TraceCache`)
+    routes the compilation through the persistent content-addressed cache;
+    ``backend`` picks the execution backend exactly as in
+    :func:`simulate_trace`.
     """
-    trace = compile_trace(
-        graph,
-        schedule,
-        geometry.block,
-        layout_order=layout_order,
-        count_external=count_external,
-        placement=placement,
-        gaps=gaps,
-    )
-    return simulate_trace(trace, [geometry], policy=policy, workers=workers)[0]
+    if cache is not None:
+        from repro.runtime.trace_cache import cached_compile_trace
+
+        trace, _key, _hit = cached_compile_trace(
+            graph,
+            schedule,
+            geometry.block,
+            layout_order=layout_order,
+            count_external=count_external,
+            placement=placement,
+            gaps=gaps,
+            cache=cache,  # type: ignore[arg-type]
+        )
+    else:
+        trace = compile_trace(
+            graph,
+            schedule,
+            geometry.block,
+            layout_order=layout_order,
+            count_external=count_external,
+            placement=placement,
+            gaps=gaps,
+        )
+    return simulate_trace(
+        trace, [geometry], policy=policy, workers=workers, backend=backend
+    )[0]

@@ -282,12 +282,28 @@ def opt_stack_distances(
 def _fanout(
     fn: Callable, items: Sequence, workers: Optional[int]
 ) -> List[np.ndarray]:
-    """Map ``fn`` over ``items``, through a thread pool when asked to."""
-    if not workers or workers <= 1 or len(items) <= 1:
+    """Map ``fn`` over ``items``, through a thread pool when asked to.
+
+    **Ordering guarantee**: the result list is always in input order —
+    ``_fanout(fn, items, w)[i] == fn(items[i])`` for every ``i`` and every
+    ``w``.  The serial path is a comprehension and ``ThreadPoolExecutor.map``
+    yields results in submission order regardless of completion order, so
+    callers (every kernel, every sweep) never re-sort.
+
+    The pool width is clamped to ``min(workers, len(items), os.cpu_count())``
+    (:func:`repro.runtime.backend.effective_workers`): a pool wider than the
+    item list idles from the first task, and one wider than the machine only
+    adds scheduler pressure — ``workers=64`` on a 4-core box for 3 items
+    builds a 3-thread pool, not 64.  Width <= 1 runs serially.
+    """
+    from repro.runtime.backend import effective_workers
+
+    width = effective_workers(workers, len(items))
+    if width <= 1 or len(items) <= 1:
         return [fn(it) for it in items]
     from concurrent.futures import ThreadPoolExecutor
 
-    with ThreadPoolExecutor(max_workers=workers) as pool:
+    with ThreadPoolExecutor(max_workers=width) as pool:
         return list(pool.map(fn, items))
 
 

@@ -52,6 +52,32 @@ class TestIndexSchemeTypos:
         assert "mod" in err and "xor" in err
 
 
+class TestUnknownBackend:
+    """``--backend`` rejects unknown names with exit 2 naming the value, on
+    every subcommand that accepts the flag."""
+
+    @pytest.mark.parametrize("bogus", ["warp", "threads", "PROCESS", "mpi"])
+    def test_schedule_names_value_and_choices(self, bogus, capsys):
+        err = _usage_error(
+            capsys,
+            ["schedule", "fm_radio", "--cache", "256", "--backend", bogus],
+        )
+        assert f"'{bogus}'" in err
+        for valid in ("serial", "thread", "process"):
+            assert valid in err
+
+    def test_experiment_rejects_unknown_backend_too(self, capsys):
+        err = _usage_error(capsys, ["experiment", "e7", "--backend", "gpu"])
+        assert "'gpu'" in err and "--backend" in err
+
+    def test_workers_must_be_an_integer(self, capsys):
+        err = _usage_error(
+            capsys,
+            ["schedule", "fm_radio", "--cache", "256", "--workers", "many"],
+        )
+        assert "'many'" in err and "--workers" in err
+
+
 class TestLayoutTargetMessages:
     """Each malformed chunk is echoed back verbatim in the error."""
 

@@ -468,3 +468,82 @@ class TestRunnerAndCli:
         assert main(["--root", str(tmp_path), "--rules", "R5"]) == 1
         out = capsys.readouterr().out
         assert "repro.lint: FAIL" in out and "indexing.py is missing" in out
+
+
+class TestR2ServiceBenchReference:
+    """Service-path modules (backend, trace cache) must stay benchmarked."""
+
+    def _files(self, bench="run_batch(qs)\nTraceCache(p)\n", with_service=True):
+        files = {
+            "src/repro/analysis/experiments.py": (
+                "def experiment_e1_demo():\n    return []\n"
+            ),
+            "src/repro/cli.py": _R2_CLI,
+            "README.md": "| E1 | demo | `experiment_e1_demo` |\n",
+            "benchmarks/bench_e1_demo.py": (
+                "from repro.analysis.experiments import experiment_e1_demo\n"
+            ),
+            "benchmarks/bench_service.py": bench,
+        }
+        if with_service:
+            files["src/repro/runtime/backend.py"] = "def run_batch():\n    pass\n"
+            files["src/repro/runtime/trace_cache.py"] = "class TraceCache:\n    pass\n"
+        return files
+
+    def test_benchmarked_service_modules_pass(self):
+        assert _violations(self._files(), ["R2"]) == []
+
+    def test_unbenchmarked_backend_reported(self):
+        (v,) = _violations(self._files(bench="TraceCache(p)\n"), ["R2"])
+        assert v.path == "src/repro/runtime/backend.py"
+        assert "run_batch" in v.message and "bench_service" in v.message
+
+    def test_unbenchmarked_trace_cache_reported(self):
+        (v,) = _violations(self._files(bench="run_batch(qs)\n"), ["R2"])
+        assert v.path == "src/repro/runtime/trace_cache.py"
+
+    def test_overlay_without_service_modules_is_exempt(self):
+        # synthetic projects that omit the modules owe no benchmark
+        assert _violations(self._files(bench="", with_service=False), ["R2"]) == []
+
+
+class TestR3ServiceModules:
+    """backend/trace_cache obey the same hot-path purity contract."""
+
+    def _files(self, backend="", trace_cache=""):
+        return {
+            "src/repro/runtime/replay.py": "",
+            "src/repro/runtime/compiled.py": "",
+            "src/repro/runtime/backend.py": backend,
+            "src/repro/runtime/trace_cache.py": trace_cache,
+        }
+
+    def test_clean_service_modules_pass(self):
+        files = self._files(
+            backend="from repro.runtime.replay import replay_miss_masks\n",
+            trace_cache="import numpy as np\n",
+        )
+        assert _violations(files, ["R3"]) == []
+
+    def test_backend_importing_executor_reported(self):
+        files = self._files(
+            backend="from repro.runtime.executor import Executor\n"
+        )
+        (v,) = _violations(files, ["R3"])
+        assert (v.path, v.line) == ("src/repro/runtime/backend.py", 1)
+        assert "Executor" in v.message
+
+    def test_trace_cache_importing_testing_reported(self):
+        files = self._files(
+            trace_cache="from repro.testing.harness import differential_grid\n"
+        )
+        (v,) = _violations(files, ["R3"])
+        assert v.path == "src/repro/runtime/trace_cache.py"
+        assert "repro.testing" in v.message
+
+    def test_absent_service_modules_are_not_required(self):
+        files = {
+            "src/repro/runtime/replay.py": "",
+            "src/repro/runtime/compiled.py": "",
+        }
+        assert _violations(files, ["R3"]) == []

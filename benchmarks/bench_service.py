@@ -152,19 +152,19 @@ def bench_search(instance, run_geom, cores: int, budget: int, batch: int) -> tup
     kw = dict(targets=targets, budget=budget, batch=batch, gap_budget=4)
 
     t0 = time.perf_counter()
-    s_order, s_gaps, s_cost, s_evals = swap_refine(
+    s_order, s_gaps, s_cost, s_stats = swap_refine(
         instance, order, backend="serial", **kw
     )
     t_serial = time.perf_counter() - t0
     t0 = time.perf_counter()
-    p_order, p_gaps, p_cost, p_evals = swap_refine(
+    p_order, p_gaps, p_cost, p_stats = swap_refine(
         instance, order, backend="process", workers=cores, **kw
     )
     t_process = time.perf_counter() - t0
-    assert (p_order, p_gaps, p_cost, p_evals) == (s_order, s_gaps, s_cost, s_evals), (
+    assert (p_order, p_gaps, p_cost, p_stats) == (s_order, s_gaps, s_cost, s_stats), (
         "search trajectory changed with the backend"
     )
-    return t_serial, t_process, s_evals
+    return t_serial, t_process, s_stats.evals
 
 
 def main(argv=None) -> int:

@@ -25,6 +25,10 @@ at the repo root (with a rolling ``history`` so
   ``TwoLevelCache`` walked block by block per (L1, L2) pair — vs the
   hierarchical replay (one L1 pass per distinct L1, its miss sub-trace
   feeding one L2 pass per capacity).  Acceptance: >= 5x on the grid.
+* **obs_overhead**: the LRU sweep with :mod:`repro.obs` instrumentation
+  enabled vs disabled (best of N, interleaved) — the enabled/disabled
+  wall-time *ratio*, lower is better.  Acceptance: <= 1.02x, enforced
+  here and as an absolute ceiling by ``check_bench_trends.py``.
 
 Every path must agree miss-for-miss with its stepwise oracle at every size
 (the oracle property, re-checked here on the benchmark workload itself).
@@ -164,6 +168,25 @@ def test_trace_engine_speedup(show):
     assert tl_fast == tl_ref, "two-level replay diverged from stepwise TwoLevelCache"
     tl_speedup = t_tl_step / t_tl_replay
 
+    # --- obs overhead: instrumentation must be ~free.  Enabled-vs-disabled
+    # is the stricter proxy for the disabled-cost contract: whatever the
+    # full emitters cost, the one-boolean disabled path costs less.  Runs
+    # interleave (off, on, off, on, ...) so clock drift cancels; best-of-N
+    # on each side rejects scheduler noise.
+    from repro import obs
+
+    t_obs_off = t_obs_on = float("inf")
+    for _ in range(5):
+        t0 = time.perf_counter()
+        off_misses = [r.misses for r in simulate_trace(trace, geoms)]
+        t_obs_off = min(t_obs_off, time.perf_counter() - t0)
+        with obs.capture(enabled=True):
+            t0 = time.perf_counter()
+            on_misses = [r.misses for r in simulate_trace(trace, geoms)]
+            t_obs_on = min(t_obs_on, time.perf_counter() - t0)
+        assert on_misses == off_misses, "instrumentation changed the answers"
+    obs_overhead = t_obs_on / t_obs_off
+
     summary = {
         "ts": round(time.time(), 1),
         "sweep": round(sweep_speedup, 2),
@@ -172,6 +195,7 @@ def test_trace_engine_speedup(show):
         "opt": round(opt_speedup, 2),
         "set_assoc": round(sa_speedup, 2),
         "two_level": round(tl_speedup, 2),
+        "obs_overhead": round(obs_overhead, 3),
     }
     history = []
     if JSON_PATH.exists():
@@ -224,6 +248,11 @@ def test_trace_engine_speedup(show):
                 "speedup": round(tl_speedup, 2),
             },
         },
+        "obs": {
+            "disabled_s": round(t_obs_off, 4),
+            "enabled_s": round(t_obs_on, 4),
+            "obs_overhead": round(obs_overhead, 3),
+        },
         "history": history,
     }
 
@@ -241,6 +270,8 @@ def test_trace_engine_speedup(show):
              "replay_s": round(t_sa_replay, 3), "speedup": round(sa_speedup, 1)},
             {"path": "two-level grid (3x4)", "stepwise_s": round(t_tl_step, 3),
              "replay_s": round(t_tl_replay, 3), "speedup": round(tl_speedup, 1)},
+            {"path": "obs on vs off (lru sweep)", "stepwise_s": round(t_obs_off, 3),
+             "replay_s": round(t_obs_on, 3), "speedup": round(obs_overhead, 3)},
         ],
         "trace engine: vectorized replay vs stepwise loops",
     )
@@ -250,6 +281,9 @@ def test_trace_engine_speedup(show):
     assert opt_speedup >= 5.0, f"OPT sweep {opt_speedup:.1f}x < 5x target"
     assert sa_speedup >= 0.5, "set-associative replay should not be dramatically slower"
     assert tl_speedup >= 5.0, f"two-level grid {tl_speedup:.1f}x < 5x target"
+    assert obs_overhead <= 1.02, (
+        f"instrumentation overhead {obs_overhead:.3f}x > 1.02x ceiling"
+    )
 
     # record only after every gate passed, so a regressed run can never
     # become the trend check's next baseline

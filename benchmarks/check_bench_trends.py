@@ -12,7 +12,12 @@ when any tracked metric fell by more than the tolerated fraction (default
 speedup must be >= 5x everywhere, while the pool-scaling and
 search-speedup floors apply only when the entry's recorded ``cores`` says
 the machine could parallelize at all (>= 4 cores) — a 1-core runner
-records its honest ratios without failing.  With fewer than two history entries there is
+records its honest ratios without failing.  Lower-is-better metrics get
+absolute *ceilings* instead (:data:`CEILINGS_BY_FILE`): ``obs_overhead``
+(the enabled/disabled instrumentation wall-time ratio) must stay <= 1.02x
+from the very first run.  Ceiling metrics are deliberately *not* in the
+relative trend gate — a falling ratio is an improvement, never a
+regression.  With fewer than two history entries there is
 nothing to compare yet and the check passes (that is the "once history
 exists" contract: the first run of a fresh clone seeds the baseline).
 
@@ -65,6 +70,17 @@ FLOORS_BY_FILE = {
         ("warm_speedup", 5.0, 1),
         ("pool_scaling", 1.5, 4),
         ("search_speedup", 2.0, 4),
+    ),
+}
+
+#: absolute ceilings on the *latest* entry: ``(metric, ceiling)`` for
+#: lower-is-better metrics.  Like the floors they hold from the very first
+#: run; unlike the tracked metrics they are excluded from the relative
+#: trend gate, where a *drop* (an improvement, for a ratio like
+#: ``obs_overhead``) would be misread as a regression.
+CEILINGS_BY_FILE = {
+    "BENCH_trace_engine.json": (
+        ("obs_overhead", 1.02),
     ),
 }
 
@@ -138,7 +154,9 @@ def check(path: Path, tolerance: float) -> int:
     except json.JSONDecodeError as exc:
         print(f"trend check: cannot parse {path}: {exc}")
         return 1
-    known_metrics = METRICS_BY_FILE.get(path.name, ())
+    known_metrics = METRICS_BY_FILE.get(path.name, ()) + tuple(
+        metric for metric, _ceiling in CEILINGS_BY_FILE.get(path.name, ())
+    )
     schema_errors = validate_record(record, path.name, known_metrics)
     if schema_errors:
         for err in schema_errors:
@@ -151,8 +169,11 @@ def check(path: Path, tolerance: float) -> int:
             f"{'y' if len(history) == 1 else 'ies'} in {path.name} - "
             "need two runs before regressions can be detected"
         )
-        # the absolute floors hold from the very first run
-        return 1 if check_floors(path.name, history) else 0
+        # the absolute floors and ceilings hold from the very first run
+        failed = check_floors(path.name, history) + check_ceilings(
+            path.name, history
+        )
+        return 1 if failed else 0
     prev, last = history[-2], history[-1]
     metrics = METRICS_BY_FILE.get(path.name)
     if metrics is None:
@@ -175,13 +196,14 @@ def check(path: Path, tolerance: float) -> int:
         if last[metric] < floor:
             failures.append(metric)
     floor_failures = check_floors(path.name, history)
+    ceiling_failures = check_ceilings(path.name, history)
     if failures:
         print(
             f"trend check: FAIL - {', '.join(failures)} fell more than "
             f"{tolerance:.0%} below the previous run"
         )
         return 1
-    if floor_failures:
+    if floor_failures or ceiling_failures:
         return 1
     print(f"trend check: ok ({len(history)} runs tracked)")
     return 0
@@ -213,6 +235,37 @@ def check_floors(name: str, history: list) -> list:
         print(
             f"trend check: FAIL - {', '.join(failures)} below the absolute "
             f"floor for {name}"
+        )
+    return failures
+
+
+def check_ceilings(name: str, history: list) -> list:
+    """Absolute ceilings on the newest entry; returns failed metric names.
+
+    Lower is better for these metrics, so the check is ``value <=
+    ceiling``; entries that predate a metric pass (absence is fine, same
+    contract as the floors).
+    """
+    ceilings = CEILINGS_BY_FILE.get(name)
+    if not ceilings or not history or not isinstance(history[-1], dict):
+        return []
+    last = history[-1]
+    failures = []
+    for metric, ceiling in ceilings:
+        value = last.get(metric)
+        if not _is_number(value):
+            continue
+        status = "ok" if value <= ceiling else "ABOVE CEILING"
+        print(
+            f"  {metric:14s} {value:8.3f}x  (absolute ceiling "
+            f"{ceiling:.2f}x)  {status}"
+        )
+        if value > ceiling:
+            failures.append(metric)
+    if failures:
+        print(
+            f"trend check: FAIL - {', '.join(failures)} above the absolute "
+            f"ceiling for {name}"
         )
     return failures
 

@@ -29,7 +29,15 @@ Commands
                          traces content-addressed on disk
 ``experiment``           run one experiment driver (e1..e15, a1..a9) and
                          print its table; accepts the same
-                         ``--backend``/``--workers``/``--cache-dir`` flags
+                         ``--backend``/``--workers``/``--cache-dir`` flags;
+                         both it and ``schedule`` also take ``--metrics-out
+                         PATH`` to switch on the :mod:`repro.obs`
+                         instrumentation and write a JSON run manifest
+                         (stable run ID, git describe, config digest,
+                         per-phase wall/CPU times, metric snapshot) plus a
+                         span event log beside it
+``obs-report``           render a ``--metrics-out`` manifest as a per-phase
+                         breakdown table
 ``export-dot``           write a Graphviz DOT of a (partitioned) graph
 ``misscurve``            misses-vs-cache-size curve of partitioned and naive
                          schedules (compiled traces + Mattson stack
@@ -52,6 +60,8 @@ Examples
         --layout swap --layout-targets direct:1@2,lru:2,lru:4 --gap-budget 8
     python -m repro experiment e7
     python -m repro experiment a9
+    python -m repro schedule fm_radio --cache 256 --metrics-out run.json
+    python -m repro obs-report run.json
     python -m repro export-dot fm_radio --cache 256 -o fm.dot
 """
 
@@ -453,6 +463,33 @@ def _add_runtime_flags(sub: argparse.ArgumentParser) -> None:
                      help="persistent compiled-trace cache directory: "
                           "identical (graph, schedule, layout, block) "
                           "inputs load off disk instead of recompiling")
+    sub.add_argument("--metrics-out", default=None, metavar="PATH",
+                     help="enable instrumentation (repro.obs) for this run "
+                          "and write a JSON run manifest (stable run ID, "
+                          "git describe, config digest, per-phase wall/CPU, "
+                          "metric snapshot) to PATH plus a JSON-lines span "
+                          "event log beside it; render with "
+                          "'python -m repro obs-report PATH'")
+
+
+def cmd_obs_report(args) -> int:
+    """Render a run manifest written by ``--metrics-out`` as a table."""
+    import json
+    from pathlib import Path
+
+    from repro.obs.report import render_manifest
+
+    path = Path(args.manifest)
+    try:
+        manifest = json.loads(path.read_text())
+    except OSError as exc:
+        raise SystemExit(f"cannot read manifest {str(path)!r}: {exc}") from None
+    except json.JSONDecodeError as exc:
+        raise SystemExit(f"manifest {str(path)!r} is not valid JSON: {exc}") from None
+    if not isinstance(manifest, dict):
+        raise SystemExit(f"manifest {str(path)!r} is not a JSON object")
+    print(render_manifest(manifest))
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -533,6 +570,10 @@ def build_parser() -> argparse.ArgumentParser:
     mc.add_argument("--inputs", type=int, default=512)
     mc.set_defaults(fn=cmd_misscurve)
 
+    r = sub.add_parser("obs-report", help="render a --metrics-out run manifest")
+    r.add_argument("manifest", help="manifest JSON written by --metrics-out")
+    r.set_defaults(fn=cmd_obs_report)
+
     x = sub.add_parser("export-dot", help="Graphviz DOT export")
     x.add_argument("graph")
     x.add_argument("--cache", type=int, default=0, help="partition for this M (0 = none)")
@@ -545,7 +586,22 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.fn(args)
+    metrics_out = getattr(args, "metrics_out", None)
+    if not metrics_out:
+        return args.fn(args)
+    # --metrics-out turns instrumentation on for exactly this run and
+    # writes the manifest (plus a .events.jsonl span log) beside it, even
+    # when the command fails — the manifest then records ok=false.
+    from pathlib import Path
+
+    from repro.obs.manifest import capture_run
+
+    config = {
+        k: v for k, v in vars(args).items() if k != "fn" and not callable(v)
+    }
+    with capture_run(command=args.command, config=config, out=Path(metrics_out)):
+        rc = args.fn(args)
+    return rc
 
 
 if __name__ == "__main__":

@@ -1,4 +1,4 @@
-"""The project-specific rules: R1–R5, each enforcing one cross-layer
+"""The project-specific rules: R1–R6, each enforcing one cross-layer
 invariant that generic linters cannot see.
 
 ========  =======================  ====================================================
@@ -16,6 +16,9 @@ id        name                     invariant
                                    from the module's documented contract
 ``R5``    twin-fold-pinning        the scalar and vectorized XOR set-index folds both
                                    come from :mod:`repro.cache.indexing`
+``R6``    obs-name-registry        every span/metric name emitted under ``src/repro``
+                                   comes from :mod:`repro.obs.names`, and the obs
+                                   package itself stays import-light at module load
 ========  =======================  ====================================================
 
 Rationale, suppression syntax, and worked example violations for each rule
@@ -38,6 +41,7 @@ __all__ = [
     "registered_replay_kernels",
     "experiment_drivers",
     "cli_experiment_ids",
+    "obs_registered_names",
 ]
 
 # ---------------------------------------------------------------------------
@@ -56,6 +60,13 @@ ANALYSIS_GLOB = "src/repro/analysis/*.py"
 BENCH_GLOB = "benchmarks/bench_*.py"
 INDEXING_PATH = "src/repro/cache/indexing.py"
 BASE_PATH = "src/repro/cache/base.py"
+OBS_NAMES_PATH = "src/repro/obs/names.py"
+OBS_GLOB = "src/repro/obs/*.py"
+#: Where R6 looks for instrumentation call sites.  ``pathlib.Path.glob``
+#: ``*`` does not cross ``/`` (synthetic overlays use :mod:`fnmatch`,
+#: where it does), so real and overlay projects both need explicit
+#: per-depth patterns; the union is deduplicated.
+SRC_GLOBS = ("src/repro/*.py", "src/repro/*/*.py", "src/repro/*/*/*.py")
 
 #: Experiments intentionally not referenced by any ``benchmarks/bench_*.py``
 #: driver call.  Every entry needs a reason; the table is mirrored in
@@ -99,6 +110,25 @@ SERVICE_BENCH_REQUIRED: Dict[str, str] = {
     BACKEND_PATH: "run_batch",
     TRACE_CACHE_PATH: "TraceCache",
 }
+
+#: The :mod:`repro.obs` emitter functions whose first argument is a
+#: span/metric name (rule R6).
+_OBS_EMITTERS = frozenset({"span", "add", "gauge", "observe", "series"})
+
+#: Module prefixes :mod:`repro.obs` may not import at module load (rule
+#: R6): instrumentation must stay importable — and near-free to import —
+#: from every layer, so it cannot pull in numpy or the heavy repro
+#: packages it instruments (which would also create import cycles).
+_OBS_HEAVY_PREFIXES = (
+    "numpy",
+    "repro.analysis",
+    "repro.cache",
+    "repro.core",
+    "repro.graphs",
+    "repro.mem",
+    "repro.runtime",
+    "repro.testing",
+)
 
 
 # ---------------------------------------------------------------------------
@@ -560,4 +590,166 @@ def rule_twin_fold_pinning(project: Project) -> Iterator[Violation]:
                     rule="R5", path=rel, line=node.lineno,
                     message="recomputing fold parameters via bit_length() — "
                     "import fold_parameters from repro.cache.indexing instead",
+                )
+
+
+# ---------------------------------------------------------------------------
+# R6 — obs name registry + import-light obs package
+# ---------------------------------------------------------------------------
+def obs_registered_names(project: Project) -> Dict[str, str]:
+    """``{CONSTANT: value}`` for every module-level upper-case string
+    assignment in :mod:`repro.obs.names` — the only names rule R6 lets
+    instrumentation emit.  Empty when the module is missing or broken."""
+    try:
+        tree = project.tree(OBS_NAMES_PATH)
+    except (FileNotFoundError, SyntaxError):
+        return {}
+    out: Dict[str, str] = {}
+    for node in tree.body:
+        if (isinstance(node, ast.Assign) and len(node.targets) == 1
+                and isinstance(node.targets[0], ast.Name)
+                and node.targets[0].id.isupper()
+                and isinstance(node.value, ast.Constant)
+                and isinstance(node.value.value, str)):
+            out[node.targets[0].id] = node.value.value
+    return out
+
+
+def _obs_bindings(
+    tree: ast.AST,
+) -> Tuple[Set[str], Set[str], Set[str], Set[str]]:
+    """Names a module binds to the obs API: ``(module_aliases,
+    names_aliases, bare_emitters, imported_constants)``.
+
+    ``module_aliases`` are bindings of ``repro.obs`` or ``repro.obs.core``
+    (``obs.span(...)`` call bases); ``names_aliases`` bind
+    ``repro.obs.names`` (``obs_names.CACHE_HITS`` attribute bases);
+    ``bare_emitters`` are emitter functions imported directly; and
+    ``imported_constants`` are name constants imported from
+    ``repro.obs.names`` (valid as bare first arguments).
+    """
+    module_aliases: Set[str] = set()
+    names_aliases: Set[str] = set()
+    bare_emitters: Set[str] = set()
+    imported_constants: Set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom) and node.level == 0:
+            module = node.module or ""
+            for alias in node.names:
+                bound = alias.asname or alias.name
+                if module == "repro" and alias.name == "obs":
+                    module_aliases.add(bound)
+                elif module == "repro.obs":
+                    if alias.name == "core":
+                        module_aliases.add(bound)
+                    elif alias.name == "names":
+                        names_aliases.add(bound)
+                    elif alias.name in _OBS_EMITTERS:
+                        bare_emitters.add(bound)
+                elif module == "repro.obs.core" and alias.name in _OBS_EMITTERS:
+                    bare_emitters.add(bound)
+                elif module == "repro.obs.names":
+                    imported_constants.add(bound)
+        elif isinstance(node, ast.Import):
+            for alias in node.names:
+                bound = alias.asname or alias.name
+                if alias.name in ("repro.obs", "repro.obs.core"):
+                    module_aliases.add(bound)
+                elif alias.name == "repro.obs.names":
+                    names_aliases.add(bound)
+    return module_aliases, names_aliases, bare_emitters, imported_constants
+
+
+@register_rule(
+    "R6",
+    "obs-name-registry",
+    "every span/metric name emitted under src/repro comes from "
+    "repro.obs.names, and repro.obs itself stays import-light at load",
+)
+def rule_obs_name_registry(project: Project) -> Iterator[Violation]:
+    # --- the obs package must stay cheap and cycle-free to import -------
+    for rel in project.glob(OBS_GLOB):
+        try:
+            tree = project.tree(rel)
+        except (FileNotFoundError, SyntaxError):
+            continue  # a broken obs module surfaces through the test suite
+        for node in tree.body:  # top-level only: lazy imports are fine
+            if isinstance(node, ast.Import):
+                modules = [alias.name for alias in node.names]
+            elif isinstance(node, ast.ImportFrom) and node.level == 0:
+                modules = [node.module or ""]
+            else:
+                continue
+            for module in modules:
+                if module.startswith(_OBS_HEAVY_PREFIXES):
+                    yield Violation(
+                        rule="R6", path=rel, line=node.lineno,
+                        message=f"repro.obs must stay import-light: "
+                        f"module-level import of {module} would make every "
+                        f"layer pay for (and cycle with) the code obs "
+                        f"instruments — import it lazily inside a function "
+                        f"if it is really needed",
+                    )
+
+    # --- every emitted name must be registered in repro.obs.names -------
+    registered = obs_registered_names(project)
+    values = set(registered.values())
+    for rel in sorted({f for pat in SRC_GLOBS for f in project.glob(pat)}):
+        try:
+            tree = project.tree(rel)
+        except (FileNotFoundError, SyntaxError):
+            continue
+        module_aliases, names_aliases, bare_emitters, constants = _obs_bindings(tree)
+        if not (module_aliases or bare_emitters):
+            continue
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if (isinstance(func, ast.Attribute)
+                    and isinstance(func.value, ast.Name)
+                    and func.value.id in module_aliases
+                    and func.attr in _OBS_EMITTERS):
+                emitter = func.attr
+            elif isinstance(func, ast.Name) and func.id in bare_emitters:
+                emitter = func.id
+            else:
+                continue
+            if not node.args:
+                yield Violation(
+                    rule="R6", path=rel, line=node.lineno,
+                    message=f"obs.{emitter}(...) without a positional name "
+                    f"argument — pass a repro.obs.names constant",
+                )
+                continue
+            arg = node.args[0]
+            if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+                if arg.value not in values:
+                    yield Violation(
+                        rule="R6", path=rel, line=node.lineno,
+                        message=f"obs.{emitter}({arg.value!r}) uses a name "
+                        f"not registered in repro.obs.names — add a "
+                        f"constant there (one module owns the namespace, "
+                        f"so dashboards and tests can enumerate it)",
+                    )
+            elif (isinstance(arg, ast.Attribute)
+                    and isinstance(arg.value, ast.Name)
+                    and arg.value.id in names_aliases):
+                if arg.attr not in registered:
+                    yield Violation(
+                        rule="R6", path=rel, line=node.lineno,
+                        message=f"obs.{emitter}(...) references "
+                        f"{arg.value.id}.{arg.attr}, which repro.obs.names "
+                        f"does not define",
+                    )
+            elif isinstance(arg, ast.Name) and arg.id in constants:
+                pass  # imported straight from repro.obs.names
+            else:
+                yield Violation(
+                    rule="R6", path=rel, line=node.lineno,
+                    message=f"obs.{emitter}(...) with a dynamic name — "
+                    f"metric names must be literal repro.obs.names "
+                    f"constants so the namespace stays enumerable "
+                    f"(suppress with '# repro-lint: disable=R6' for "
+                    f"audited forwarders)",
                 )

@@ -5,6 +5,7 @@ from repro.mem.layout import MemoryLayout, ObjectKey, Region, layout_objects
 from repro.mem.placement import (
     PlacementInstance,
     PlacementResult,
+    RefineStats,
     available_placements,
     build_instance,
     conflict_graph,
@@ -31,6 +32,7 @@ __all__ = [
     "TracingCache",
     "PlacementInstance",
     "PlacementResult",
+    "RefineStats",
     "available_placements",
     "build_instance",
     "conflict_graph",

@@ -72,6 +72,8 @@ from repro.cache.base import CacheGeometry
 from repro.errors import LayoutError
 from repro.graphs.sdf import StreamGraph
 from repro.mem.layout import ObjectKey, layout_objects
+from repro.obs import core as obs
+from repro.obs import names as obs_names
 from repro.runtime.executor import EXT_OUT_SPAN
 
 if TYPE_CHECKING:  # import cycle: the runtime layer sits above repro.mem
@@ -89,6 +91,7 @@ __all__ = [
     "placement_costs",
     "conflict_graph",
     "greedy_color_order",
+    "RefineStats",
     "swap_refine",
     "register_placement",
     "get_placement",
@@ -506,6 +509,28 @@ def greedy_color_order(
     return [instance.objects[oid] for oid in order_ids]
 
 
+@dataclass(frozen=True)
+class RefineStats:
+    """Telemetry of one :func:`swap_refine` search — the structured
+    replacement for the bare ``evals`` integer it used to return.
+
+    ``trajectory[0]`` is the seed cost; each further point is the best
+    cost after one improving round, so ``trajectory[-1]`` equals the
+    returned cost and ``rounds == len(trajectory) - 1``.  The same values
+    are recorded as obs metrics (``placement.evals`` / ``placement.rounds``
+    counters, the ``placement.cost`` series) while instrumentation is
+    enabled.  ``int(stats)`` still yields the evaluation count for callers
+    that only budget.
+    """
+
+    evals: int
+    rounds: int
+    trajectory: Tuple[float, ...]
+
+    def __int__(self) -> int:
+        return self.evals
+
+
 def _batched_refine(
     instance: PlacementInstance,
     scorer: object,
@@ -519,6 +544,7 @@ def _batched_refine(
     evals: int,
     budget: int,
     batch: int,
+    trajectory: List[float],
 ) -> Tuple[float, int]:
     """Steepest-descent-within-batch local search (``swap_refine(batch>1)``).
 
@@ -529,7 +555,8 @@ def _batched_refine(
     scorer is bit-identical across backends, candidate order is fixed, and
     ties break to the earliest candidate — so the trajectory, final state,
     and evaluation count never depend on where scoring ran.  Mutates
-    ``ids``/``gap_vec`` in place; returns ``(cost, evals)``.
+    ``ids``/``gap_vec`` in place and appends each improving round's cost
+    to ``trajectory``; returns ``(cost, evals)``.
     """
     pos_of = {oid: p for p, oid in enumerate(ids)}
     improved = True
@@ -580,6 +607,8 @@ def _batched_refine(
                 cost = best_c
                 improved = True
                 break  # state changed: regenerate the move list
+        if improved:
+            trajectory.append(cost)
     return cost, evals
 
 
@@ -597,7 +626,7 @@ def swap_refine(
     batch: int = 1,
     backend: Optional[str] = None,
     workers: Optional[int] = None,
-) -> Tuple[List[ObjectKey], Dict[ObjectKey, int], float, int]:
+) -> Tuple[List[ObjectKey], Dict[ObjectKey, int], float, RefineStats]:
     """FLIP-style local search over (order, gaps) on the true remap cost.
 
     Starting from ``order`` (and optionally ``gaps``), repeatedly try two
@@ -615,8 +644,12 @@ def swap_refine(
       budget).
 
     The search stops at a local optimum or after ``budget`` cost
-    evaluations.  Returns ``(order, gaps, cost, evaluations)``; ``gaps``
-    maps object keys to their padding in blocks (zero entries omitted).
+    evaluations.  Returns ``(order, gaps, cost, stats)``; ``gaps`` maps
+    object keys to their padding in blocks (zero entries omitted), and
+    ``stats`` is a :class:`RefineStats` carrying the evaluation count, the
+    number of improving rounds, and the per-round best-cost trajectory
+    (``int(stats)`` recovers the old bare ``evals``).  The same telemetry
+    is recorded as obs metrics when :mod:`repro.obs` is enabled.
 
     **Parallel scoring.**  ``batch > 1`` switches to steepest-descent over
     batches: the next ``batch`` untried moves are scored together (through
@@ -669,7 +702,7 @@ def swap_refine(
         raise LayoutError(f"batch must be >= 1, got {batch}")
     from repro.runtime.backend import CandidateScorer
 
-    with CandidateScorer(
+    with obs.span(obs_names.PLACEMENT_SEARCH, batch=batch), CandidateScorer(
         instance, targets_n, backend=backend, workers=workers
     ) as scorer:
 
@@ -678,10 +711,11 @@ def swap_refine(
 
         cost = cost_of()
         evals = 1
+        trajectory: List[float] = [cost]
         if batch > 1:
             cost, evals = _batched_refine(
                 instance, scorer, ids, gap_vec, ranked, hot,
-                gap_budget, gap_total, cost, evals, budget, batch,
+                gap_budget, gap_total, cost, evals, budget, batch, trajectory,
             )
         else:
             improved = True
@@ -722,12 +756,21 @@ def swap_refine(
                             gap_vec[oid] -= delta
                             if evals >= budget:
                                 break
+                if improved:
+                    trajectory.append(cost)
+    stats = RefineStats(
+        evals=evals, rounds=len(trajectory) - 1, trajectory=tuple(trajectory)
+    )
+    obs.add(obs_names.PLACEMENT_EVALS, stats.evals)
+    obs.add(obs_names.PLACEMENT_ROUNDS, stats.rounds)
+    for point in stats.trajectory:
+        obs.series(obs_names.PLACEMENT_COST, point)
     out_gaps = {
         instance.objects[oid]: int(g)
         for oid, g in enumerate(gap_vec.tolist())
         if g
     }
-    return [instance.objects[oid] for oid in ids], out_gaps, cost, evals
+    return [instance.objects[oid] for oid in ids], out_gaps, cost, stats
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,85 @@
+"""Render a run manifest as a per-phase time/count breakdown table.
+
+``python -m repro obs-report manifest.json`` prints the output of
+:func:`render_manifest`: a header line with the run's identity, a span
+table sorted by wall time (the per-phase breakdown), then counters,
+gauges, histograms and series summaries.  Pure string formatting — no
+numpy, no runtime imports (lint rule R6 holds the whole ``repro.obs``
+package to that).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping
+
+__all__ = ["render_manifest"]
+
+
+def _fmt(value: float) -> str:
+    return f"{value:12.4f}"
+
+
+def render_manifest(manifest: Mapping[str, Any]) -> str:
+    """The human-readable report for one manifest dict; see module docs."""
+    metrics: Mapping[str, Any] = manifest.get("metrics") or {}
+    lines: List[str] = []
+    lines.append(
+        f"run {manifest.get('run_id', '?')}  "
+        f"git={manifest.get('git', 'unknown')}  "
+        f"config={str(manifest.get('config_digest', ''))[:12]}"
+    )
+    wall = manifest.get("wall_s")
+    cpu = manifest.get("cpu_s")
+    if wall is not None and cpu is not None:
+        lines.append(f"wall {wall:.4f}s  cpu {cpu:.4f}s  ok={manifest.get('ok')}")
+    spans: Dict[str, Any] = dict(metrics.get("spans") or {})
+    if spans:
+        lines.append("")
+        lines.append(f"{'phase':40s} {'count':>8s} {'wall_s':>12s} {'cpu_s':>12s}")
+        lines.append(f"{'-' * 40} {'-' * 8} {'-' * 12} {'-' * 12}")
+        ordered = sorted(
+            spans.items(), key=lambda kv: (-float(kv[1]["wall_s"]), kv[0])
+        )
+        for key, agg in ordered:
+            lines.append(
+                f"{key:40s} {int(agg['count']):8d} "
+                f"{_fmt(float(agg['wall_s']))} {_fmt(float(agg['cpu_s']))}"
+            )
+    counters: Dict[str, Any] = dict(metrics.get("counters") or {})
+    if counters:
+        lines.append("")
+        lines.append("counters")
+        for name in sorted(counters):
+            lines.append(f"  {name:38s} {int(counters[name]):12d}")
+    gauges: Dict[str, Any] = dict(metrics.get("gauges") or {})
+    if gauges:
+        lines.append("")
+        lines.append("gauges")
+        for name in sorted(gauges):
+            lines.append(f"  {name:38s} {float(gauges[name]):12g}")
+    hists: Dict[str, Any] = dict(metrics.get("histograms") or {})
+    if hists:
+        lines.append("")
+        lines.append("histograms (count/mean/min/max)")
+        for name in sorted(hists):
+            h = hists[name]
+            count = int(h["count"])
+            mean = float(h["total"]) / count if count else 0.0
+            lines.append(
+                f"  {name:38s} {count:8d} {mean:10.4f} "
+                f"{float(h['min']):10.4f} {float(h['max']):10.4f}"
+            )
+    series: Dict[str, Any] = dict(metrics.get("series") or {})
+    if series:
+        lines.append("")
+        lines.append("series (points, first -> last)")
+        for name in sorted(series):
+            points = list(series[name])
+            if points:
+                lines.append(
+                    f"  {name:38s} {len(points):6d} "
+                    f"{float(points[0]):.4f} -> {float(points[-1]):.4f}"
+                )
+            else:  # pragma: no cover - empty series are never recorded
+                lines.append(f"  {name:38s} {0:6d}")
+    return "\n".join(lines) + "\n"

@@ -70,6 +70,8 @@ from typing import (
 import numpy as np
 
 from repro.errors import CacheConfigError
+from repro.obs import core as obs
+from repro.obs import names as obs_names
 
 if TYPE_CHECKING:
     from repro.cache.base import CacheGeometry
@@ -208,17 +210,20 @@ def fan_out(
     item to be picklable — module-level functions, not closures.
     """
     name, width = resolve(backend, workers, len(items))
-    if name == "serial" or width <= 1 and name != "process":
-        return [fn(it) for it in items]
-    if name == "thread":
-        from concurrent.futures import ThreadPoolExecutor
+    obs.add(obs_names.BACKEND_TASKS, len(items))
+    obs.gauge(obs_names.BACKEND_WIDTH, width)
+    with obs.span(obs_names.BACKEND_MAP, backend=name):
+        if name == "serial" or width <= 1 and name != "process":
+            return [fn(it) for it in items]
+        if name == "thread":
+            from concurrent.futures import ThreadPoolExecutor
 
-        with ThreadPoolExecutor(max_workers=width) as pool:
+            with ThreadPoolExecutor(max_workers=width) as pool:
+                return list(pool.map(fn, items))
+        from concurrent.futures import ProcessPoolExecutor
+
+        with ProcessPoolExecutor(max_workers=width, mp_context=_mp_context()) as pool:
             return list(pool.map(fn, items))
-    from concurrent.futures import ProcessPoolExecutor
-
-    with ProcessPoolExecutor(max_workers=width, mp_context=_mp_context()) as pool:
-        return list(pool.map(fn, items))
 
 
 # ----------------------------------------------------------------------
@@ -289,18 +294,16 @@ def _attach_trace(shm_name: str, n: int, has_phases: bool) -> None:
     )
 
 
-def _sweep_chunk(task: Tuple[int, List, str]) -> Tuple[int, List]:
-    """Worker body: replay one geometry chunk over the attached trace.
-
-    Returns per-geometry ``(misses, phase_bincount-or-None)`` — the reduced
-    statistics, never the per-access masks, so nothing big crosses back.
-    """
+def _chunk_stats(
+    blocks: np.ndarray,
+    phases: Optional[np.ndarray],
+    geometries: List,
+    policy: str,
+) -> List[Tuple[int, Optional[List[int]]]]:
+    """Per-geometry ``(misses, phase_bincount-or-None)`` of one chunk."""
     from repro.runtime.compiled import PHASE_NAMES
     from repro.runtime.replay import replay_miss_masks
 
-    chunk_index, geometries, policy = task
-    blocks = _WORKER_TRACE["blocks"]
-    phases = _WORKER_TRACE["phases"]
     out: List[Tuple[int, Optional[List[int]]]] = []
     for mask in replay_miss_masks(blocks, geometries, policy=policy):
         misses = int(np.count_nonzero(mask))
@@ -312,7 +315,30 @@ def _sweep_chunk(task: Tuple[int, List, str]) -> Tuple[int, List]:
                 else [0] * len(PHASE_NAMES)
             )
         out.append((misses, counts))
-    return chunk_index, out
+    return out
+
+
+def _sweep_chunk(
+    task: Tuple[int, List, str, bool]
+) -> Tuple[int, List, Optional[Dict]]:
+    """Worker body: replay one geometry chunk over the attached trace.
+
+    Returns per-geometry ``(misses, phase_bincount-or-None)`` — the reduced
+    statistics, never the per-access masks, so nothing big crosses back.
+    When the parent had instrumentation enabled (``want_obs``), the chunk
+    runs inside an isolated :class:`repro.obs.core.capture` scope and its
+    metric/span delta rides back as the third element for the parent to
+    merge — that is how spans aggregate across the process backend.
+    """
+    chunk_index, geometries, policy, want_obs = task
+    blocks = _WORKER_TRACE["blocks"]
+    phases = _WORKER_TRACE["phases"]
+    if want_obs:
+        with obs.capture(enabled=True) as cap:
+            out = _chunk_stats(blocks, phases, geometries, policy)  # type: ignore[arg-type]
+        return chunk_index, out, cap.snapshot
+    out = _chunk_stats(blocks, phases, geometries, policy)  # type: ignore[arg-type]
+    return chunk_index, out, None
 
 
 def _chunk_slices(n_items: int, width: int) -> List[Tuple[int, int]]:
@@ -343,17 +369,31 @@ def process_sweep(
     from concurrent.futures import ProcessPoolExecutor
 
     slices = _chunk_slices(len(geometries), workers)
-    tasks = [(i, list(geometries[lo:hi]), policy) for i, (lo, hi) in enumerate(slices)]
+    want_obs = obs.is_enabled()
+    tasks = [
+        (i, list(geometries[lo:hi]), policy, want_obs)
+        for i, (lo, hi) in enumerate(slices)
+    ]
+    obs.add(obs_names.BACKEND_TASKS, len(tasks))
+    obs.gauge(obs_names.BACKEND_WIDTH, min(workers, len(slices)))
     out: List[Optional[List]] = [None] * len(slices)
-    with SharedTrace(blocks, phases) as shared:
-        with ProcessPoolExecutor(
-            max_workers=min(workers, len(slices)),
-            mp_context=_mp_context(),
-            initializer=_attach_trace,
-            initargs=(shared.name, shared.n, shared.has_phases),
-        ) as pool:
-            for chunk_index, stats in pool.map(_sweep_chunk, tasks):
-                out[chunk_index] = stats
+    snaps: List[Optional[Dict]] = [None] * len(slices)
+    with obs.span(obs_names.BACKEND_MAP, backend="process"):
+        with SharedTrace(blocks, phases) as shared:
+            with ProcessPoolExecutor(
+                max_workers=min(workers, len(slices)),
+                mp_context=_mp_context(),
+                initializer=_attach_trace,
+                initargs=(shared.name, shared.n, shared.has_phases),
+            ) as pool:
+                for chunk_index, stats, snap in pool.map(_sweep_chunk, tasks):
+                    out[chunk_index] = stats
+                    snaps[chunk_index] = snap
+    # merge worker deltas in chunk order: the merged totals then equal
+    # what one serial call over the full geometry list would have recorded
+    for snap in snaps:
+        if snap is not None:
+            obs.merge(snap)
     flat: List[Tuple[int, Optional[List[int]]]] = []
     for stats in out:
         assert stats is not None
@@ -368,7 +408,10 @@ _SCORER_STATE: Dict[str, object] = {}
 
 
 def _attach_scorer(
-    shm_name: str, n: int, targets: List[Tuple["CacheGeometry", str, float]]
+    shm_name: str,
+    n: int,
+    targets: List[Tuple["CacheGeometry", str, float]],
+    want_obs: bool,
 ) -> None:
     """Pool initializer: map the remap-instance arrays; keep targets local."""
     from multiprocessing import shared_memory
@@ -380,19 +423,34 @@ def _attach_scorer(
         (n,), dtype=np.int64, buffer=shm.buf, offset=n * 8
     )
     _SCORER_STATE["targets"] = targets
+    _SCORER_STATE["obs"] = want_obs
 
 
-def _score_candidate_remote(task: Tuple[int, np.ndarray]) -> Tuple[int, float]:
-    """Worker body: weighted miss sum of one candidate's start vector."""
+def _score_candidate_remote(
+    task: Tuple[int, np.ndarray]
+) -> Tuple[int, float, Optional[Dict]]:
+    """Worker body: weighted miss sum of one candidate's start vector.
+
+    Ships the candidate's obs delta back alongside the cost when the
+    parent had instrumentation enabled at pool construction.
+    """
     from repro.mem.placement import _target_misses
 
     index, starts = task
     obj = _SCORER_STATE["obj"]
     off = _SCORER_STATE["off"]
     targets = _SCORER_STATE["targets"]
-    blocks = starts[obj] + off
-    per = _target_misses(blocks, targets)  # type: ignore[arg-type]
-    return index, sum(w * m for (_g, _p, w), m in zip(targets, per))  # type: ignore[misc]
+
+    def _cost() -> float:
+        blocks = starts[obj] + off
+        per = _target_misses(blocks, targets)  # type: ignore[arg-type]
+        return sum(w * m for (_g, _p, w), m in zip(targets, per))  # type: ignore[misc]
+
+    if _SCORER_STATE.get("obs"):
+        with obs.capture(enabled=True) as cap:
+            cost = _cost()
+        return index, cost, cap.snapshot
+    return index, _cost(), None
 
 
 class CandidateScorer:
@@ -434,7 +492,9 @@ class CandidateScorer:
                 max_workers=width,
                 mp_context=_mp_context(),
                 initializer=_attach_scorer,
-                initargs=(shm.name, n, self.targets),
+                # obs state is frozen at pool construction: enable
+                # instrumentation before building the scorer
+                initargs=(shm.name, n, self.targets, obs.is_enabled()),
             )
         else:
             self._shm = None
@@ -452,8 +512,13 @@ class CandidateScorer:
             return out
         tasks = [(i, starts) for i, starts in enumerate(starts_list)]
         out_arr: List[float] = [0.0] * len(tasks)
-        for i, cost in self._pool.map(_score_candidate_remote, tasks):
-            out_arr[i] = cost
+        with obs.span(obs_names.BACKEND_MAP, backend="process"):
+            # pool.map yields in submission order, so worker deltas merge
+            # deterministically — same totals as the serial score path
+            for i, cost, snap in self._pool.map(_score_candidate_remote, tasks):
+                out_arr[i] = cost
+                if snap is not None:
+                    obs.merge(snap)
         return out_arr
 
     def close(self) -> None:
@@ -554,50 +619,54 @@ def run_batch(
     from repro.runtime.compiled import simulate_trace
     from repro.runtime.trace_cache import cached_compile_trace, trace_digest
 
-    keys = [
-        trace_digest(
-            q.graph, q.schedule, q.block, capacities=q.capacities,
-            layout_order=q.layout_order, count_external=q.count_external,
-            placement=q.placement, gaps=q.gaps,
-        )
-        for q in queries
-    ]
-    # compile each distinct trace once, in first-appearance order
-    traces: Dict[str, Tuple[object, bool]] = {}
-    deduped = [False] * len(queries)
-    for i, (q, key) in enumerate(zip(queries, keys)):
-        if key in traces:
-            deduped[i] = True
-            continue
-        trace, _key, was_hit = cached_compile_trace(
-            q.graph, q.schedule, q.block, capacities=q.capacities,
-            layout_order=q.layout_order, count_external=q.count_external,
-            placement=q.placement, gaps=q.gaps, cache=cache, key=key,
-        )
-        traces[key] = (trace, was_hit)
-
-    # group evaluation by (trace, policy): one replay call per group
-    groups: Dict[Tuple[str, str], List[int]] = {}
-    for i, (q, key) in enumerate(zip(queries, keys)):
-        groups.setdefault((key, q.policy), []).append(i)
-
-    answers: List[Optional[ServiceAnswer]] = [None] * len(queries)
-    for (key, policy), idxs in groups.items():
-        trace, was_hit = traces[key]
-        geoms: List = []
-        bounds = [0]
-        for i in idxs:
-            geoms.extend(queries[i].geometries)
-            bounds.append(len(geoms))
-        results = simulate_trace(
-            trace, geoms, policy=policy, workers=workers, backend=backend  # type: ignore[arg-type]
-        )
-        for slot, i in enumerate(idxs):
-            answers[i] = ServiceAnswer(
-                index=i,
-                trace_key=key,
-                cache_hit=was_hit,
-                deduped=deduped[i],
-                results=results[bounds[slot]:bounds[slot + 1]],
+    with obs.span(obs_names.BATCH):
+        obs.add(obs_names.BATCH_QUERIES, len(queries))
+        keys = [
+            trace_digest(
+                q.graph, q.schedule, q.block, capacities=q.capacities,
+                layout_order=q.layout_order, count_external=q.count_external,
+                placement=q.placement, gaps=q.gaps,
             )
-    return [a for a in answers if a is not None]
+            for q in queries
+        ]
+        # compile each distinct trace once, in first-appearance order
+        traces: Dict[str, Tuple[object, bool]] = {}
+        deduped = [False] * len(queries)
+        for i, (q, key) in enumerate(zip(queries, keys)):
+            if key in traces:
+                deduped[i] = True
+                continue
+            trace, _key, was_hit = cached_compile_trace(
+                q.graph, q.schedule, q.block, capacities=q.capacities,
+                layout_order=q.layout_order, count_external=q.count_external,
+                placement=q.placement, gaps=q.gaps, cache=cache, key=key,
+            )
+            traces[key] = (trace, was_hit)
+        obs.add(obs_names.BATCH_DEDUPED, sum(deduped))
+
+        # group evaluation by (trace, policy): one replay call per group
+        groups: Dict[Tuple[str, str], List[int]] = {}
+        for i, (q, key) in enumerate(zip(queries, keys)):
+            groups.setdefault((key, q.policy), []).append(i)
+        obs.add(obs_names.BATCH_GROUPS, len(groups))
+
+        answers: List[Optional[ServiceAnswer]] = [None] * len(queries)
+        for (key, policy), idxs in groups.items():
+            trace, was_hit = traces[key]
+            geoms: List = []
+            bounds = [0]
+            for i in idxs:
+                geoms.extend(queries[i].geometries)
+                bounds.append(len(geoms))
+            results = simulate_trace(
+                trace, geoms, policy=policy, workers=workers, backend=backend  # type: ignore[arg-type]
+            )
+            for slot, i in enumerate(idxs):
+                answers[i] = ServiceAnswer(
+                    index=i,
+                    trace_key=key,
+                    cache_hit=was_hit,
+                    deduped=deduped[i],
+                    results=results[bounds[slot]:bounds[slot + 1]],
+                )
+        return [a for a in answers if a is not None]

@@ -66,6 +66,8 @@ import numpy as np
 from repro.cache.base import CacheGeometry
 from repro.errors import CacheConfigError
 from repro.graphs.sdf import Channel, StreamGraph
+from repro.obs import core as obs
+from repro.obs import names as obs_names
 from repro.mem.layout import ObjectKey
 from repro.runtime.buffers import ChannelBuffer
 from repro.runtime.executor import (
@@ -345,16 +347,20 @@ def compile_trace_uncached(
     miss — routing it through :func:`compile_trace` would recurse)."""
     if capacities is None:
         capacities = getattr(schedule, "capacities", None)
-    compiler = TraceCompiler(
-        graph,
-        block,
-        capacities=capacities,
-        layout_order=layout_order,
-        count_external=count_external,
-        placement=placement,
-        gaps=gaps,
-    )
-    return compiler.compile(schedule)
+    with obs.span(obs_names.COMPILE):
+        compiler = TraceCompiler(
+            graph,
+            block,
+            capacities=capacities,
+            layout_order=layout_order,
+            count_external=count_external,
+            placement=placement,
+            gaps=gaps,
+        )
+        trace = compiler.compile(schedule)
+    obs.add(obs_names.COMPILE_CALLS)
+    obs.add(obs_names.COMPILE_ACCESSES, trace.accesses)
+    return trace
 
 
 def compile_trace(
@@ -472,6 +478,9 @@ def simulate_trace(
         stats = process_sweep(
             trace.blocks, trace.phases, geometries, policy, width
         )
+        # parent-side so the tally matches serial runs exactly (workers
+        # ship their own replay counters back; misses are counted here)
+        obs.add(obs_names.REPLAY_MISSES, sum(m for m, _counts in stats))
         return [_result_from_stats(trace, m, counts) for m, counts in stats]
     from repro.runtime.replay import replay_miss_masks
 
@@ -480,14 +489,17 @@ def simulate_trace(
         workers=width if name == "thread" else None,
     )
     results: List[ExecutionResult] = []
+    total_misses = 0
     for geom, miss_mask in zip(geometries, masks):
         misses = int(np.count_nonzero(miss_mask))
+        total_misses += misses
         counts: Optional[List[int]] = None
         if trace.phases is not None:
             counts = np.bincount(
                 trace.phases[miss_mask], minlength=len(PHASE_NAMES)
             ).tolist()
         results.append(_result_from_stats(trace, misses, counts))
+    obs.add(obs_names.REPLAY_MISSES, total_misses)
     return results
 
 

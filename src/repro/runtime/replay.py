@@ -84,6 +84,8 @@ from repro.cache.indexing import xor_fold_index_array
 from repro.cache.opt import next_occurrences
 from repro.cache.policy import get_policy
 from repro.errors import CacheConfigError
+from repro.obs import core as obs
+from repro.obs import names as obs_names
 
 __all__ = [
     "set_index_array",
@@ -530,7 +532,12 @@ def replay_miss_masks(
             f"available: {sorted(_KERNELS)}"
         )
     arr = np.ascontiguousarray(blocks, dtype=np.int64)
-    return kernel(arr, geoms, workers)
+    # the geometry tally is chunk-sum invariant: a process backend's
+    # workers each count their chunk and the merged total equals one
+    # serial call's — tests/test_obs.py pins that equality
+    obs.add(obs_names.REPLAY_GEOMETRIES, len(geoms))
+    with obs.span(obs_names.REPLAY, policy=policy):
+        return kernel(arr, geoms, workers)
 
 
 def replay_misses(

@@ -52,6 +52,9 @@ from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Sequence, Tupl
 import numpy as np
 
 from repro.errors import CacheConfigError
+from repro.obs import core as obs
+from repro.obs import names as obs_names
+from repro.obs.registry import MetricsRegistry
 
 if TYPE_CHECKING:  # runtime.compiled imports this module lazily (and vice versa)
     from repro.cache.base import CacheGeometry
@@ -193,7 +196,15 @@ class CacheCounters:
     """Observable cache behaviour: every lookup lands in exactly one of
     ``hits``/``misses``; ``corrupt`` counts entries that existed but failed
     to deserialize (each also counts as a miss); ``evictions`` counts
-    entries removed to respect the size cap."""
+    entries removed to respect the size cap.
+
+    Since the obs migration this is a *snapshot view*: the live tallies
+    are counters in the cache's per-instance
+    :class:`~repro.obs.registry.MetricsRegistry` (``cache.metrics``),
+    mirrored into the global :mod:`repro.obs` registry while
+    instrumentation is enabled.  ``cache.counters`` builds a fresh
+    ``CacheCounters`` per access, so reads keep working unchanged;
+    mutating the returned object changes nothing."""
 
     hits: int = 0
     misses: int = 0
@@ -235,9 +246,33 @@ class TraceCache:
         self.path = Path(path)
         self.path.mkdir(parents=True, exist_ok=True)
         self.max_bytes = int(max_bytes)
-        self.counters = CacheCounters()
+        self.metrics = MetricsRegistry()
 
     # -- internals ------------------------------------------------------
+    def _count(self, name: str) -> None:
+        """Tally ``name`` on this cache and mirror it into the global obs
+        registry (a no-op there unless instrumentation is enabled)."""
+        self.metrics.add(name, 1)
+        # every call site passes a repro.obs.names constant; the forwarder
+        # itself cannot be checked statically
+        obs.add(name, 1)  # repro-lint: disable=R6
+
+    @property
+    def counters(self) -> CacheCounters:
+        """Hit/miss/evict/corrupt tallies as a :class:`CacheCounters` view
+        over the per-instance metrics registry."""
+        return CacheCounters(
+            hits=self.metrics.counter_value(obs_names.CACHE_HITS),
+            misses=self.metrics.counter_value(obs_names.CACHE_MISSES),
+            evictions=self.metrics.counter_value(obs_names.CACHE_EVICTIONS),
+            corrupt=self.metrics.counter_value(obs_names.CACHE_CORRUPT),
+        )
+
+    @property
+    def stats(self) -> Dict[str, int]:
+        """The counters as a plain dict (``counters.as_dict()`` shorthand)."""
+        return self.counters.as_dict()
+
     def _entry_path(self, key: str) -> Path:
         if not key or any(c not in "0123456789abcdef" for c in key):
             raise CacheConfigError(
@@ -264,78 +299,80 @@ class TraceCache:
         """
         from repro.runtime.compiled import CompiledTrace
 
-        entry = self._entry_path(key)
-        if not entry.exists():
-            self.counters.misses += 1
-            return None
-        try:
-            with np.load(entry, allow_pickle=False) as data:
-                meta = json.loads(str(data["meta"]))
-                if meta.get("version") != FORMAT_VERSION or meta.get("key") != key:
-                    raise ValueError("format version or key mismatch")
-                blocks = np.asarray(data["blocks"], dtype=np.int64)
-                if blocks.shape[0] != int(meta["accesses"]):
-                    raise ValueError("truncated block array")
-                phases: Optional[np.ndarray] = None
-                if meta["has_phases"]:
-                    phases = np.asarray(data["phases"], dtype=np.uint8)
-                    if phases.shape[0] != blocks.shape[0]:
-                        raise ValueError("truncated phase array")
-            trace = CompiledTrace(
-                label=str(meta["label"]),
-                block=int(meta["block"]),
-                blocks=blocks,
-                phases=phases,
-                firings=int(meta["firings"]),
-                fire_counts={str(k): int(v) for k, v in meta["fire_counts"].items()},
-                source_fires=int(meta["source_fires"]),
-                sink_fires=int(meta["sink_fires"]),
-            )
-        except Exception:  # noqa: BLE001 - any decode failure means corrupt
-            self._discard(entry)
-            self.counters.corrupt += 1
-            self.counters.misses += 1
-            return None
-        try:  # LRU freshness: a hit makes the entry most-recently-used
-            os.utime(entry)
-        except OSError:  # pragma: no cover - entry raced away mid-read
-            pass
-        self.counters.hits += 1
-        return trace
+        with obs.span(obs_names.CACHE_GET):
+            entry = self._entry_path(key)
+            if not entry.exists():
+                self._count(obs_names.CACHE_MISSES)
+                return None
+            try:
+                with np.load(entry, allow_pickle=False) as data:
+                    meta = json.loads(str(data["meta"]))
+                    if meta.get("version") != FORMAT_VERSION or meta.get("key") != key:
+                        raise ValueError("format version or key mismatch")
+                    blocks = np.asarray(data["blocks"], dtype=np.int64)
+                    if blocks.shape[0] != int(meta["accesses"]):
+                        raise ValueError("truncated block array")
+                    phases: Optional[np.ndarray] = None
+                    if meta["has_phases"]:
+                        phases = np.asarray(data["phases"], dtype=np.uint8)
+                        if phases.shape[0] != blocks.shape[0]:
+                            raise ValueError("truncated phase array")
+                trace = CompiledTrace(
+                    label=str(meta["label"]),
+                    block=int(meta["block"]),
+                    blocks=blocks,
+                    phases=phases,
+                    firings=int(meta["firings"]),
+                    fire_counts={str(k): int(v) for k, v in meta["fire_counts"].items()},
+                    source_fires=int(meta["source_fires"]),
+                    sink_fires=int(meta["sink_fires"]),
+                )
+            except Exception:  # noqa: BLE001 - any decode failure means corrupt
+                self._discard(entry)
+                self._count(obs_names.CACHE_CORRUPT)
+                self._count(obs_names.CACHE_MISSES)
+                return None
+            try:  # LRU freshness: a hit makes the entry most-recently-used
+                os.utime(entry)
+            except OSError:  # pragma: no cover - entry raced away mid-read
+                pass
+            self._count(obs_names.CACHE_HITS)
+            return trace
 
     def put(self, key: str, trace: "CompiledTrace") -> None:
         """Store ``trace`` under ``key`` atomically, then enforce the cap."""
-        entry = self._entry_path(key)
-        meta = {
-            "version": FORMAT_VERSION,
-            "key": key,
-            "label": trace.label,
-            "block": trace.block,
-            "accesses": trace.accesses,
-            "has_phases": trace.phases is not None,
-            "firings": trace.firings,
-            "fire_counts": dict(trace.fire_counts),
-            "source_fires": trace.source_fires,
-            "sink_fires": trace.sink_fires,
-        }
-        arrays: Dict[str, np.ndarray] = {
-            "meta": np.asarray(json.dumps(meta)),
-            "blocks": np.ascontiguousarray(trace.blocks, dtype=np.int64),
-        }
-        if trace.phases is not None:
-            arrays["phases"] = np.ascontiguousarray(trace.phases, dtype=np.uint8)
-        fd, tmp_name = tempfile.mkstemp(
-            prefix=f".{key[:12]}.", suffix=".tmp", dir=self.path
-        )
-        tmp = Path(tmp_name)
-        try:
-            with os.fdopen(fd, "wb") as fh:
-                np.savez(fh, **arrays)
-            os.replace(tmp, entry)  # atomic publish: readers see all or nothing
-        except BaseException:
-            self._discard(tmp)
-            raise
-        self._evict_over_cap(keep=entry)
+        with obs.span(obs_names.CACHE_PUT):
+            entry = self._entry_path(key)
+            meta = {
+                "version": FORMAT_VERSION,
+                "key": key,
+                "label": trace.label,
+                "block": trace.block,
+                "accesses": trace.accesses,
+                "has_phases": trace.phases is not None,
+                "firings": trace.firings,
+                "fire_counts": dict(trace.fire_counts),
+                "source_fires": trace.source_fires,
+                "sink_fires": trace.sink_fires,
+            }
+            arrays: Dict[str, np.ndarray] = {
+                "meta": np.asarray(json.dumps(meta)),
+                "blocks": np.ascontiguousarray(trace.blocks, dtype=np.int64),
+            }
+            if trace.phases is not None:
+                arrays["phases"] = np.ascontiguousarray(trace.phases, dtype=np.uint8)
+            fd, tmp_name = tempfile.mkstemp(
+                prefix=f".{key[:12]}.", suffix=".tmp", dir=self.path
+            )
+            tmp = Path(tmp_name)
+            try:
+                with os.fdopen(fd, "wb") as fh:
+                    np.savez(fh, **arrays)
+                os.replace(tmp, entry)  # atomic publish: readers see all or nothing
+            except BaseException:
+                self._discard(tmp)
+                raise
+            self._evict_over_cap(keep=entry)
 
     def _evict_over_cap(self, keep: Optional[Path] = None) -> None:
         entries = self._entries()
@@ -356,7 +393,7 @@ class TraceCache:
             if keep is not None and p == keep:
                 continue
             self._discard(p)
-            self.counters.evictions += 1
+            self._count(obs_names.CACHE_EVICTIONS)
             total -= sizes[p]
 
     def __len__(self) -> int:

@@ -473,5 +473,32 @@ class TestRunBatch:
             r.misses for r in proc[0].results
         ]
 
+    def test_process_backend_merges_obs_work_counters(self, workload):
+        """Worker metric deltas merged back from the pool equal the serial
+        run's totals for the chunk-sum-invariant work counters (the
+        backend-dependent ``backend.*`` scheduling counters excepted)."""
+        from repro import obs
+        from repro.obs import names as obs_names
+
+        g, sched, _trace = workload
+        geoms = geometry_sweep([64, 128, 256, 512], B)
+        work = (
+            obs_names.COMPILE_CALLS, obs_names.COMPILE_ACCESSES,
+            obs_names.REPLAY_GEOMETRIES, obs_names.REPLAY_MISSES,
+            obs_names.BATCH_QUERIES, obs_names.BATCH_DEDUPED,
+            obs_names.BATCH_GROUPS,
+        )
+        snaps = {}
+        for backend in ("serial", "process"):
+            queries = [ServiceQuery(g, sched, B, geoms, policy="lru")]
+            with obs.capture(enabled=True) as cap:
+                run_batch(queries, backend=backend, workers=2)
+            snaps[backend] = cap.snapshot
+        serial_counters = snaps["serial"]["counters"]
+        proc_counters = snaps["process"]["counters"]
+        assert serial_counters[obs_names.REPLAY_GEOMETRIES] == len(geoms)
+        for name in work:
+            assert proc_counters.get(name, 0) == serial_counters.get(name, 0)
+
     def test_empty_batch(self):
         assert run_batch([]) == []

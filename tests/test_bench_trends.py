@@ -212,3 +212,62 @@ class TestServiceFloors:
             pytest.skip("no live service record")
         history = json.loads(path.read_text())["history"]
         assert cbt.check_floors("BENCH_service.json", history) == []
+
+
+class TestTraceEngineCeilings:
+    """Absolute ceilings on BENCH_trace_engine.json: ``obs_overhead`` is a
+    lower-is-better ratio, gated at <= 1.02x from the first run and
+    deliberately excluded from the relative trend comparison (a falling
+    ratio is an improvement, never a regression)."""
+
+    def _write(self, tmp_path, *entries):
+        p = tmp_path / "BENCH_trace_engine.json"
+        p.write_text(json.dumps({"history": list(entries)}))
+        return p
+
+    def test_ceiling_holds_from_first_run(self, tmp_path, capsys):
+        p = self._write(tmp_path, {"ts": 1, "obs_overhead": 1.5})
+        assert cbt.check(p, tolerance=0.3) == 1
+        assert "ABOVE CEILING" in capsys.readouterr().out
+
+    def test_ceiling_passes_when_met(self, tmp_path, capsys):
+        p = self._write(tmp_path, {"ts": 1, "obs_overhead": 0.99})
+        assert cbt.check(p, tolerance=0.3) == 0
+        assert "absolute ceiling 1.02x" in capsys.readouterr().out
+
+    def test_entries_predating_the_metric_pass(self, tmp_path):
+        p = self._write(tmp_path, {"ts": 1, "sweep": 8.0})
+        assert cbt.check(p, tolerance=0.3) == 0
+
+    def test_ceiling_also_applies_with_full_history(self, tmp_path, capsys):
+        p = self._write(
+            tmp_path,
+            {"ts": 1, "sweep": 8.0, "obs_overhead": 1.00},
+            {"ts": 2, "sweep": 8.1, "obs_overhead": 1.10},
+        )
+        # every relative trend is fine, but 1.10x breaches the ceiling
+        assert cbt.check(p, tolerance=0.3) == 1
+        assert "ABOVE CEILING" in capsys.readouterr().out
+
+    def test_falling_ratio_is_not_a_regression(self, tmp_path, capsys):
+        # a >30% drop would trip the relative gate if obs_overhead were a
+        # tracked metric; as a ceiling metric it is simply a better run
+        p = self._write(
+            tmp_path,
+            {"ts": 1, "sweep": 8.0, "obs_overhead": 1.01},
+            {"ts": 2, "sweep": 8.1, "obs_overhead": 0.50},
+        )
+        assert cbt.check(p, tolerance=0.3) == 0
+        assert "REGRESSED" not in capsys.readouterr().out
+
+    def test_non_numeric_obs_overhead_is_a_schema_error(self, tmp_path, capsys):
+        p = self._write(tmp_path, {"ts": 1, "obs_overhead": "cheap"})
+        assert cbt.check(p, tolerance=0.3) == 1
+        assert "history[0].obs_overhead" in capsys.readouterr().out
+
+    def test_live_trace_engine_record_passes_ceilings(self):
+        path = Path(__file__).resolve().parent.parent / "BENCH_trace_engine.json"
+        if not path.exists():
+            pytest.skip("no live trace-engine record")
+        history = json.loads(path.read_text())["history"]
+        assert cbt.check_ceilings("BENCH_trace_engine.json", history) == []

@@ -32,8 +32,8 @@ class TestLiveTree:
         assert report.rules_run == tuple(r.id for r in all_rules())
         assert report.violations == [], report.format()
 
-    def test_all_five_rule_families_registered(self):
-        assert [r.id for r in all_rules()] == ["R1", "R2", "R3", "R4", "R5"]
+    def test_all_six_rule_families_registered(self):
+        assert [r.id for r in all_rules()] == ["R1", "R2", "R3", "R4", "R5", "R6"]
 
     def test_bench_exemptions_all_carry_reasons(self):
         for exp_id, reason in BENCH_EXEMPT.items():
@@ -402,6 +402,165 @@ class TestR5TwinFoldPinning:
 
 
 # ---------------------------------------------------------------------------
+# R6 — obs name registry + import-light obs package
+# ---------------------------------------------------------------------------
+_R6_NAMES = (
+    'CACHE_HITS = "trace_cache.hits"\n'
+    'REPLAY = "replay"\n'
+)
+
+
+class TestR6ObsNameRegistry:
+    def _files(self, **overrides):
+        files = {
+            "src/repro/obs/names.py": _R6_NAMES,
+            "src/repro/runtime/widget.py": (
+                "from repro.obs import core as obs\n"
+                "from repro.obs import names as obs_names\n"
+                "def f():\n"
+                "    obs.add(obs_names.CACHE_HITS, 1)\n"
+                "    with obs.span(obs_names.REPLAY, policy='lru'):\n"
+                "        pass\n"
+            ),
+        }
+        files.update(overrides)
+        return files
+
+    def test_registered_names_pass(self):
+        assert _violations(self._files(), ["R6"]) == []
+
+    def test_literal_registered_value_passes(self):
+        files = self._files(
+            **{
+                "src/repro/runtime/widget.py": (
+                    "from repro.obs import core as obs\n"
+                    'obs.add("trace_cache.hits", 1)\n'
+                )
+            }
+        )
+        assert _violations(files, ["R6"]) == []
+
+    def test_unregistered_literal_reported(self):
+        files = self._files(
+            **{
+                "src/repro/runtime/widget.py": (
+                    "from repro.obs import core as obs\n"
+                    'obs.add("bogus.counter", 1)\n'
+                )
+            }
+        )
+        (v,) = _violations(files, ["R6"])
+        assert (v.path, v.line) == ("src/repro/runtime/widget.py", 2)
+        assert "bogus.counter" in v.message
+        assert "repro.obs.names" in v.message
+
+    def test_unknown_names_attribute_reported(self):
+        files = self._files(
+            **{
+                "src/repro/runtime/widget.py": (
+                    "from repro.obs import core as obs\n"
+                    "from repro.obs import names as obs_names\n"
+                    "obs.add(obs_names.NO_SUCH_NAME, 1)\n"
+                )
+            }
+        )
+        (v,) = _violations(files, ["R6"])
+        assert v.line == 3 and "NO_SUCH_NAME" in v.message
+
+    def test_dynamic_name_reported(self):
+        files = self._files(
+            **{
+                "src/repro/runtime/widget.py": (
+                    "from repro.obs import core as obs\n"
+                    "def f(metric):\n"
+                    "    obs.add(metric, 1)\n"
+                )
+            }
+        )
+        (v,) = _violations(files, ["R6"])
+        assert v.line == 3 and "dynamic name" in v.message
+
+    def test_dynamic_name_suppressible(self):
+        files = self._files(
+            **{
+                "src/repro/runtime/widget.py": (
+                    "from repro.obs import core as obs\n"
+                    "def f(metric):\n"
+                    "    obs.add(metric, 1)  # repro-lint: disable=R6\n"
+                )
+            }
+        )
+        report = run_lint(Project(files=files), rules=["R6"])
+        assert report.violations == [] and report.suppressed == 1
+
+    def test_bare_emitter_import_checked(self):
+        files = self._files(
+            **{
+                "src/repro/runtime/widget.py": (
+                    "from repro.obs import add\n"
+                    'add("bogus.counter", 1)\n'
+                )
+            }
+        )
+        (v,) = _violations(files, ["R6"])
+        assert v.line == 2 and "bogus.counter" in v.message
+
+    def test_constant_imported_from_names_passes(self):
+        files = self._files(
+            **{
+                "src/repro/runtime/widget.py": (
+                    "from repro.obs import core as obs\n"
+                    "from repro.obs.names import CACHE_HITS\n"
+                    "obs.add(CACHE_HITS, 1)\n"
+                )
+            }
+        )
+        assert _violations(files, ["R6"]) == []
+
+    def test_unrelated_add_calls_ignored(self):
+        files = self._files(
+            **{
+                "src/repro/runtime/widget.py": (
+                    "from repro.obs import core as obs\n"
+                    "class Bag:\n"
+                    "    def add(self, name, n):\n"
+                    "        pass\n"
+                    "def f(bag, metric):\n"
+                    "    bag.add(metric, 1)\n"
+                )
+            }
+        )
+        assert _violations(files, ["R6"]) == []
+
+    def test_heavy_import_in_obs_reported(self):
+        files = self._files(
+            **{
+                "src/repro/obs/core.py": (
+                    "import numpy as np\n"
+                    "from repro.runtime.compiled import simulate_trace\n"
+                )
+            }
+        )
+        msgs = _messages(files, ["R6"])
+        assert len(msgs) == 2
+        assert any("numpy" in m for m in msgs)
+        assert any("repro.runtime.compiled" in m for m in msgs)
+        assert all("import-light" in m for m in msgs)
+
+    def test_lazy_heavy_import_in_obs_passes(self):
+        files = self._files(
+            **{
+                "src/repro/obs/core.py": (
+                    "def snapshot_sizes():\n"
+                    "    import numpy as np\n"
+                    "    return np.zeros(1)\n"
+                )
+            }
+        )
+        assert _violations(files, ["R6"]) == []
+
+
+# ---------------------------------------------------------------------------
 # runner + CLI behavior
 # ---------------------------------------------------------------------------
 class TestRunnerAndCli:
@@ -448,7 +607,7 @@ class TestRunnerAndCli:
     def test_cli_list_rules(self, capsys):
         assert main(["--list-rules"]) == 0
         out = capsys.readouterr().out
-        for rid in ("R1", "R2", "R3", "R4", "R5"):
+        for rid in ("R1", "R2", "R3", "R4", "R5", "R6"):
             assert rid in out
 
     def test_cli_rule_subset_and_json(self, capsys):

@@ -338,11 +338,17 @@ class TestStrategies:
         geom = CacheGeometry(size=16 * B, block=B)
         start = list(inst.objects)
         start_cost = placement_cost(inst, start, geom, policy="direct")
-        order, gaps, cost, evals = swap_refine(
+        order, gaps, cost, stats = swap_refine(
             inst, start, geom, policy="direct", budget=50
         )
         assert cost <= start_cost
-        assert evals <= 50
+        assert stats.evals <= 50 and int(stats) == stats.evals
+        # trajectory is monotone non-increasing from the seed cost and
+        # ends at the returned cost; rounds counts the improving steps
+        assert stats.trajectory[0] == start_cost
+        assert stats.trajectory[-1] == cost
+        assert all(a >= b for a, b in zip(stats.trajectory, stats.trajectory[1:]))
+        assert stats.rounds == len(stats.trajectory) - 1
         assert gaps == {}  # no gap budget: pure permutation search
         assert placement_cost(inst, order, geom, policy="direct") == cost
 

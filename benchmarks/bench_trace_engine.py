@@ -29,12 +29,26 @@ at the repo root (with a rolling ``history`` so
   enabled vs disabled (best of N, interleaved) — the enabled/disabled
   wall-time *ratio*, lower is better.  Acceptance: <= 1.02x, enforced
   here and as an absolute ceiling by ``check_bench_trends.py``.
+* **streaming_overhead**: the LRU sweep through the out-of-core streaming
+  replay (``chunk_words = accesses // 8``) vs the monolithic replay
+  (best of N, interleaved) — the chunked/monolithic wall-time *ratio*,
+  lower is better.  Acceptance: <= 1.25x, enforced here and as an
+  absolute ceiling by ``check_bench_trends.py``.
+* **streaming_rss_ratio**: peak RSS (``ru_maxrss``) of a subprocess that
+  compiles + replays a looped ~2x10^6-access schedule chunked, over the
+  same workload monolithic — lower is better, < 1.0 means the streaming
+  path really is the smaller footprint.  Acceptance: <= 1.0 (ceiling in
+  ``check_bench_trends.py``; ``tools/streaming_smoke.py`` proves the
+  harder absolute claim under ``RLIMIT_AS`` in its own CI job).
 
 Every path must agree miss-for-miss with its stepwise oracle at every size
 (the oracle property, re-checked here on the benchmark workload itself).
 """
 
 import json
+import os
+import subprocess
+import sys
 import time
 from pathlib import Path
 
@@ -57,6 +71,59 @@ TWO_LEVEL_L1 = (96, 128, 192)
 TWO_LEVEL_L2 = (256, 512, 768, 1024)
 JSON_PATH = Path(__file__).resolve().parent.parent / "BENCH_trace_engine.json"
 HISTORY_CAP = 50
+
+
+#: the streaming RSS probe: a fresh interpreter compiles + replays a looped
+#: ~1.5x10^6-access schedule and reports its own peak RSS.  Run once per
+#: mode so neither pass inherits the other's high-water mark.
+_RSS_CHILD = """\
+import resource, sys, tempfile
+from repro.cache.base import CacheGeometry
+from repro.core.baselines import interleaved_schedule
+from repro.graphs.topologies import pipeline
+from repro.runtime.compiled import (
+    compile_trace, compile_trace_uncached, simulate_trace,
+)
+from repro.runtime.looped import Loop, LoopedSchedule
+
+mode = sys.argv[1]
+g = pipeline([24, 16, 32, 8, 40, 16], name="bench-rss")
+one = interleaved_schedule(g, n_iterations=1)
+per_iter = compile_trace_uncached(g, one, 8, capacities=one.capacities).accesses
+reps = -(-1_500_000 // per_iter)
+sched = LoopedSchedule(
+    loops=(Loop(count=reps, body=tuple(one.firings)),),
+    capacities=one.capacities,
+    label=f"bench-rss-x{reps}",
+)
+geom = CacheGeometry(size=16 * 8, block=8, ways=2)
+if mode == "chunked":
+    from repro.runtime.streaming import compile_trace_chunked
+    from repro.runtime.trace_cache import TraceCache
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-rss-") as tmp:
+        cache = TraceCache(tmp, max_bytes=1 << 31)
+        trace = compile_trace_chunked(g, sched, 8, chunk_words=1 << 15, cache=cache)
+        result = simulate_trace(trace, [geom], policy="lru")[0]
+else:
+    trace = compile_trace(g, sched, 8)
+    result = simulate_trace(trace, [geom], policy="lru")[0]
+print(result.misses, resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
+"""
+
+
+def _streaming_rss(mode):
+    """(misses, peak RSS in KB) of a fresh interpreter running the looped
+    RSS workload in ``mode`` ('chunked' | 'monolithic')."""
+    env = dict(os.environ)
+    src = str(Path(__file__).resolve().parent.parent / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    out = subprocess.run(
+        [sys.executable, "-c", _RSS_CHILD, mode],
+        capture_output=True, text=True, env=env, check=True, timeout=600,
+    )
+    misses, maxrss = out.stdout.split()
+    return int(misses), int(maxrss)
 
 
 def _workload(n_outputs=800):
@@ -187,6 +254,32 @@ def test_trace_engine_speedup(show):
         assert on_misses == off_misses, "instrumentation changed the answers"
     obs_overhead = t_obs_on / t_obs_off
 
+    # --- streaming: the out-of-core replay must stay near the monolithic
+    # path's speed on an in-memory trace (same interleaved best-of-N
+    # discipline as obs_overhead) and must beat it on peak footprint on a
+    # large one (fresh subprocess per mode, ru_maxrss each).
+    stream_words = max(1, trace.accesses // 8)
+    t_stream_off = t_stream_on = float("inf")
+    for _ in range(5):
+        t0 = time.perf_counter()
+        mono_misses = [r.misses for r in simulate_trace(trace, geoms)]
+        t_stream_off = min(t_stream_off, time.perf_counter() - t0)
+        t0 = time.perf_counter()
+        chunk_misses = [
+            r.misses
+            for r in simulate_trace(trace, geoms, chunk_words=stream_words)
+        ]
+        t_stream_on = min(t_stream_on, time.perf_counter() - t0)
+        assert chunk_misses == mono_misses, "chunked replay changed the answers"
+    streaming_overhead = t_stream_on / t_stream_off
+
+    rss_chunk_misses, rss_chunked_kb = _streaming_rss("chunked")
+    rss_mono_misses, rss_mono_kb = _streaming_rss("monolithic")
+    assert rss_chunk_misses == rss_mono_misses, (
+        "chunked RSS probe disagreed with the monolithic one on misses"
+    )
+    streaming_rss_ratio = rss_chunked_kb / rss_mono_kb
+
     summary = {
         "ts": round(time.time(), 1),
         "sweep": round(sweep_speedup, 2),
@@ -196,6 +289,8 @@ def test_trace_engine_speedup(show):
         "set_assoc": round(sa_speedup, 2),
         "two_level": round(tl_speedup, 2),
         "obs_overhead": round(obs_overhead, 3),
+        "streaming_overhead": round(streaming_overhead, 3),
+        "streaming_rss_ratio": round(streaming_rss_ratio, 3),
     }
     history = []
     if JSON_PATH.exists():
@@ -253,6 +348,15 @@ def test_trace_engine_speedup(show):
             "enabled_s": round(t_obs_on, 4),
             "obs_overhead": round(obs_overhead, 3),
         },
+        "streaming": {
+            "chunk_words": stream_words,
+            "monolithic_s": round(t_stream_off, 4),
+            "chunked_s": round(t_stream_on, 4),
+            "streaming_overhead": round(streaming_overhead, 3),
+            "rss_monolithic_kb": rss_mono_kb,
+            "rss_chunked_kb": rss_chunked_kb,
+            "streaming_rss_ratio": round(streaming_rss_ratio, 3),
+        },
         "history": history,
     }
 
@@ -272,6 +376,14 @@ def test_trace_engine_speedup(show):
              "replay_s": round(t_tl_replay, 3), "speedup": round(tl_speedup, 1)},
             {"path": "obs on vs off (lru sweep)", "stepwise_s": round(t_obs_off, 3),
              "replay_s": round(t_obs_on, 3), "speedup": round(obs_overhead, 3)},
+            {"path": "chunked vs mono (lru sweep)",
+             "stepwise_s": round(t_stream_off, 3),
+             "replay_s": round(t_stream_on, 3),
+             "speedup": round(streaming_overhead, 3)},
+            {"path": "chunked vs mono peak RSS (MB)",
+             "stepwise_s": round(rss_mono_kb / 1024, 1),
+             "replay_s": round(rss_chunked_kb / 1024, 1),
+             "speedup": round(streaming_rss_ratio, 3)},
         ],
         "trace engine: vectorized replay vs stepwise loops",
     )
@@ -283,6 +395,13 @@ def test_trace_engine_speedup(show):
     assert tl_speedup >= 5.0, f"two-level grid {tl_speedup:.1f}x < 5x target"
     assert obs_overhead <= 1.02, (
         f"instrumentation overhead {obs_overhead:.3f}x > 1.02x ceiling"
+    )
+    assert streaming_overhead <= 1.25, (
+        f"streaming replay overhead {streaming_overhead:.3f}x > 1.25x ceiling"
+    )
+    assert streaming_rss_ratio < 1.0, (
+        f"streaming peak RSS {streaming_rss_ratio:.3f}x of monolithic — the "
+        "out-of-core path should be the smaller footprint"
     )
 
     # record only after every gate passed, so a regressed run can never

@@ -14,8 +14,10 @@ search-speedup floors apply only when the entry's recorded ``cores`` says
 the machine could parallelize at all (>= 4 cores) — a 1-core runner
 records its honest ratios without failing.  Lower-is-better metrics get
 absolute *ceilings* instead (:data:`CEILINGS_BY_FILE`): ``obs_overhead``
-(the enabled/disabled instrumentation wall-time ratio) must stay <= 1.02x
-from the very first run.  Ceiling metrics are deliberately *not* in the
+(the enabled/disabled instrumentation wall-time ratio) must stay <= 1.02x,
+``streaming_overhead`` (chunked over monolithic replay wall time)
+<= 1.25x, and ``streaming_rss_ratio`` (chunked over monolithic subprocess
+peak RSS) <= 1.0 — all from the very first run.  Ceiling metrics are deliberately *not* in the
 relative trend gate — a falling ratio is an improvement, never a
 regression.  With fewer than two history entries there is
 nothing to compare yet and the check passes (that is the "once history
@@ -81,6 +83,8 @@ FLOORS_BY_FILE = {
 CEILINGS_BY_FILE = {
     "BENCH_trace_engine.json": (
         ("obs_overhead", 1.02),
+        ("streaming_overhead", 1.25),
+        ("streaming_rss_ratio", 1.0),
     ),
 }
 

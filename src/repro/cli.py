@@ -159,10 +159,11 @@ def _apply_runtime_flags(args: argparse.Namespace) -> None:
     that take no backend parameters — inherits them."""
     backend = getattr(args, "backend", None)
     workers = getattr(args, "workers", None)
-    if backend is not None or workers is not None:
+    chunk_words = getattr(args, "chunk_words", None)
+    if backend is not None or workers is not None or chunk_words is not None:
         from repro.runtime.backend import configure as configure_backend
 
-        configure_backend(backend=backend, workers=workers)
+        configure_backend(backend=backend, workers=workers, chunk_words=chunk_words)
     if getattr(args, "cache_dir", None):
         from repro.runtime.trace_cache import configure as configure_cache
 
@@ -459,6 +460,11 @@ def _add_runtime_flags(sub: argparse.ArgumentParser) -> None:
                      help="pool width, clamped to min(workers, items, "
                           "cores); default: every core for --backend "
                           "process, serial otherwise")
+    sub.add_argument("--chunk-words", type=int, default=None, metavar="N",
+                     help="replay traces through the out-of-core streaming "
+                          "engine in chunks of N accesses (bit-identical "
+                          "miss counts, bounded memory); default: the "
+                          "monolithic in-memory path")
     sub.add_argument("--cache-dir", default=None, metavar="PATH",
                      help="persistent compiled-trace cache directory: "
                           "identical (graph, schedule, layout, block) "

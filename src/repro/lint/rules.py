@@ -52,6 +52,7 @@ REPLAY_PATH = "src/repro/runtime/replay.py"
 COMPILED_PATH = "src/repro/runtime/compiled.py"
 BACKEND_PATH = "src/repro/runtime/backend.py"
 TRACE_CACHE_PATH = "src/repro/runtime/trace_cache.py"
+STREAMING_PATH = "src/repro/runtime/streaming.py"
 CLI_PATH = "src/repro/cli.py"
 REPLAY_DOC = "docs/REPLAY.md"
 README = "README.md"
@@ -84,6 +85,7 @@ BENCH_EXEMPT: Dict[str, str] = {
 DTYPE_CONTRACTS: Dict[str, Tuple[str, ...]] = {
     COMPILED_PATH: ("int64", "uint8", "bool"),
     REPLAY_PATH: ("int64", "int16", "bool"),
+    STREAMING_PATH: ("int64", "uint8", "bool"),
 }
 
 #: numpy callables that materialize arrays and accept a ``dtype=``.
@@ -431,7 +433,9 @@ def rule_hot_path_purity(project: Project) -> Iterator[Violation]:
     # modules obey the same purity contract wherever they exist (partial
     # overlay projects omit them, which is not a violation)
     targets = [REPLAY_PATH, COMPILED_PATH] + [
-        rel for rel in (BACKEND_PATH, TRACE_CACHE_PATH) if project.exists(rel)
+        rel
+        for rel in (BACKEND_PATH, TRACE_CACHE_PATH, STREAMING_PATH)
+        if project.exists(rel)
     ]
     for rel in targets:
         tree, errs = _tree(project, rel, "R3")
@@ -490,6 +494,10 @@ def _dtype_token(node: ast.expr) -> Optional[str]:
 )
 def rule_dtype_contracts(project: Project) -> Iterator[Violation]:
     for rel, allowed in DTYPE_CONTRACTS.items():
+        # the streaming engine is optional (partial overlay projects omit
+        # it); the core compile/replay kernels are mandatory
+        if rel == STREAMING_PATH and not project.exists(rel):
+            continue
         tree, errs = _tree(project, rel, "R4")
         yield from errs
         if tree is None:

@@ -313,17 +313,21 @@ def placement_cost(
     geometry: CacheGeometry,
     policy: str = "direct",
     gaps: Optional[Dict[ObjectKey, int]] = None,
+    chunk_words: Optional[int] = None,
 ) -> int:
     """Misses of ``policy`` at ``geometry`` under the candidate placement.
 
     Exact, not an estimate: the remapped trace is bit-identical to what the
     compiler would produce for this placement (gaps included), and the
     replay kernels agree miss-for-miss with the stepwise simulators.
+    ``chunk_words`` scores through the streaming replay
+    (:mod:`repro.runtime.streaming`) in bounded-memory chunks — the same
+    count, by the streaming differential contract.
     """
-    from repro.runtime.replay import replay_misses
-
-    return replay_misses(
-        remap_blocks(instance, order, gaps=gaps), [geometry], policy=policy
+    return _target_misses(
+        remap_blocks(instance, order, gaps=gaps),
+        [(geometry, policy, 1.0)],
+        chunk_words=chunk_words,
     )[0]
 
 
@@ -360,9 +364,15 @@ def normalize_targets(
     return out
 
 
-def _target_misses(blocks: np.ndarray, targets: Sequence[PlacementTarget]) -> List[int]:
+def _target_misses(
+    blocks: np.ndarray,
+    targets: Sequence[PlacementTarget],
+    chunk_words: Optional[int] = None,
+) -> List[int]:
     """Per-target miss counts of one remapped trace, sharing replay passes
-    across targets of the same policy (the kernels memoize per organization)."""
+    across targets of the same policy (the kernels memoize per organization).
+    ``chunk_words`` swaps the monolithic kernels for the streaming ones —
+    same counts, O(``chunk_words``) peak memory per pass."""
     from repro.runtime.replay import replay_misses
 
     by_policy: Dict[str, List[int]] = {}
@@ -370,7 +380,14 @@ def _target_misses(blocks: np.ndarray, targets: Sequence[PlacementTarget]) -> Li
         by_policy.setdefault(policy, []).append(i)
     out: List[int] = [0] * len(targets)
     for policy, idxs in by_policy.items():
-        misses = replay_misses(blocks, [targets[i][0] for i in idxs], policy=policy)
+        geoms = [targets[i][0] for i in idxs]
+        if chunk_words is not None:
+            from repro.runtime.streaming import ArrayChunkSource, stream_stats
+
+            source = ArrayChunkSource(blocks, chunk_words=chunk_words)
+            misses = [m for m, _counts in stream_stats(source, geoms, policy)]
+        else:
+            misses = replay_misses(blocks, geoms, policy=policy)
         for i, m in zip(idxs, misses):
             out[i] = m
     return out
@@ -626,6 +643,7 @@ def swap_refine(
     batch: int = 1,
     backend: Optional[str] = None,
     workers: Optional[int] = None,
+    chunk_words: Optional[int] = None,
 ) -> Tuple[List[ObjectKey], Dict[ObjectKey, int], float, RefineStats]:
     """FLIP-style local search over (order, gaps) on the true remap cost.
 
@@ -661,7 +679,10 @@ def swap_refine(
     and process runs of the same ``batch`` return identical placements at
     an identical evaluation count, and the process pool buys pure
     wall-time.  ``batch=1`` (default) is the historical first-improvement
-    loop, unchanged.
+    loop, unchanged.  ``chunk_words`` scores candidates through the
+    streaming replay — the counts are bit-identical, so the trajectory
+    (and :class:`RefineStats`) is byte-for-byte the monolithic one at equal
+    ``batch``; ``tests/test_streaming.py`` pins exactly that.
     """
     if gap_budget < 0:
         raise LayoutError(f"gap_budget must be >= 0, got {gap_budget}")
@@ -703,7 +724,8 @@ def swap_refine(
     from repro.runtime.backend import CandidateScorer
 
     with obs.span(obs_names.PLACEMENT_SEARCH, batch=batch), CandidateScorer(
-        instance, targets_n, backend=backend, workers=workers
+        instance, targets_n, backend=backend, workers=workers,
+        chunk_words=chunk_words,
     ) as scorer:
 
         def cost_of() -> float:

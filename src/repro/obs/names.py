@@ -46,6 +46,10 @@ BACKEND_MAP = "backend.map"
 BATCH = "run_batch"
 #: one `swap_refine` local search (attr ``batch=``)
 PLACEMENT_SEARCH = "placement.search"
+#: one chunked out-of-core compilation (`compile_trace_chunked`)
+STREAM_COMPILE = "stream.compile"
+#: one streaming replay over a chunk source (attr ``policy=``)
+STREAM_REPLAY = "stream.replay"
 
 # ------------------------------------------------------------- counters
 #: traces compiled from scratch (cache misses + uncached calls)
@@ -76,6 +80,12 @@ BACKEND_TASKS = "backend.tasks"
 PLACEMENT_EVALS = "placement.evals"
 #: improvement rounds taken by `swap_refine`
 PLACEMENT_ROUNDS = "placement.rounds"
+#: trace chunks produced by chunked compilation / consumed by replay
+STREAM_CHUNKS = "stream.chunks"
+#: bytes spilled to on-disk trace segments by chunked compilation
+STREAM_SPILLED_BYTES = "stream.spilled_bytes"
+#: segments recompiled after a corrupt/missing entry (segment granularity)
+STREAM_RECOMPILED = "stream.segments_recompiled"
 
 # --------------------------------------------------------------- gauges
 #: pool width chosen by the last backend sizing decision

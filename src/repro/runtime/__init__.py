@@ -3,8 +3,10 @@ firing engine that moves tokens through the cache simulator, the trace
 compiler and the policy-aware replay kernels that answer whole geometry
 families in one pass, the execution backends (serial/thread/process fan-out
 with shared-memory trace shipping and the ``run_batch`` service front door),
-the persistent content-addressed trace cache, schedule
-representation/validation, and deadlock analysis."""
+the persistent content-addressed trace cache, the out-of-core streaming
+engine (chunked trace compilation spilled to cache segments plus
+carry-over replay kernels, bit-identical to the monolithic path),
+schedule representation/validation, and deadlock analysis."""
 
 from repro.runtime.backend import (
     BACKENDS,
@@ -22,6 +24,15 @@ from repro.runtime.compiled import (
     compile_trace,
     measure_compiled,
     simulate_trace,
+)
+from repro.runtime.streaming import (
+    ArrayChunkSource,
+    ChunkedTrace,
+    compile_trace_chunked,
+    recency_carry,
+    simulate_stream,
+    stream_masks,
+    stream_stats,
 )
 from repro.runtime.trace_cache import (
     TraceCache,
@@ -63,6 +74,13 @@ __all__ = [
     "compile_trace",
     "measure_compiled",
     "simulate_trace",
+    "ArrayChunkSource",
+    "ChunkedTrace",
+    "compile_trace_chunked",
+    "recency_carry",
+    "simulate_stream",
+    "stream_masks",
+    "stream_stats",
     "replay_miss_masks",
     "replay_misses",
     "per_set_stack_distances",

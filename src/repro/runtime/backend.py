@@ -89,9 +89,11 @@ __all__ = [
     "effective_workers",
     "resolve",
     "configure",
+    "default_chunk_words",
     "fan_out",
     "SharedTrace",
     "process_sweep",
+    "process_chunk_sweep",
     "CandidateScorer",
     "geometry_sweep",
     "ServiceQuery",
@@ -132,25 +134,51 @@ def effective_workers(workers: Optional[int], n_items: int) -> int:
     return max(1, min(int(workers), n_items, os.cpu_count() or 1))
 
 
-_DEFAULTS: Dict[str, object] = {"backend": "thread", "workers": None}
+_DEFAULTS: Dict[str, object] = {
+    "backend": "thread",
+    "workers": None,
+    "chunk_words": None,
+}
 
 
 def configure(
-    backend: Optional[str] = None, workers: Optional[int] = None
-) -> Tuple[str, Optional[int]]:
-    """Set the process-wide default ``(backend, workers)`` pair.
+    backend: Optional[str] = None,
+    workers: Optional[int] = None,
+    chunk_words: Optional[int] = None,
+) -> Tuple[str, Optional[int], Optional[int]]:
+    """Set the process-wide default ``(backend, workers, chunk_words)``.
 
-    This is what the CLI's ``--backend``/``--workers`` flags install so
-    experiment drivers (which take no backend parameters) inherit the
-    choice.  Returns the previous pair so callers can restore it.  The
-    initial default — ``("thread", None)`` — reproduces the historical
-    behaviour exactly: no pool unless a caller passes ``workers=``.
+    This is what the CLI's ``--backend``/``--workers``/``--chunk-words``
+    flags install so experiment drivers (which take no backend parameters)
+    inherit the choice.  Returns the previous triple so callers can restore
+    it (``configure(*previous)``).  The initial default —
+    ``("thread", None, None)`` — reproduces the historical behaviour
+    exactly: no pool unless a caller passes ``workers=``, monolithic replay
+    unless a caller passes ``chunk_words=``.
     """
-    previous = (str(_DEFAULTS["backend"]), _DEFAULTS["workers"])  # type: ignore[arg-type]
+    previous = (
+        str(_DEFAULTS["backend"]),
+        _DEFAULTS["workers"],
+        _DEFAULTS["chunk_words"],
+    )
     if backend is not None:
         _DEFAULTS["backend"] = normalize_backend(backend)
     _DEFAULTS["workers"] = workers
-    return previous
+    if chunk_words is not None and chunk_words < 1:
+        raise CacheConfigError(f"chunk_words must be >= 1, got {chunk_words}")
+    _DEFAULTS["chunk_words"] = chunk_words
+    return previous  # type: ignore[return-value]
+
+
+def default_chunk_words() -> Optional[int]:
+    """The configured default replay chunk size, or ``None`` (monolithic).
+
+    :func:`repro.runtime.compiled.simulate_trace` consults this whenever a
+    caller passes no explicit ``chunk_words=``, so installing a default
+    (the CLI's ``--chunk-words``) streams every replay in the process.
+    """
+    value = _DEFAULTS["chunk_words"]
+    return None if value is None else int(value)  # type: ignore[arg-type]
 
 
 def resolve(
@@ -401,6 +429,111 @@ def process_sweep(
     return flat
 
 
+def _stream_chunk_worker(
+    task: Tuple[int, str, np.ndarray, List, str, bool]
+) -> Tuple[int, List[Tuple[int, Optional[List[int]]]], Optional[Dict]]:
+    """Worker body: replay ONE trace chunk (all geometries) under its carry.
+
+    The parent computed the chunk's recency carry (cheap, sequential) and
+    ships it with the segment path; the worker loads the segment arrays
+    straight off disk — the cache's documented one-``.npz``-per-key layout —
+    and returns reduced ``(misses, phase_bincount)`` per geometry, exactly
+    the per-chunk terms the sequential stream would have summed.
+    """
+    from repro.runtime.compiled import PHASE_NAMES
+    from repro.runtime.streaming import _flat_chunk_masks
+
+    index, path, carry, geometries, policy, want_obs = task
+
+    def _stats() -> List[Tuple[int, Optional[List[int]]]]:
+        with np.load(path, allow_pickle=False) as data:
+            blocks = np.asarray(data["blocks"], dtype=np.int64)
+            phases = (
+                np.asarray(data["phases"], dtype=np.uint8)
+                if "phases" in data.files
+                else None
+            )
+        out: List[Tuple[int, Optional[List[int]]]] = []
+        for mask in _flat_chunk_masks(blocks, carry, geometries, policy):
+            misses = int(np.count_nonzero(mask))
+            counts: Optional[List[int]] = None
+            if phases is not None:
+                counts = np.bincount(
+                    phases[mask], minlength=len(PHASE_NAMES)
+                ).tolist()
+            out.append((misses, counts))
+        return out
+
+    if want_obs:
+        with obs.capture(enabled=True) as cap:
+            stats = _stats()
+        return index, stats, cap.snapshot
+    return index, _stats(), None
+
+
+def process_chunk_sweep(
+    trace: "object",
+    geometries: Sequence,
+    policy: str,
+    workers: int,
+) -> List[Tuple[int, Optional[List[int]]]]:
+    """Per-geometry ``(misses, phase_bincount)`` by fanning *trace chunks*
+    (not geometries) over a process pool — the streaming twin of
+    :func:`process_sweep` for a :class:`~repro.runtime.streaming.ChunkedTrace`.
+
+    Chunk replays are independent once each chunk's recency carry is known,
+    and the carries are cheap to compute (one vectorized fold per chunk), so
+    the parent walks the chunks once to build carries while workers do the
+    expensive distance passes.  Only lru/direct stream this way — OPT and
+    two-level carry kernel state *through* the chunks, which serializes
+    them.  Per-chunk stats are summed in chunk order, and worker obs deltas
+    merge in chunk order too, so totals are bit-identical to the sequential
+    stream.
+    """
+    from concurrent.futures import ProcessPoolExecutor
+
+    from repro.runtime.streaming import ChunkedTrace, recency_carry
+
+    assert isinstance(trace, ChunkedTrace)
+    geoms = list(geometries)
+    want_obs = obs.is_enabled()
+    tasks: List[Tuple[int, str, np.ndarray, List, str, bool]] = []
+    carry = np.zeros(0, dtype=np.int64)
+    for i in range(trace.n_chunks):
+        tasks.append(
+            (i, str(trace.segment_path(i)), carry, geoms, policy, want_obs)
+        )
+        blocks, _phases = trace.chunk(i)
+        carry = recency_carry(carry, blocks)
+    width = min(workers, max(1, len(tasks)))
+    obs.add(obs_names.BACKEND_TASKS, len(tasks))
+    obs.gauge(obs_names.BACKEND_WIDTH, width)
+    results: List[Optional[List[Tuple[int, Optional[List[int]]]]]] = [
+        None
+    ] * len(tasks)
+    snaps: List[Optional[Dict]] = [None] * len(tasks)
+    with obs.span(obs_names.BACKEND_MAP, backend="process"):
+        with ProcessPoolExecutor(
+            max_workers=width, mp_context=_mp_context()
+        ) as pool:
+            for index, stats, snap in pool.map(_stream_chunk_worker, tasks):
+                results[index] = stats
+                snaps[index] = snap
+    for snap in snaps:
+        if snap is not None:
+            obs.merge(snap)
+    totals = [0] * len(geoms)
+    counts: List[Optional[List[int]]] = [None] * len(geoms)
+    for stats in results:
+        assert stats is not None
+        for gi, (m, c) in enumerate(stats):
+            totals[gi] += m
+            if c is not None:
+                prev = counts[gi]
+                counts[gi] = c if prev is None else [a + b for a, b in zip(prev, c)]
+    return list(zip(totals, counts))
+
+
 # ----------------------------------------------------------------------
 # placement candidate scoring
 # ----------------------------------------------------------------------
@@ -412,6 +545,7 @@ def _attach_scorer(
     n: int,
     targets: List[Tuple["CacheGeometry", str, float]],
     want_obs: bool,
+    chunk_words: Optional[int] = None,
 ) -> None:
     """Pool initializer: map the remap-instance arrays; keep targets local."""
     from multiprocessing import shared_memory
@@ -424,6 +558,7 @@ def _attach_scorer(
     )
     _SCORER_STATE["targets"] = targets
     _SCORER_STATE["obs"] = want_obs
+    _SCORER_STATE["chunk_words"] = chunk_words
 
 
 def _score_candidate_remote(
@@ -443,7 +578,9 @@ def _score_candidate_remote(
 
     def _cost() -> float:
         blocks = starts[obj] + off
-        per = _target_misses(blocks, targets)  # type: ignore[arg-type]
+        per = _target_misses(
+            blocks, targets, chunk_words=_SCORER_STATE.get("chunk_words")  # type: ignore[arg-type]
+        )
         return sum(w * m for (_g, _p, w), m in zip(targets, per))  # type: ignore[misc]
 
     if _SCORER_STATE.get("obs"):
@@ -472,9 +609,11 @@ class CandidateScorer:
         targets: Sequence["PlacementTarget"],
         backend: Optional[str] = None,
         workers: Optional[int] = None,
+        chunk_words: Optional[int] = None,
     ) -> None:
         self.instance = instance
         self.targets = list(targets)
+        self.chunk_words = chunk_words
         name, width = resolve(backend, workers, os.cpu_count() or 1)
         self._pool = None
         if name == "process":
@@ -494,7 +633,7 @@ class CandidateScorer:
                 initializer=_attach_scorer,
                 # obs state is frozen at pool construction: enable
                 # instrumentation before building the scorer
-                initargs=(shm.name, n, self.targets, obs.is_enabled()),
+                initargs=(shm.name, n, self.targets, obs.is_enabled(), chunk_words),
             )
         else:
             self._shm = None
@@ -507,7 +646,9 @@ class CandidateScorer:
             out = []
             for starts in starts_list:
                 blocks = starts[self.instance.obj_of_access] + self.instance.block_offset
-                per = _target_misses(blocks, self.targets)
+                per = _target_misses(
+                    blocks, self.targets, chunk_words=self.chunk_words
+                )
                 out.append(sum(w * m for (_g, _p, w), m in zip(self.targets, per)))
             return out
         tasks = [(i, starts) for i, starts in enumerate(starts_list)]
@@ -578,6 +719,8 @@ class ServiceQuery:
     count_external: bool = True
     placement: Optional[Sequence["ObjectKey"]] = None
     gaps: Optional[Dict["ObjectKey", int]] = None
+    #: per-query replay chunk size; ``None`` inherits ``run_batch``'s
+    chunk_words: Optional[int] = None
 
 
 @dataclass
@@ -602,6 +745,7 @@ def run_batch(
     backend: Optional[str] = None,
     workers: Optional[int] = None,
     cache: Optional["TraceCache"] = None,
+    chunk_words: Optional[int] = None,
 ) -> List[ServiceAnswer]:
     """Answer N queries with shared compilation, shared passes, one pool.
 
@@ -610,11 +754,16 @@ def run_batch(
        digests share one compiled trace — the batch compiles each distinct
        trace exactly once, through the persistent cache when ``cache`` (or
        a configured default) is present.
-    2. Queries sharing a (trace, policy) pair are evaluated in one replay
-       call, concatenating their geometry lists so the kernels' shared
-       passes (stack distances, set partitions) amortize across users.
+    2. Queries sharing a (trace, policy, chunk size) triple are evaluated
+       in one replay call, concatenating their geometry lists so the
+       kernels' shared passes (stack distances, set partitions) amortize
+       across users.
     3. Evaluation fans out over ``backend``; answers return in query order,
        each tagged with its digest, cache-hit, and intra-batch dedup flags.
+
+    ``chunk_words`` streams every replay in bounded-memory chunks
+    (:mod:`repro.runtime.streaming`) — bit-identical answers; a query's own
+    ``chunk_words`` overrides the batch-wide value.
     """
     from repro.runtime.compiled import simulate_trace
     from repro.runtime.trace_cache import cached_compile_trace, trace_digest
@@ -644,14 +793,17 @@ def run_batch(
             traces[key] = (trace, was_hit)
         obs.add(obs_names.BATCH_DEDUPED, sum(deduped))
 
-        # group evaluation by (trace, policy): one replay call per group
-        groups: Dict[Tuple[str, str], List[int]] = {}
+        # group evaluation by (trace, policy, chunk size): one replay call
+        # per group — mixing chunked and monolithic sweeps over one trace
+        # stays correct because the answers are bit-identical either way
+        groups: Dict[Tuple[str, str, Optional[int]], List[int]] = {}
         for i, (q, key) in enumerate(zip(queries, keys)):
-            groups.setdefault((key, q.policy), []).append(i)
+            eff = q.chunk_words if q.chunk_words is not None else chunk_words
+            groups.setdefault((key, q.policy, eff), []).append(i)
         obs.add(obs_names.BATCH_GROUPS, len(groups))
 
         answers: List[Optional[ServiceAnswer]] = [None] * len(queries)
-        for (key, policy), idxs in groups.items():
+        for (key, policy, eff), idxs in groups.items():
             trace, was_hit = traces[key]
             geoms: List = []
             bounds = [0]
@@ -659,7 +811,8 @@ def run_batch(
                 geoms.extend(queries[i].geometries)
                 bounds.append(len(geoms))
             results = simulate_trace(
-                trace, geoms, policy=policy, workers=workers, backend=backend  # type: ignore[arg-type]
+                trace, geoms, policy=policy, workers=workers, backend=backend,  # type: ignore[arg-type]
+                chunk_words=eff,
             )
             for slot, i in enumerate(idxs):
                 answers[i] = ServiceAnswer(

@@ -59,7 +59,18 @@ to sweep — is drawn end to end in ``docs/ARCHITECTURE.md``.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+    overload,
+)
 
 import numpy as np
 
@@ -79,6 +90,9 @@ from repro.runtime.executor import (
     source_stream_words,
 )
 from repro.runtime.schedule import Schedule
+
+if TYPE_CHECKING:  # runtime import would cycle: streaming builds on this module
+    from repro.runtime.streaming import ChunkedTrace
 
 __all__ = [
     "CompiledTrace",
@@ -237,28 +251,61 @@ class TraceCompiler:
                 plan.out_words = sink_stream_words(graph, mod.name)
             self._plans[mod.name] = plan
         self._buffers = buffers
+        # metadata of the most recent :meth:`compile_chunks` run; complete
+        # once that generator is exhausted (:meth:`compile` reads them)
+        self.last_label: str = "schedule"
+        self.last_firings: int = 0
+        self.last_fire_counts: Dict[str, int] = {}
+        self.last_source_fires: int = 0
+        self.last_sink_fires: int = 0
+        self.last_accesses: int = 0
 
-    def compile(self, schedule: Schedule) -> CompiledTrace:
-        """Compile every firing of ``schedule`` (flat or looped) to a trace.
+    def compile_chunks(
+        self, schedule: Schedule, chunk_words: Optional[int] = None
+    ) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+        """Compile ``schedule`` as a stream of ``(blocks, phases)`` chunks.
+
+        With ``chunk_words=None`` the whole trace is yielded as one final
+        chunk (the monolithic case); otherwise every yielded chunk holds
+        exactly ``chunk_words`` accesses except the last, which carries the
+        remainder (an empty schedule yields no chunks).  Concatenating the
+        chunks in order reproduces :meth:`compile`'s arrays bit for bit —
+        the contract the streaming engine (:mod:`repro.runtime.streaming`)
+        is differentially pinned on.  Peak memory while chunking is bounded
+        by ``chunk_words`` plus one firing's touches, never the trace
+        length.
 
         Validates feasibility exactly like ``Executor.fire`` and raises
         :class:`~repro.errors.ScheduleError` on the first violation.  The
-        compiler mutates its buffer states, so each call continues where the
-        previous one stopped — build a fresh compiler per run (as
-        :func:`compile_trace` does) for independent measurements.
+        compiler mutates its buffer states, so each call continues where
+        the previous one stopped — build a fresh compiler per run.  Trace
+        metadata (label, firings, per-module fire counts, source/sink
+        fires, total accesses) is complete once the generator is exhausted
+        and is then readable from ``last_label``/``last_firings``/
+        ``last_fire_counts``/``last_source_fires``/``last_sink_fires``/
+        ``last_accesses``.
         """
+        if chunk_words is not None and chunk_words < 1:
+            raise CacheConfigError(
+                f"chunk_words must be >= 1, got {chunk_words}"
+            )
         plans = self._plans
         block = self.block
         count_external = self.count_external
+        carry_blocks = np.zeros(0, dtype=np.int64)
+        carry_phases = np.zeros(0, dtype=np.uint8)
         chunks: List[np.ndarray] = []
         codes: List[int] = []
         lens: List[int] = []
+        pending = 0
         fire_counts: Dict[str, int] = {}
         firings = 0
         source_fires = 0
         sink_fires = 0
+        accesses = 0
         ext_in_pos = 0
         ext_out_pos = 0
+        self.last_label = getattr(schedule, "label", "schedule")
 
         it = (
             schedule.firings_iter()
@@ -280,16 +327,19 @@ class TraceCompiler:
                 chunks.append(plan.state_blocks)
                 codes.append(_STATE)
                 lens.append(plan.state_blocks.shape[0])
+                pending += plan.state_blocks.shape[0]
             for cs in plan.ins:
                 arr = cs.pop_blocks()
                 chunks.append(arr)
                 codes.append(_DATA)
                 lens.append(arr.shape[0])
+                pending += arr.shape[0]
             for cs in plan.outs:
                 arr = cs.push_blocks()
                 chunks.append(arr)
                 codes.append(_DATA)
                 lens.append(arr.shape[0])
+                pending += arr.shape[0]
             if count_external:
                 if plan.in_words:
                     start = self._ext_in_base + ext_in_pos
@@ -297,6 +347,7 @@ class TraceCompiler:
                     chunks.append(np.arange(lo, hi + 1, dtype=np.int64))
                     codes.append(_STREAM)
                     lens.append(hi - lo + 1)
+                    pending += hi - lo + 1
                     ext_in_pos += plan.in_words
                 if plan.out_words:
                     start = self._ext_out_base + ext_out_pos
@@ -304,6 +355,7 @@ class TraceCompiler:
                     chunks.append(np.arange(lo, hi + 1, dtype=np.int64))
                     codes.append(_STREAM)
                     lens.append(hi - lo + 1)
+                    pending += hi - lo + 1
                     ext_out_pos += plan.out_words
 
             fire_counts[name] = fire_counts.get(name, 0) + 1
@@ -313,22 +365,78 @@ class TraceCompiler:
             if plan.out_words:
                 sink_fires += 1
 
+            if chunk_words is not None and pending >= chunk_words:
+                blocks = np.concatenate([carry_blocks] + chunks)
+                phases = np.concatenate([
+                    carry_phases,
+                    np.repeat(
+                        np.asarray(codes, dtype=np.uint8),
+                        np.asarray(lens, dtype=np.int64),
+                    ),
+                ])
+                emitted = 0
+                while blocks.shape[0] - emitted >= chunk_words:
+                    yield (
+                        blocks[emitted:emitted + chunk_words],
+                        phases[emitted:emitted + chunk_words],
+                    )
+                    accesses += chunk_words
+                    emitted += chunk_words
+                # copies release the concatenated buffer once consumers drop
+                # their chunk views, keeping the high-water mark at
+                # O(chunk_words), not O(flushes)
+                carry_blocks = blocks[emitted:].copy()
+                carry_phases = phases[emitted:].copy()
+                chunks, codes, lens = [], [], []
+                pending = carry_blocks.shape[0]
+
         blocks = (
-            np.concatenate(chunks) if chunks else np.zeros(0, dtype=np.int64)
+            np.concatenate([carry_blocks] + chunks)
+            if (carry_blocks.shape[0] or chunks)
+            else np.zeros(0, dtype=np.int64)
         )
-        phases = np.repeat(
-            np.asarray(codes, dtype=np.uint8), np.asarray(lens, dtype=np.int64)
-        )
-        label = getattr(schedule, "label", "schedule")
+        phases = np.concatenate([
+            carry_phases,
+            np.repeat(
+                np.asarray(codes, dtype=np.uint8),
+                np.asarray(lens, dtype=np.int64),
+            ),
+        ])
+        self.last_firings = firings
+        self.last_fire_counts = fire_counts
+        self.last_source_fires = source_fires
+        self.last_sink_fires = sink_fires
+        self.last_accesses = accesses + blocks.shape[0]
+        if chunk_words is None:
+            yield blocks, phases
+            return
+        emitted = 0
+        while blocks.shape[0] - emitted >= chunk_words:
+            yield (
+                blocks[emitted:emitted + chunk_words],
+                phases[emitted:emitted + chunk_words],
+            )
+            emitted += chunk_words
+        if blocks.shape[0] > emitted:
+            yield blocks[emitted:], phases[emitted:]
+
+    def compile(self, schedule: Schedule) -> CompiledTrace:
+        """Compile every firing of ``schedule`` (flat or looped) to a trace.
+
+        One full :meth:`compile_chunks` pass with no chunking: the whole
+        trace materializes as a single chunk.  Validation, buffer mutation,
+        and fresh-compiler caveats are exactly as documented there.
+        """
+        blocks, phases = next(self.compile_chunks(schedule, chunk_words=None))
         return CompiledTrace(
-            label=label,
-            block=block,
+            label=self.last_label,
+            block=self.block,
             blocks=blocks,
             phases=phases,
-            firings=firings,
-            fire_counts=fire_counts,
-            source_fires=source_fires,
-            sink_fires=sink_fires,
+            firings=self.last_firings,
+            fire_counts=dict(self.last_fire_counts),
+            source_fires=self.last_source_fires,
+            sink_fires=self.last_sink_fires,
         )
 
 
@@ -363,6 +471,35 @@ def compile_trace_uncached(
     return trace
 
 
+@overload
+def compile_trace(
+    graph: StreamGraph,
+    schedule: Schedule,
+    block: int,
+    capacities: Optional[Dict[int, int]] = ...,
+    layout_order: Optional[Iterable[str]] = ...,
+    count_external: bool = ...,
+    placement: Optional[Sequence[ObjectKey]] = ...,
+    gaps: Optional[Dict[ObjectKey, int]] = ...,
+    chunk_words: None = ...,
+) -> CompiledTrace: ...
+
+
+@overload
+def compile_trace(
+    graph: StreamGraph,
+    schedule: Schedule,
+    block: int,
+    capacities: Optional[Dict[int, int]] = ...,
+    layout_order: Optional[Iterable[str]] = ...,
+    count_external: bool = ...,
+    placement: Optional[Sequence[ObjectKey]] = ...,
+    gaps: Optional[Dict[ObjectKey, int]] = ...,
+    *,
+    chunk_words: int,
+) -> "ChunkedTrace": ...
+
+
 def compile_trace(
     graph: StreamGraph,
     schedule: Schedule,
@@ -372,7 +509,8 @@ def compile_trace(
     count_external: bool = True,
     placement: Optional[Sequence[ObjectKey]] = None,
     gaps: Optional[Dict[ObjectKey, int]] = None,
-) -> CompiledTrace:
+    chunk_words: Optional[int] = None,
+) -> Union[CompiledTrace, "ChunkedTrace"]:
     """One-shot convenience: compile ``schedule`` against a fresh layout.
 
     ``capacities`` defaults to the schedule's own (the ``Executor.measure``
@@ -387,9 +525,25 @@ def compile_trace(
     identical input loads off disk instead of recompiling — bit-identical
     by the digest contract.  With no cache configured (the default), this
     compiles unconditionally and touches no disk.
+
+    ``chunk_words`` switches to out-of-core streaming compilation: the
+    trace is produced in fixed-size chunks that spill to content-addressed
+    ``.npz`` segments as they are compiled, and the return value is a
+    :class:`~repro.runtime.streaming.ChunkedTrace` whose peak memory is
+    O(``chunk_words``) regardless of schedule length.  It replays through
+    the same :func:`simulate_trace` front door, bit-identically to the
+    monolithic trace.
     """
     from repro.runtime.trace_cache import cached_compile_trace, default_cache
 
+    if chunk_words is not None:
+        from repro.runtime.streaming import compile_trace_chunked
+
+        return compile_trace_chunked(
+            graph, schedule, block, chunk_words, capacities=capacities,
+            layout_order=layout_order, count_external=count_external,
+            placement=placement, gaps=gaps, cache=default_cache(),
+        )
     if default_cache() is not None:
         trace, _key, _hit = cached_compile_trace(
             graph, schedule, block, capacities=capacities,
@@ -429,11 +583,12 @@ def _result_from_stats(
 
 
 def simulate_trace(
-    trace: CompiledTrace,
+    trace: Union[CompiledTrace, "ChunkedTrace"],
     geometries: Sequence[CacheGeometry],
     policy: str = "lru",
     workers: Optional[int] = None,
     backend: Optional[str] = None,
+    chunk_words: Optional[int] = None,
 ) -> List[ExecutionResult]:
     """Miss counts of ``policy`` at every geometry from one compiled trace.
 
@@ -460,6 +615,15 @@ def simulate_trace(
     way, since the kernels are pure functions of ``(blocks, geometries)``.
     ``backend=None`` (default) follows the configured process-wide default,
     preserving the historical ``workers=``-threads behaviour.
+
+    ``trace`` may also be a :class:`~repro.runtime.streaming.ChunkedTrace`
+    (out-of-core compilation), replayed chunk by chunk with carried kernel
+    state; or pass ``chunk_words=`` with an in-memory trace to replay it in
+    bounded-size chunks.  Either way the results are bit-identical to the
+    monolithic replay (the differential contract of
+    ``tests/test_streaming.py``); ``chunk_words=None`` follows the
+    configured process-wide default
+    (:func:`repro.runtime.backend.configure`, the CLI's ``--chunk-words``).
     """
     geometries = list(geometries)
     for geom in geometries:
@@ -468,6 +632,22 @@ def simulate_trace(
                 f"geometry block {geom.block} does not match trace block "
                 f"{trace.block}; recompile the trace for this block size"
             )
+    from repro.runtime.streaming import ChunkedTrace, simulate_stream
+
+    if isinstance(trace, ChunkedTrace):
+        return simulate_stream(
+            trace, geometries, policy=policy, workers=workers,
+            backend=backend, chunk_words=chunk_words,
+        )
+    if chunk_words is None:
+        from repro.runtime.backend import default_chunk_words
+
+        chunk_words = default_chunk_words()
+    if chunk_words is not None:
+        return simulate_stream(
+            trace, geometries, policy=policy, workers=workers,
+            backend=backend, chunk_words=chunk_words,
+        )
     from repro.runtime.backend import process_sweep, resolve
 
     name, width = resolve(backend, workers, len(geometries))
@@ -515,6 +695,7 @@ def measure_compiled(
     gaps: Optional[Dict[ObjectKey, int]] = None,
     backend: Optional[str] = None,
     cache: Optional[object] = None,
+    chunk_words: Optional[int] = None,
 ) -> ExecutionResult:
     """Drop-in for ``Executor.measure``, via compilation.
 
@@ -523,9 +704,29 @@ def measure_compiled(
     simulation.  ``cache`` (a :class:`repro.runtime.trace_cache.TraceCache`)
     routes the compilation through the persistent content-addressed cache;
     ``backend`` picks the execution backend exactly as in
-    :func:`simulate_trace`.
+    :func:`simulate_trace`.  ``chunk_words`` switches both the compilation
+    and the replay to the out-of-core streaming path
+    (:mod:`repro.runtime.streaming`): identical result, O(``chunk_words``)
+    peak memory.
     """
-    if cache is not None:
+    trace: Union[CompiledTrace, "ChunkedTrace"]
+    if chunk_words is not None:
+        from repro.runtime.streaming import compile_trace_chunked
+        from repro.runtime.trace_cache import TraceCache, default_cache
+
+        seg_cache = cache if isinstance(cache, TraceCache) else default_cache()
+        trace = compile_trace_chunked(
+            graph,
+            schedule,
+            geometry.block,
+            chunk_words,
+            layout_order=layout_order,
+            count_external=count_external,
+            placement=placement,
+            gaps=gaps,
+            cache=seg_cache,
+        )
+    elif cache is not None:
         from repro.runtime.trace_cache import cached_compile_trace
 
         trace, _key, _hit = cached_compile_trace(

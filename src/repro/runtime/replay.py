@@ -74,7 +74,7 @@ algorithms, their complexity, and the oracle contract.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
@@ -183,9 +183,17 @@ def per_set_stack_distances(
     return d
 
 
+_OptState = Tuple[List[int], List[int], Set[int]]
+
+
 def _opt_stack_pass(
-    blocks: List[int], next_use: List[int], max_depth: int
-) -> List[int]:
+    blocks: List[int],
+    next_use: List[int],
+    max_depth: int,
+    total: Optional[int] = None,
+    positions: Optional[List[int]] = None,
+    state: Optional[_OptState] = None,
+) -> Tuple[List[int], _OptState]:
     """Priority-stack OPT stack distances for one access sequence.
 
     MIN's priority list at time ``t`` orders blocks by next use after ``t``;
@@ -197,17 +205,31 @@ def _opt_stack_pass(
     any miss count).  The stack is truncated at ``max_depth``: percolation
     only ever moves entries *down*, so the top ``max_depth`` entries — and
     therefore every distance we report — are unaffected by the cut.
+
+    Streaming extension: ``state`` resumes the pass with a prior call's
+    returned ``(stack_b, stack_p, resident)``, ``total`` is the full-trace
+    length that marks never-again priorities, and ``positions`` maps local
+    indices to absolute trace positions so sentinels stay unique and
+    monotone across chunks.  Sentinel values only need to exceed every real
+    next-use and grow with time, so ``total + absolute_position`` induces
+    exactly the eviction order of the monolithic ``n + i`` sentinels.
     """
     n = len(blocks)
+    if total is None:
+        total = n
     out = [0] * n
-    stack_b: List[int] = []  # block ids, top (most valuable) first
-    stack_p: List[int] = []  # priorities: next-use position, smaller = sooner
-    resident = set()
+    if state is None:
+        stack_b: List[int] = []  # block ids, top (most valuable) first
+        stack_p: List[int] = []  # priorities: next-use position, smaller = sooner
+        resident: Set[int] = set()
+    else:
+        stack_b, stack_p, resident = state
     for i in range(n):
         b = blocks[i]
         p = next_use[i]
-        if p >= n:
-            p = n + i  # unique sentinel: never used again
+        if p >= total:
+            # unique sentinel: never used again
+            p = total + (positions[i] if positions is not None else i)
         if b in resident:
             idx = stack_b.index(b)
             if idx == 0:
@@ -245,7 +267,7 @@ def _opt_stack_pass(
                 stack_b.append(b)
                 stack_p.append(p)
             resident.add(b)
-    return out
+    return out, (stack_b, stack_p, resident)
 
 
 def opt_stack_distances(
@@ -266,15 +288,17 @@ def opt_stack_distances(
     if n == 0:
         return out
     if sets <= 1:
-        out[:] = _opt_stack_pass(
+        dists, _ = _opt_stack_pass(
             blocks.tolist(), next_occurrences(blocks).tolist(), max_depth
         )
+        out[:] = dists
         return out
     for seg in _set_segments(blocks, sets, scheme):
         sub = blocks[seg]
-        out[seg] = _opt_stack_pass(
+        dists, _ = _opt_stack_pass(
             sub.tolist(), next_occurrences(sub).tolist(), max_depth
         )
+        out[seg] = dists
     return out
 
 

@@ -67,6 +67,7 @@ __all__ = [
     "FORMAT_VERSION",
     "trace_digest",
     "query_digest",
+    "segment_digest",
     "CacheCounters",
     "TraceCache",
     "cached_compile_trace",
@@ -154,6 +155,27 @@ def trace_digest(
     if chunk:
         h.update("\x00".join(chunk).encode("utf-8") + b"\x00")
     return h.hexdigest()
+
+
+def segment_digest(trace_key: str, index: int, chunk_words: int) -> str:
+    """Key of one fixed-size chunk of a chunked compilation.
+
+    Streaming compilation (:mod:`repro.runtime.streaming`) spills each
+    ``chunk_words``-access segment of a trace as its own cache entry, so a
+    corrupted segment recompiles alone instead of invalidating the whole
+    trace.  The key binds the parent :func:`trace_digest`, the segment
+    index, and the chunk size — the same trace chunked differently stores
+    under disjoint keys, and segment ``i`` of one chunking can never alias
+    segment ``i`` of another.
+    """
+    payload = {
+        "kind": "trace_segment",
+        "format": FORMAT_VERSION,
+        "trace": trace_key,
+        "index": int(index),
+        "chunk_words": int(chunk_words),
+    }
+    return hashlib.sha256(_canon(payload)).hexdigest()
 
 
 def _geometry_facts(geom: object) -> object:
@@ -290,6 +312,14 @@ class TraceCache:
             pass
 
     # -- public surface -------------------------------------------------
+    def has(self, key: str) -> bool:
+        """Whether an entry file exists for ``key`` — no validation, no
+        counter, no LRU refresh.  Streaming compilation uses this to skip
+        re-spilling segments that are already on disk; a present-but-corrupt
+        entry still reads as ``True`` here and surfaces as a miss (and
+        recompile) at :meth:`get` time."""
+        return self._entry_path(key).exists()
+
     def get(self, key: str) -> Optional["CompiledTrace"]:
         """The cached trace for ``key``, or ``None`` (miss).
 

@@ -46,10 +46,24 @@ Oracle = Callable[[np.ndarray, object], Sequence[bool]]
 
 
 def replay_kernel(policy: str, workers: Optional[int] = None) -> Kernel:
-    """The vectorized replay engine of ``policy`` as a harness kernel."""
+    """The vectorized replay engine of ``policy`` as a harness kernel.
+
+    The returned kernel also accepts an optional ``chunk_words=`` keyword:
+    when given, the masks come from the out-of-core streaming engine
+    (:func:`repro.runtime.streaming.stream_masks`) at that chunk size
+    instead of the monolithic pass, so the same differential grid pins the
+    chunked replay against the stepwise oracle too.
+    """
     from repro.runtime.replay import replay_miss_masks
 
-    def kernel(blocks: np.ndarray, grid: Sequence) -> List[np.ndarray]:
+    def kernel(
+        blocks: np.ndarray, grid: Sequence, chunk_words: Optional[int] = None
+    ) -> List[np.ndarray]:
+        if chunk_words is not None:
+            from repro.runtime.streaming import ArrayChunkSource, stream_masks
+
+            source = ArrayChunkSource(blocks, chunk_words=chunk_words)
+            return stream_masks(source, list(grid), policy=policy)
         return replay_miss_masks(blocks, list(grid), policy=policy, workers=workers)
 
     return kernel
@@ -101,12 +115,41 @@ def format_divergence(
     return "\n".join(lines)
 
 
+def _check_masks(
+    blocks: np.ndarray,
+    points: Sequence,
+    kernel_masks: Sequence,
+    oracle_masks: Sequence[List[bool]],
+    context: int,
+    label: str,
+) -> None:
+    if len(kernel_masks) != len(points):
+        raise AssertionError(
+            f"{label}kernel answered {len(kernel_masks)} masks for "
+            f"{len(points)} grid points"
+        )
+    n = blocks.shape[0]
+    for point, kmask, olist in zip(points, kernel_masks, oracle_masks):
+        klist = [bool(b) for b in (kmask.tolist() if hasattr(kmask, "tolist") else kmask)]
+        if len(klist) != n or len(olist) != n:
+            raise AssertionError(
+                f"{label}mask length mismatch on {_describe_point(point)}: "
+                f"kernel {len(klist)}, oracle {len(olist)}, trace {n}"
+            )
+        if klist != olist:
+            index = next(i for i, (a, b) in enumerate(zip(klist, olist)) if a != b)
+            raise AssertionError(
+                label + format_divergence(blocks, point, klist, olist, index, context)
+            )
+
+
 def differential_grid(
     kernel: Kernel,
     oracle: Oracle,
     grids: Iterable,
     workload: Sequence[int],
     context: int = 8,
+    chunk_sizes: Sequence[int] = (),
 ) -> int:
     """Assert per-access agreement of ``kernel`` and ``oracle`` over a grid.
 
@@ -117,30 +160,26 @@ def differential_grid(
     verdict must be identical; the first divergence raises an
     ``AssertionError`` carrying :func:`format_divergence` output.
 
-    Returns the number of grid points compared (useful for asserting a
-    suite really covered its promised ≥N-point grid).
+    ``chunk_sizes`` adds a streaming axis: for each size ``s`` the kernel
+    is re-invoked as ``kernel(blocks, points, chunk_words=s)`` (the
+    :func:`replay_kernel` adapter routes that through the out-of-core
+    engine) and the masks must again match the oracle bit for bit — the
+    oracle runs once per point and pins every chunking.  Divergence
+    messages from a streaming pass are prefixed ``[chunk_words=s]``.
+
+    Returns the number of (point, engine) comparisons made —
+    ``len(points) * (1 + len(chunk_sizes))`` — useful for asserting a
+    suite really covered its promised ≥N-point grid.
     """
     blocks = np.ascontiguousarray(np.asarray(workload, dtype=np.int64))
     points = list(grids)
+    sizes = list(chunk_sizes)
+    oracle_masks = [[bool(m) for m in oracle(blocks, point)] for point in points]
     kernel_masks = kernel(blocks, points)
-    if len(kernel_masks) != len(points):
-        raise AssertionError(
-            f"kernel answered {len(kernel_masks)} masks for {len(points)} "
-            f"grid points"
+    _check_masks(blocks, points, kernel_masks, oracle_masks, context, "")
+    for s in sizes:
+        chunked = kernel(blocks, points, chunk_words=s)  # type: ignore[call-arg]
+        _check_masks(
+            blocks, points, chunked, oracle_masks, context, f"[chunk_words={s}] "
         )
-    n = blocks.shape[0]
-    for point, kmask in zip(points, kernel_masks):
-        omask = oracle(blocks, point)
-        klist = [bool(b) for b in (kmask.tolist() if hasattr(kmask, "tolist") else kmask)]
-        olist = [bool(b) for b in omask]
-        if len(klist) != n or len(olist) != n:
-            raise AssertionError(
-                f"mask length mismatch on {_describe_point(point)}: "
-                f"kernel {len(klist)}, oracle {len(olist)}, trace {n}"
-            )
-        if klist != olist:
-            index = next(i for i, (a, b) in enumerate(zip(klist, olist)) if a != b)
-            raise AssertionError(
-                format_divergence(blocks, point, klist, olist, index, context)
-            )
-    return len(points)
+    return len(points) * (1 + len(sizes))

@@ -9,7 +9,9 @@ organizations :class:`~repro.cache.base.CacheGeometry` validation accepts
 (power-of-two set counts, both index schemes), and
 :func:`placement_strategy` emits (order, gaps) candidates inside a given
 address-space gap budget — the exact search space
-:mod:`repro.mem.placement` explores.
+:mod:`repro.mem.placement` explores; and :func:`chunking_strategy` emits
+arbitrary partitions of a trace into positive chunk sizes — the adversary
+for the streaming-replay invariance properties.
 """
 
 from __future__ import annotations
@@ -28,6 +30,7 @@ __all__ = [
     "small_dags",
     "geometry_strategy",
     "placement_strategy",
+    "chunking_strategy",
 ]
 
 _rates = st.tuples(st.integers(1, 5), st.integers(1, 5))
@@ -109,6 +112,26 @@ def placement_strategy(
             gaps[key] = gap
             spent += gap
     return list(order), gaps
+
+
+@st.composite
+def chunking_strategy(draw: st.DrawFn, n: int) -> List[int]:
+    """Random partition of a length-``n`` trace into positive chunk sizes.
+
+    Draws a set of cut points in ``[1, n-1]`` and returns the consecutive
+    differences, so every partition of ``n`` — from ``[n]`` (no cuts) to
+    ``[1] * n`` (all cuts) — is reachable and the sizes always sum to
+    ``n``.  This is the adversary for the streaming-replay invariance
+    properties: miss counts (and carry-over state) must not depend on
+    where the chunk boundaries fall.
+    """
+    if n < 1:
+        raise ValueError(f"chunking_strategy needs n >= 1, got {n}")
+    if n == 1:
+        return [1]
+    cuts = sorted(draw(st.sets(st.integers(1, n - 1), max_size=n - 1)))
+    bounds = [0] + cuts + [n]
+    return [hi - lo for lo, hi in zip(bounds[:-1], bounds[1:])]
 
 
 @st.composite

@@ -126,7 +126,7 @@ class TestResolve:
     def test_configure_installs_and_restores(self):
         prev = configure("process", 3)
         try:
-            assert prev == ("thread", None)
+            assert prev == ("thread", None, None)
             name, _width = resolve(None, None, 8)
             assert name == "process"
         finally:

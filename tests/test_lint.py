@@ -258,10 +258,11 @@ _R4_DOC = '"""doc: int64, uint8, int16, bool arrays."""\n'
 
 
 class TestR4DtypeContracts:
-    def test_contract_covers_both_hot_path_modules(self):
+    def test_contract_covers_hot_path_modules(self):
         assert set(DTYPE_CONTRACTS) == {
             "src/repro/runtime/compiled.py",
             "src/repro/runtime/replay.py",
+            "src/repro/runtime/streaming.py",
         }
 
     def _files(self, compiled_body=""):

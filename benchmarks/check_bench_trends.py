@@ -54,6 +54,7 @@ METRICS_BY_FILE = {
     ),
     "BENCH_placement.json": (
         "score", "swap_gain", "color_gain", "multi_gain", "xor_gain",
+        "facility_gain",
     ),
     "BENCH_service.json": (
         "warm_speedup", "dedup_factor", "pool_scaling", "search_speedup",
@@ -85,6 +86,11 @@ CEILINGS_BY_FILE = {
         ("obs_overhead", 1.02),
         ("streaming_overhead", 1.25),
         ("streaming_rss_ratio", 1.0),
+    ),
+    "BENCH_placement.json": (
+        # minimax's worst per-target miss ratio vs the seed: the
+        # never-worse contract, held from the very first recorded run
+        ("minimax_worst", 1.0),
     ),
 }
 
@@ -226,9 +232,15 @@ def check_floors(name: str, history: list) -> list:
         if not _is_number(value):
             continue
         if min_cores > 1 and (not _is_number(cores) or cores < min_cores):
+            # legacy entries predate the ``cores`` key entirely; name that
+            # case explicitly so the skip reads as provenance, not a bug
+            have = (
+                f"entry has {cores}" if _is_number(cores)
+                else "entry records no 'cores' (legacy run)"
+            )
             print(
                 f"  {metric:14s} {value:8.2f}x  floor {floor:.2f}x skipped "
-                f"(needs >= {min_cores} cores, entry has {cores})"
+                f"(needs >= {min_cores} cores, {have})"
             )
             continue
         status = "ok" if value >= floor else "BELOW FLOOR"

@@ -15,19 +15,23 @@ Commands
                          stacks a second level behind the execution cache
                          and measures memory transfers out of L2
                          (``policy="two_level"``); ``--layout
-                         {topo,color,swap}`` runs the conflict-aware
-                         placement optimizer (:mod:`repro.mem.placement`)
-                         before measuring, ``--gap-budget N`` lets it spend
-                         up to N blocks of deliberate padding, and
-                         ``--layout-targets POLICY:WAYS[@WEIGHT],...``
-                         switches it to the multi-geometry objective
-                         (never worse than the seed at any target);
+                         {topo,color,swap,multiswap,smoothed,minimax}`` runs
+                         the conflict-aware placement optimizer
+                         (:mod:`repro.mem.placement` /
+                         :mod:`repro.mem.facility`) before measuring,
+                         ``--gap-budget N`` lets it spend up to N blocks of
+                         deliberate padding, ``--restarts``/``--noise``/
+                         ``--seed`` tune the smoothed multi-restart search
+                         (deterministic per seed), and ``--layout-targets
+                         POLICY:WAYS[@WEIGHT],...`` switches it to the
+                         multi-geometry objective (never worse than the
+                         seed at any target);
                          ``--backend {serial,thread,process}`` +
                          ``--workers N`` pick the execution backend
                          (process pools receive compiled traces via shared
                          memory) and ``--cache-dir PATH`` persists compiled
                          traces content-addressed on disk
-``experiment``           run one experiment driver (e1..e15, a1..a9) and
+``experiment``           run one experiment driver (e1..e15, a1..a12) and
                          print its table; accepts the same
                          ``--backend``/``--workers``/``--cache-dir`` flags;
                          both it and ``schedule`` also take ``--metrics-out
@@ -58,6 +62,10 @@ Examples
     python -m repro schedule des_rounds --cache 256 --ways 1 --policy direct --index-scheme xor
     python -m repro schedule des_rounds --cache 256 --ways 1 --policy direct \
         --layout swap --layout-targets direct:1@2,lru:2,lru:4 --gap-budget 8
+    python -m repro schedule des_rounds --cache 256 --ways 1 --policy direct \
+        --layout smoothed --restarts 4 --noise 0.25 --seed 0
+    python -m repro schedule des_rounds --cache 256 --ways 1 --policy direct \
+        --layout minimax --layout-targets direct:1,lru:2,lru:4
     python -m repro experiment e7
     python -m repro experiment a9
     python -m repro schedule fm_radio --cache 256 --metrics-out run.json
@@ -108,7 +116,12 @@ def _parse_layout_targets(spec: str):
         chunk = chunk.strip()
         if not chunk:
             continue
-        body, _, weight_s = chunk.partition("@")
+        body, at_sep, weight_s = chunk.partition("@")
+        if at_sep and not weight_s.strip():
+            raise argparse.ArgumentTypeError(
+                f"target {chunk!r}: '@' must be followed by a weight "
+                "(omit it for the default weight 1)"
+            )
         policy, sep, ways_s = body.partition(":")
         policy = policy.strip()
         if policy not in _TARGET_POLICIES:
@@ -297,6 +310,7 @@ def cmd_schedule(args: argparse.Namespace) -> int:
                 targets=targets, gap_budget=args.gap_budget,
                 budget=args.layout_budget, batch=batch,
                 backend=args.backend, workers=args.workers,
+                restarts=args.restarts, noise=args.noise, seed=args.seed,
             )
             if targets:
                 per = ", ".join(
@@ -368,10 +382,10 @@ def cmd_experiment(args: argparse.Namespace) -> int:
     key = args.id.lower()
     prefix = {
         **{f"e{i}": f"experiment_e{i}_" for i in range(1, 16)},
-        **{f"a{i}": f"ablation_a{i}_" for i in range(1, 10)},
+        **{f"a{i}": f"ablation_a{i}_" for i in range(1, 13)},
     }.get(key)
     if prefix is None:
-        raise SystemExit(f"unknown experiment {args.id!r} (use e1..e15 or a1..a9)")
+        raise SystemExit(f"unknown experiment {args.id!r} (use e1..e15 or a1..a12)")
     for module in (E, S, L, MC):
         fn_name = next(
             (n for n in dir(module) if n.startswith(prefix) and callable(getattr(module, n))),
@@ -540,11 +554,16 @@ def build_parser() -> argparse.ArgumentParser:
     s.add_argument("--l2-ways", type=int, default=0,
                    help="L2 associativity (0 = fully associative; needs "
                         "--l2-frames)")
-    s.add_argument("--layout", default="topo", choices=("topo", "color", "swap"),
+    s.add_argument("--layout", default="topo",
+                   choices=("topo", "color", "swap", "multiswap", "smoothed",
+                            "minimax"),
                    help="memory placement: seed topological order, greedy "
-                        "set-coloring, or swap-refined local search "
-                        "(conflict-aware, optimized for --policy at the "
-                        "execution geometry)")
+                        "set-coloring, swap-refined local search, k-object "
+                        "multiswap with per-set capacity constraints, "
+                        "smoothed multi-restart multiswap (see --restarts/"
+                        "--noise/--seed), or minimax worst-case-target "
+                        "search (conflict-aware, optimized for --policy at "
+                        "the execution geometry)")
     s.add_argument("--layout-targets", type=_parse_layout_targets, default=None,
                    metavar="POLICY:WAYS[@WEIGHT],...",
                    help="multi-geometry placement objective: optimize the "
@@ -560,11 +579,23 @@ def build_parser() -> argparse.ArgumentParser:
                    help="cost evaluations the placement local search may "
                         "spend (each one scores a full candidate layout "
                         "through the remap cost model)")
+    s.add_argument("--restarts", type=int, default=None,
+                   help="restarts of the smoothed placement search "
+                        "(--layout smoothed; each gets an equal slice of "
+                        "--layout-budget; default 4)")
+    s.add_argument("--noise", type=float, default=None,
+                   help="relative conflict-weight perturbation per smoothed "
+                        "restart (--layout smoothed; 0 disables the "
+                        "perturbation; default 0.25)")
+    s.add_argument("--seed", type=int, default=None,
+                   help="RNG seed of the smoothed restart perturbations; "
+                        "the same seed always reproduces the same layout "
+                        "(default 0)")
     _add_runtime_flags(s)
     s.set_defaults(fn=cmd_schedule)
 
     e = sub.add_parser("experiment", help="run an experiment driver")
-    e.add_argument("id", help="e1..e15 or a1..a9")
+    e.add_argument("id", help="e1..e15 or a1..a12")
     _add_runtime_flags(e)
     e.set_defaults(fn=cmd_experiment)
 

@@ -77,6 +77,8 @@ BENCH_EXEMPT: Dict[str, str] = {
     "bench_placement.py (swap_gain / color_gain), not by a driver call",
     "a9": "multi-target and xor-indexing gains are gated by benchmarks/"
     "bench_placement.py (multi_gain / xor_gain), not by a driver call",
+    "a12": "facility-search gains are gated by benchmarks/"
+    "bench_placement.py (facility_gain / minimax_worst), not by a driver call",
 }
 
 #: Per-module dtype contract of the compiled-trace hot path (rule R4):

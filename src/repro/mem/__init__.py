@@ -1,6 +1,7 @@
 """Memory layout (address assignment), access-trace recording, and
 conflict-aware placement optimization."""
 
+from repro.mem.facility import multiswap_refine, smoothed_search
 from repro.mem.layout import MemoryLayout, ObjectKey, Region, layout_objects
 from repro.mem.placement import (
     PlacementInstance,
@@ -47,4 +48,6 @@ __all__ = [
     "remap_blocks",
     "remap_trace",
     "swap_refine",
+    "multiswap_refine",
+    "smoothed_search",
 ]

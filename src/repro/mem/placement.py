@@ -780,6 +780,11 @@ def swap_refine(
                                 break
                 if improved:
                     trajectory.append(cost)
+        # the scorer counts every candidate it ever evaluated (gap moves
+        # and batched chunks included), so the reported evals can never
+        # drift from the actual number of cost-model invocations — the
+        # "equal eval budget" comparisons in A12/bench_placement gate on it
+        evals = scorer.evals
     stats = RefineStats(
         evals=evals, rounds=len(trajectory) - 1, trajectory=tuple(trajectory)
     )
@@ -804,9 +809,14 @@ _STRATEGIES: Dict[str, Callable] = {}
 def register_placement(name: str, fn: Callable) -> None:
     """Register a placement strategy: ``fn(instance, geometry, policy=...,
     window=..., budget=..., targets=..., gap_budget=..., batch=...,
-    backend=..., workers=...) -> (order, gaps)`` (a full object placement
-    plus a per-object gap map, possibly empty; the last three knobs only
-    parallelize scoring and must not change the returned placement)."""
+    backend=..., workers=..., restarts=..., noise=..., seed=...) ->
+    (order, gaps)`` (a full object placement plus a per-object gap map,
+    possibly empty).  ``batch``/``backend``/``workers`` only parallelize
+    scoring and must not change the returned placement;
+    ``restarts``/``noise``/``seed`` drive the smoothed multi-restart
+    search (:mod:`repro.mem.facility`) and are ``None`` for strategies
+    that ignore them — a given (strategy, knobs) pair must always return
+    the same placement (seeded determinism, pinned in CI)."""
     _STRATEGIES[name] = fn
 
 
@@ -830,6 +840,9 @@ def _topo_strategy(instance: PlacementInstance, geometry: CacheGeometry,
                    gap_budget: int = 0, batch: int = 1,
                    backend: Optional[str] = None,
                    workers: Optional[int] = None,
+                   restarts: Optional[int] = None,
+                   noise: Optional[float] = None,
+                   seed: Optional[int] = None,
                    ) -> Tuple[List[ObjectKey], Dict[ObjectKey, int]]:
     return list(instance.objects), {}
 
@@ -840,6 +853,9 @@ def _color_strategy(instance: PlacementInstance, geometry: CacheGeometry,
                     gap_budget: int = 0, batch: int = 1,
                     backend: Optional[str] = None,
                     workers: Optional[int] = None,
+                    restarts: Optional[int] = None,
+                    noise: Optional[float] = None,
+                    seed: Optional[int] = None,
                     ) -> Tuple[List[ObjectKey], Dict[ObjectKey, int]]:
     if targets:
         geometry, policy, _w = _primary_target(
@@ -854,6 +870,9 @@ def _swap_strategy(instance: PlacementInstance, geometry: CacheGeometry,
                    gap_budget: int = 0, batch: int = 1,
                    backend: Optional[str] = None,
                    workers: Optional[int] = None,
+                   restarts: Optional[int] = None,
+                   noise: Optional[float] = None,
+                   seed: Optional[int] = None,
                    ) -> Tuple[List[ObjectKey], Dict[ObjectKey, int]]:
     if targets:
         targets_n = normalize_targets(targets, block=instance.block)
@@ -932,6 +951,9 @@ def optimize_instance(
     batch: int = 1,
     backend: Optional[str] = None,
     workers: Optional[int] = None,
+    restarts: Optional[int] = None,
+    noise: Optional[float] = None,
+    seed: Optional[int] = None,
 ) -> PlacementResult:
     """Run one registered strategy against a prebuilt instance.
 
@@ -943,7 +965,9 @@ def optimize_instance(
 
     ``batch``/``backend``/``workers`` parallelize candidate scoring (see
     :func:`swap_refine`): the returned placement depends only on ``batch``,
-    never on where scoring ran.
+    never on where scoring ran.  ``restarts``/``noise``/``seed`` drive the
+    smoothed multi-restart search (:mod:`repro.mem.facility`); strategies
+    that do not restart ignore them.
     """
     if targets is not None:
         targets_n = normalize_targets(targets, block=instance.block)
@@ -959,6 +983,7 @@ def optimize_instance(
         instance, geometry, policy=policy, window=window, budget=budget,
         targets=targets if targets is not None else None, gap_budget=gap_budget,
         batch=batch, backend=backend, workers=workers,
+        restarts=restarts, noise=noise, seed=seed,
     )
     order, gaps = out
     per = _target_misses(remap_blocks(instance, order, gaps=gaps), targets_n)
@@ -990,13 +1015,17 @@ def optimize_placement(
     batch: int = 1,
     backend: Optional[str] = None,
     workers: Optional[int] = None,
+    restarts: Optional[int] = None,
+    noise: Optional[float] = None,
+    seed: Optional[int] = None,
 ) -> PlacementResult:
     """One-shot convenience: compile the seed trace, search, return the
     best placement for ``(geometry, policy)`` — or, with ``targets``, the
     best layout under the multi-geometry weighted objective.
     ``batch``/``backend``/``workers`` fan candidate scoring over the
     selected execution backend (:mod:`repro.runtime.backend`) without
-    changing the search trajectory."""
+    changing the search trajectory; ``restarts``/``noise``/``seed`` drive
+    the smoothed multi-restart search (:mod:`repro.mem.facility`)."""
     if geometry is not None:
         block = geometry.block
     elif targets:
@@ -1010,4 +1039,5 @@ def optimize_placement(
         instance, geometry, strategy=strategy, policy=policy,
         window=window, budget=budget, targets=targets, gap_budget=gap_budget,
         batch=batch, backend=backend, workers=workers,
+        restarts=restarts, noise=noise, seed=seed,
     )

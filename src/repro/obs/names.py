@@ -46,6 +46,8 @@ BACKEND_MAP = "backend.map"
 BATCH = "run_batch"
 #: one `swap_refine` local search (attr ``batch=``)
 PLACEMENT_SEARCH = "placement.search"
+#: one `multiswap_refine` facility-location local search (attr ``k=``)
+FACILITY_SEARCH = "placement.facility"
 #: one chunked out-of-core compilation (`compile_trace_chunked`)
 STREAM_COMPILE = "stream.compile"
 #: one streaming replay over a chunk source (attr ``policy=``)
@@ -80,6 +82,11 @@ BACKEND_TASKS = "backend.tasks"
 PLACEMENT_EVALS = "placement.evals"
 #: improvement rounds taken by `swap_refine`
 PLACEMENT_ROUNDS = "placement.rounds"
+#: smoothed-search restarts actually run (`smoothed` strategy)
+PLACEMENT_RESTARTS = "placement.restarts"
+#: candidate moves rejected by the per-set capacity constraint before
+#: scoring (`multiswap_refine` — pruned moves never consume evals)
+PLACEMENT_PRUNED = "placement.pruned"
 #: trace chunks produced by chunked compilation / consumed by replay
 STREAM_CHUNKS = "stream.chunks"
 #: bytes spilled to on-disk trace segments by chunked compilation

@@ -563,11 +563,13 @@ def _attach_scorer(
 
 def _score_candidate_remote(
     task: Tuple[int, np.ndarray]
-) -> Tuple[int, float, Optional[Dict]]:
-    """Worker body: weighted miss sum of one candidate's start vector.
+) -> Tuple[int, List[int], Optional[Dict]]:
+    """Worker body: per-target miss counts of one candidate's start vector.
 
-    Ships the candidate's obs delta back alongside the cost when the
-    parent had instrumentation enabled at pool construction.
+    Returns the raw per-target counts (the parent folds them into whatever
+    objective the search runs — weighted sum, worst-case ratio) and ships
+    the candidate's obs delta back when the parent had instrumentation
+    enabled at pool construction.
     """
     from repro.mem.placement import _target_misses
 
@@ -576,18 +578,17 @@ def _score_candidate_remote(
     off = _SCORER_STATE["off"]
     targets = _SCORER_STATE["targets"]
 
-    def _cost() -> float:
+    def _per() -> List[int]:
         blocks = starts[obj] + off
-        per = _target_misses(
+        return _target_misses(
             blocks, targets, chunk_words=_SCORER_STATE.get("chunk_words")  # type: ignore[arg-type]
         )
-        return sum(w * m for (_g, _p, w), m in zip(targets, per))  # type: ignore[misc]
 
     if _SCORER_STATE.get("obs"):
         with obs.capture(enabled=True) as cap:
-            cost = _cost()
-        return index, cost, cap.snapshot
-    return index, _cost(), None
+            per = _per()
+        return index, per, cap.snapshot
+    return index, _per(), None
 
 
 class CandidateScorer:
@@ -601,6 +602,13 @@ class CandidateScorer:
     search driven by this scorer takes the same trajectory on every
     backend; only wall-time changes.  Use as a context manager or call
     :meth:`close` — the pool and segment live until then.
+
+    ``evals`` counts every candidate ever scored through this scorer —
+    :meth:`score` and :meth:`score_per` both increment it by the number of
+    candidates they evaluate, on every backend — so a search's
+    ``RefineStats.evals`` can be read straight off the scorer instead of
+    being re-derived by hand at each call site (the A12 "equal eval
+    budget" comparisons are only honest if nothing is missed).
     """
 
     def __init__(
@@ -614,6 +622,8 @@ class CandidateScorer:
         self.instance = instance
         self.targets = list(targets)
         self.chunk_words = chunk_words
+        #: candidates scored so far (every backend, every score call)
+        self.evals = 0
         name, width = resolve(backend, workers, os.cpu_count() or 1)
         self._pool = None
         if name == "process":
@@ -638,29 +648,38 @@ class CandidateScorer:
         else:
             self._shm = None
 
-    def score(self, starts_list: Sequence[np.ndarray]) -> List[float]:
-        """Weighted miss sums, one per candidate, in candidate order."""
+    def score_per(self, starts_list: Sequence[np.ndarray]) -> List[List[int]]:
+        """Per-target miss counts, one list per candidate, in candidate
+        order — the raw material for any objective (weighted sum, minimax
+        worst-case ratio).  Counts toward :attr:`evals`."""
+        self.evals += len(starts_list)
         if self._pool is None:
             from repro.mem.placement import _target_misses
 
-            out = []
-            for starts in starts_list:
-                blocks = starts[self.instance.obj_of_access] + self.instance.block_offset
-                per = _target_misses(
-                    blocks, self.targets, chunk_words=self.chunk_words
+            return [
+                _target_misses(
+                    starts[self.instance.obj_of_access] + self.instance.block_offset,
+                    self.targets, chunk_words=self.chunk_words,
                 )
-                out.append(sum(w * m for (_g, _p, w), m in zip(self.targets, per)))
-            return out
+                for starts in starts_list
+            ]
         tasks = [(i, starts) for i, starts in enumerate(starts_list)]
-        out_arr: List[float] = [0.0] * len(tasks)
+        out_arr: List[List[int]] = [[] for _ in tasks]
         with obs.span(obs_names.BACKEND_MAP, backend="process"):
             # pool.map yields in submission order, so worker deltas merge
             # deterministically — same totals as the serial score path
-            for i, cost, snap in self._pool.map(_score_candidate_remote, tasks):
-                out_arr[i] = cost
+            for i, per, snap in self._pool.map(_score_candidate_remote, tasks):
+                out_arr[i] = per
                 if snap is not None:
                     obs.merge(snap)
         return out_arr
+
+    def score(self, starts_list: Sequence[np.ndarray]) -> List[float]:
+        """Weighted miss sums, one per candidate, in candidate order."""
+        return [
+            sum(w * m for (_g, _p, w), m in zip(self.targets, per))
+            for per in self.score_per(starts_list)
+        ]
 
     def close(self) -> None:
         if self._pool is not None:
@@ -721,6 +740,22 @@ class ServiceQuery:
     gaps: Optional[Dict["ObjectKey", int]] = None
     #: per-query replay chunk size; ``None`` inherits ``run_batch``'s
     chunk_words: Optional[int] = None
+    #: placement strategy to run before answering (``None``/``"topo"`` =
+    #: measure the seed layout as-is; any other registered name —
+    #: ``swap``/``multiswap``/``smoothed``/``minimax`` — optimizes the
+    #: layout first and the query is answered under the result)
+    layout: Optional[str] = None
+    #: multi-geometry objective for ``layout``; defaults to every query
+    #: geometry at ``policy`` with weight 1
+    layout_targets: Optional[Sequence[Tuple]] = None
+    #: eval budget of the ``layout`` search
+    layout_budget: int = 400
+    #: padding blocks the ``layout`` search may spend
+    gap_budget: int = 0
+    #: smoothed-search knobs (``layout="smoothed"``); ``None`` = defaults
+    restarts: Optional[int] = None
+    noise: Optional[float] = None
+    seed: Optional[int] = None
 
 
 @dataclass
@@ -740,6 +775,39 @@ class ServiceAnswer:
     results: List["ExecutionResult"] = field(default_factory=list)
 
 
+def _resolve_layout(
+    q: ServiceQuery,
+    backend: Optional[str] = None,
+    workers: Optional[int] = None,
+) -> ServiceQuery:
+    """Run a query's requested placement strategy and pin the result.
+
+    Returns the query unchanged when no optimization was asked for
+    (``layout`` absent or ``"topo"``); otherwise runs
+    :func:`repro.mem.placement.optimize_placement` — against
+    ``layout_targets`` when given, else every query geometry at the query's
+    policy, weight 1 — and returns a copy carrying the optimized
+    ``placement``/``gaps`` (so batch dedup keys on the *resolved* layout:
+    two queries that optimize to the same placement share one trace).
+    """
+    if q.layout in (None, "topo"):
+        return q
+    from dataclasses import replace
+
+    from repro.mem.placement import optimize_placement
+
+    targets = q.layout_targets
+    if targets is None:
+        targets = [(g, q.policy, 1.0) for g in q.geometries]
+    res = optimize_placement(
+        q.graph, q.schedule, strategy=q.layout, capacities=q.capacities,
+        order=q.layout_order, targets=targets, budget=q.layout_budget,
+        gap_budget=q.gap_budget, backend=backend, workers=workers,
+        restarts=q.restarts, noise=q.noise, seed=q.seed,
+    )
+    return replace(q, placement=res.order, gaps=res.gaps, layout=None)
+
+
 def run_batch(
     queries: Sequence[ServiceQuery],
     backend: Optional[str] = None,
@@ -749,6 +817,11 @@ def run_batch(
 ) -> List[ServiceAnswer]:
     """Answer N queries with shared compilation, shared passes, one pool.
 
+    0. Queries carrying a ``layout`` strategy (``swap``/``multiswap``/
+       ``smoothed``/``minimax``) are resolved first
+       (:func:`_resolve_layout`): the placement search runs under the
+       query's targets and the query is answered — and deduplicated —
+       under the optimized layout.
     1. Every query's compilation input is digested
        (:func:`repro.runtime.trace_cache.trace_digest`); queries with equal
        digests share one compiled trace — the batch compiles each distinct
@@ -770,6 +843,10 @@ def run_batch(
 
     with obs.span(obs_names.BATCH):
         obs.add(obs_names.BATCH_QUERIES, len(queries))
+        queries = [
+            _resolve_layout(q, backend=backend, workers=workers)
+            for q in queries
+        ]
         keys = [
             trace_digest(
                 q.graph, q.schedule, q.block, capacities=q.capacities,

@@ -502,3 +502,43 @@ class TestRunBatch:
 
     def test_empty_batch(self):
         assert run_batch([]) == []
+
+    def test_layout_field_resolves_to_an_optimized_placement(self, workload):
+        g, sched, _trace = workload
+        geoms = geometry_sweep([64, 128], B)
+        plain, tuned = run_batch(
+            [
+                ServiceQuery(g, sched, B, geoms, policy="direct"),
+                ServiceQuery(
+                    g, sched, B, geoms, policy="direct",
+                    layout="multiswap", layout_budget=40,
+                ),
+            ]
+        )
+        # the never-worse contract holds through the batch front door
+        for r_tuned, r_plain in zip(tuned.results, plain.results):
+            assert r_tuned.misses <= r_plain.misses
+
+    def test_layout_seed_is_deterministic_through_run_batch(self, workload):
+        g, sched, _trace = workload
+        geoms = geometry_sweep([64, 128], B)
+        q = ServiceQuery(
+            g, sched, B, geoms, policy="direct", layout="smoothed",
+            layout_budget=40, restarts=2, noise=0.5, seed=21,
+        )
+        first = run_batch([q])[0]
+        second = run_batch([q])[0]
+        assert [r.misses for r in first.results] == [
+            r.misses for r in second.results
+        ]
+
+    def test_identical_layout_queries_dedup_after_resolution(self, workload):
+        g, sched, _trace = workload
+        geoms = geometry_sweep([64, 128], B)
+        q = ServiceQuery(
+            g, sched, B, geoms, policy="direct", layout="multiswap",
+            layout_budget=40,
+        )
+        a1, a2 = run_batch([q, q])
+        assert [a1.deduped, a2.deduped] == [False, True]
+        assert [r.misses for r in a1.results] == [r.misses for r in a2.results]

@@ -191,6 +191,22 @@ class TestServiceFloors:
                                    "pool_scaling": 0.5})
         assert cbt.check(p, tolerance=0.3) == 0
 
+    def test_legacy_entry_skip_note_names_the_missing_key(self, tmp_path, capsys):
+        # the skip note must say the entry *records no cores* — not print
+        # a bare "entry has None" that reads like a parsing bug
+        p = self._write(tmp_path, {"ts": 1, "warm_speedup": 9.0,
+                                   "pool_scaling": 0.5})
+        assert cbt.check(p, tolerance=0.3) == 0
+        out = capsys.readouterr().out
+        assert "records no 'cores' (legacy run)" in out
+        assert "None" not in out
+
+    def test_low_cores_skip_note_still_reports_the_count(self, tmp_path, capsys):
+        p = self._write(tmp_path, {"ts": 1, "cores": 2, "warm_speedup": 9.0,
+                                   "pool_scaling": 0.5})
+        assert cbt.check(p, tolerance=0.3) == 0
+        assert "entry has 2" in capsys.readouterr().out
+
     def test_floors_also_apply_with_full_history(self, tmp_path, capsys):
         p = self._write(
             tmp_path,
@@ -271,3 +287,47 @@ class TestTraceEngineCeilings:
             pytest.skip("no live trace-engine record")
         history = json.loads(path.read_text())["history"]
         assert cbt.check_ceilings("BENCH_trace_engine.json", history) == []
+
+
+class TestPlacementFacilityMetrics:
+    """A12's bench metrics: ``facility_gain`` rides the relative trend
+    gate like the other placement gains; ``minimax_worst`` is
+    lower-is-better and held to the <= 1.0 never-worse ceiling."""
+
+    def _write(self, tmp_path, *entries):
+        p = tmp_path / "BENCH_placement.json"
+        p.write_text(json.dumps({"history": list(entries)}))
+        return p
+
+    def test_facility_gain_is_trend_tracked(self, tmp_path, capsys):
+        p = self._write(
+            tmp_path,
+            {"ts": 1, "facility_gain": 1.10},
+            {"ts": 2, "facility_gain": 0.60},
+        )
+        assert cbt.check(p, tolerance=0.3) == 1
+        out = capsys.readouterr().out
+        assert "facility_gain" in out and "REGRESSED" in out
+
+    def test_minimax_worst_ceiling_holds_from_first_run(self, tmp_path, capsys):
+        p = self._write(tmp_path, {"ts": 1, "minimax_worst": 1.2})
+        assert cbt.check(p, tolerance=0.3) == 1
+        assert "ABOVE CEILING" in capsys.readouterr().out
+
+    def test_minimax_worst_drop_is_an_improvement(self, tmp_path, capsys):
+        # worst-target ratio falling 0.9 -> 0.5 must not trip the trend gate
+        p = self._write(
+            tmp_path,
+            {"ts": 1, "facility_gain": 1.05, "minimax_worst": 0.9},
+            {"ts": 2, "facility_gain": 1.06, "minimax_worst": 0.5},
+        )
+        assert cbt.check(p, tolerance=0.3) == 0
+        assert "REGRESSED" not in capsys.readouterr().out
+
+    def test_entries_predating_the_metrics_pass(self, tmp_path):
+        p = self._write(
+            tmp_path,
+            {"ts": 1, "swap_gain": 6.0},
+            {"ts": 2, "swap_gain": 6.1},
+        )
+        assert cbt.check(p, tolerance=0.3) == 0

@@ -95,6 +95,20 @@ class TestLayoutTargetMessages:
             ("direct:1@bogus", "'bogus'"),            # ...and the weight itself
             ("direct:1@-3", "'direct:1@-3'"),
             ("direct:1@-3", "-3"),
+            ("direct:1@0", "'direct:1@0'"),           # zero weight names chunk
+            ("direct:1@0", "positive"),
+            ("direct:1@-0.5", "'direct:1@-0.5'"),     # negative float too
+            ("direct:1@inf", "finite"),               # weights must be finite
+            ("direct:1@", "'direct:1@'"),             # dangling '@' names chunk
+            ("direct:1@", "followed by a weight"),
+        ],
+    )
+    def test_degenerate_weight_is_named(self, capsys, spec, fragment):
+        assert fragment in self._err(capsys, spec)
+
+    @pytest.mark.parametrize(
+        "spec, fragment",
+        [
             ("plru:1", "'plru'"),                     # unknown policy named
             ("plru:1", "'plru:1'"),                   # inside its chunk
             ("direct:x", "'x'"),                      # non-integer ways named
